@@ -1,0 +1,38 @@
+# Smokescreen-Go build and reproduction targets.
+
+GO ?= go
+
+.PHONY: build test test-race bench figures figures-quick examples clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./internal/detect/ ./internal/transport/ ./internal/camera/ ./internal/degrade/
+
+# One testing.B benchmark per paper figure/claim plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x
+
+# Full-scale evaluation reports (the EXPERIMENTS.md numbers). Detector
+# outputs are cached under .cache so reruns are fast.
+figures:
+	$(GO) run ./cmd/smokebench -out results/ -cache .cache/
+
+figures-quick:
+	$(GO) run ./cmd/smokebench -quick -out results-quick/ -cache .cache/
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/privacypipeline
+	$(GO) run ./examples/profiletransfer
+	$(GO) run ./examples/cityfleet
+	$(GO) run ./examples/adaptivequery
+	# trafficcount profiles the full night-street corpus (minutes):
+	$(GO) run ./examples/trafficcount
+
+clean:
+	rm -rf results-quick .cache

@@ -1,0 +1,236 @@
+package smokescreen_test
+
+// This file is the benchmark harness required by DESIGN.md: one testing.B
+// benchmark per paper figure/claim (regenerating the experiment at bench
+// scale) plus micro-benchmarks of the core estimators and the detection
+// substrate. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benches use the experiments package's quick configuration so a
+// full -bench=. sweep finishes in minutes; cmd/smokebench produces the
+// full-scale numbers recorded in EXPERIMENTS.md.
+
+import (
+	"testing"
+
+	"smokescreen"
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/estimate"
+	"smokescreen/internal/experiments"
+	"smokescreen/internal/profile"
+	"smokescreen/internal/raster"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+)
+
+// benchExperiment runs one registered experiment at quick scale.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := experiments.QuickConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper artifact (see the per-experiment index in
+// DESIGN.md).
+
+func BenchmarkFigure3(b *testing.B)  { benchExperiment(b, "figure3") }
+func BenchmarkFigure4(b *testing.B)  { benchExperiment(b, "figure4") }
+func BenchmarkFigure5(b *testing.B)  { benchExperiment(b, "figure5") }
+func BenchmarkFigure6(b *testing.B)  { benchExperiment(b, "figure6") }
+func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "figure7") }
+func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "figure8") }
+func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "figure9") }
+func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "figure10") }
+
+func BenchmarkProfileGenerationTime(b *testing.B) { benchExperiment(b, "timing") }
+func BenchmarkHeadlineClaims(b *testing.B)        { benchExperiment(b, "claims") }
+func BenchmarkAblations(b *testing.B)             { benchExperiment(b, "ablations") }
+func BenchmarkCalibration(b *testing.B)           { benchExperiment(b, "calibration") }
+func BenchmarkModelAccuracy(b *testing.B)         { benchExperiment(b, "modelaccuracy") }
+func BenchmarkBandwidth(b *testing.B)             { benchExperiment(b, "bandwidth") }
+
+// Estimator micro-benchmarks: the per-call cost of Algorithm 1/2/3 and the
+// baselines, on a representative 1000-sample input.
+
+func benchSample(n int) ([]float64, int) {
+	s := stats.NewStream(99)
+	population := make([]float64, 20000)
+	for i := range population {
+		population[i] = float64(s.Poisson(3))
+	}
+	idx := s.SampleWithoutReplacement(len(population), n)
+	sample := make([]float64, n)
+	for i, j := range idx {
+		sample[i] = population[j]
+	}
+	return sample, len(population)
+}
+
+func BenchmarkEstimateAVG(b *testing.B) {
+	sample, N := benchSample(1000)
+	p := estimate.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := estimate.Smokescreen(estimate.AVG, sample, N, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateMAX(b *testing.B) {
+	sample, N := benchSample(1000)
+	p := estimate.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := estimate.Smokescreen(estimate.MAX, sample, N, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateRepair(b *testing.B) {
+	sample, N := benchSample(1000)
+	corrSample, _ := benchSample(500)
+	p := estimate.DefaultParams()
+	corr, err := estimate.NewCorrection(estimate.AVG, corrSample, N, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	degraded, err := estimate.Smokescreen(estimate.AVG, sample, N, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := corr.Repair(estimate.AVG, degraded, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBaselineEBGS(b *testing.B) {
+	sample, N := benchSample(1000)
+	p := estimate.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := estimate.BaselineEstimate(estimate.EBGS, estimate.AVG, sample, N, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Substrate micro-benchmarks.
+
+func BenchmarkDetectFramePatch(b *testing.B) {
+	v := dataset.MustLoad("small")
+	m := detect.YOLOv4Sim()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DetectFrame(v, i%v.NumFrames(), 160)
+	}
+}
+
+func BenchmarkDetectFrameFull(b *testing.B) {
+	v := dataset.MustLoad("small")
+	m := detect.YOLOv4Sim()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.DetectFrameFull(v, i%v.NumFrames(), 160)
+	}
+}
+
+func BenchmarkRenderNative(b *testing.B) {
+	v := dataset.MustLoad("small")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.RenderNative(i % v.NumFrames())
+	}
+}
+
+func BenchmarkDownsample(b *testing.B) {
+	v := dataset.MustLoad("small")
+	img := v.RenderNative(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		raster.Downsample(img, 96, 96)
+	}
+}
+
+func BenchmarkSampleWithoutReplacement(b *testing.B) {
+	s := stats.NewStream(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SampleWithoutReplacement(20000, 1000)
+	}
+}
+
+func BenchmarkDegradeApply(b *testing.B) {
+	v := dataset.MustLoad("small")
+	m := detect.YOLOv4Sim()
+	setting := degrade.Setting{SampleFraction: 0.1, Resolution: 160}
+	root := stats.NewStream(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := degrade.Apply(v, m, setting, root.Child(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSweepFractions(b *testing.B) {
+	spec := &profile.Spec{
+		Video:  dataset.MustLoad("small"),
+		Model:  detect.YOLOv4Sim(),
+		Class:  scene.Car,
+		Agg:    estimate.AVG,
+		Params: estimate.DefaultParams(),
+	}
+	opts := profile.SweepOptions{Fractions: []float64{0.02, 0.05, 0.1}}
+	root := stats.NewStream(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := profile.SweepFractions(spec, opts, root.Child(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches for the DESIGN.md call-outs: the single-n confidence
+// construction vs EBGS's any-time schedule, and Hoeffding-Serfling vs the
+// empirical Bernstein inequality inside Algorithm 1.
+
+func BenchmarkAblationBoundTightness(b *testing.B) {
+	sample, N := benchSample(200)
+	p := estimate.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ours, _ := estimate.Smokescreen(estimate.AVG, sample, N, p)
+		hs, _ := estimate.BaselineEstimate(estimate.HoeffdingSerfling, estimate.AVG, sample, N, p)
+		ebgs, _ := estimate.BaselineEstimate(estimate.EBGS, estimate.AVG, sample, N, p)
+		if ours.ErrBound > hs.ErrBound || ours.ErrBound > ebgs.ErrBound {
+			b.Fatal("tightness ordering violated")
+		}
+	}
+}
+
+func BenchmarkEndToEndQuery(b *testing.B) {
+	sys := smokescreen.New(smokescreen.WithSeed(11))
+	q, err := smokescreen.ParseQuery("SELECT AVG(count(car)) FROM small SAMPLE 0.1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Command smokebench regenerates the paper's evaluation artifacts: one
+// text report per figure/claim of Section 5, written to stdout or to a
+// directory of per-experiment files.
+//
+// Usage:
+//
+//	smokebench [-quick] [-trials N] [-seed S] [-out DIR] [experiment...]
+//
+// With no experiment arguments every registered experiment runs in
+// presentation order. Use -quick for a fast smoke run (fewer trials and
+// sweep points); EXPERIMENTS.md is produced from a full run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/experiments"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "reduced trials and sweep points")
+		trials = flag.Int("trials", 0, "trials per measurement point (default: 100, or 8 with -quick)")
+		seed   = flag.Uint64("seed", 20220612, "root randomness seed")
+		outDir = flag.String("out", "", "write one report file per experiment into this directory")
+		format = flag.String("format", "text", "output format: text or csv")
+		cache  = flag.String("cache", "", "warm/save detector output series in this directory across runs")
+	)
+	flag.Parse()
+
+	if *format != "text" && *format != "csv" {
+		fatal(fmt.Errorf("unknown format %q (text or csv)", *format))
+	}
+	render := func(report *experiments.Report, w *os.File) error {
+		if *format == "csv" {
+			return report.RenderCSV(w)
+		}
+		return report.Render(w)
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	cfg.Seed = *seed
+	if *trials > 0 {
+		cfg.Trials = *trials
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	if *cache != "" {
+		warmAll(*cache)
+		defer saveAll(*cache)
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running %s...\n", id)
+		report, err := experiments.Run(id, cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		fmt.Fprintf(os.Stderr, "  done in %s\n", time.Since(start).Round(time.Millisecond))
+		if *outDir == "" {
+			if err := render(report, os.Stdout); err != nil {
+				fatal(err)
+			}
+			continue
+		}
+		ext := ".txt"
+		if *format == "csv" {
+			ext = ".csv"
+		}
+		path := filepath.Join(*outDir, id+ext)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := render(report, f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "  wrote %s\n", path)
+	}
+}
+
+// warmAll loads persisted detector output series for every built-in
+// corpus, so full-scale reruns skip the simulated-inference cost.
+func warmAll(dir string) {
+	for _, name := range dataset.Names() {
+		v, err := dataset.Load(name)
+		if err != nil {
+			fatal(err)
+		}
+		loaded, skipped, err := detect.WarmOutputs(v, dir)
+		if err != nil {
+			fatal(err)
+		}
+		if loaded+skipped > 0 {
+			fmt.Fprintf(os.Stderr, "cache: %s: %d series warmed, %d skipped\n", name, loaded, skipped)
+		}
+	}
+}
+
+// saveAll persists the output series computed during this run.
+func saveAll(dir string) {
+	total := 0
+	for _, name := range dataset.Names() {
+		v, err := dataset.Load(name)
+		if err != nil {
+			fatal(err)
+		}
+		n, err := detect.SaveOutputs(v, dir)
+		if err != nil {
+			fatal(err)
+		}
+		total += n
+	}
+	fmt.Fprintf(os.Stderr, "cache: saved %d series to %s\n", total, dir)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "smokebench:", err)
+	os.Exit(1)
+}

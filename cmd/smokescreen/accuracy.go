@@ -1,0 +1,70 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/evaluate"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+)
+
+// cmdAccuracy reports a detector's inherent accuracy (precision / recall /
+// F1 against simulator ground truth) across its candidate resolutions —
+// the number an administrator folds into the error threshold when reading
+// a profile (paper Section 2.3):
+//
+//	smokescreen accuracy -dataset small -model yolov4 -class car
+func cmdAccuracy(args []string) {
+	fs := flag.NewFlagSet("accuracy", flag.ExitOnError)
+	var (
+		datasetName = fs.String("dataset", "small", "corpus to evaluate on")
+		modelName   = fs.String("model", "yolov4", "detector to evaluate")
+		className   = fs.String("class", "car", "object class")
+		iou         = fs.Float64("iou", 0.3, "IoU threshold for a match")
+		fraction    = fs.Float64("fraction", 0.2, "fraction of frames to evaluate")
+		seed        = fs.Uint64("seed", 1, "randomness seed for the frame subset")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	v, err := dataset.Load(*datasetName)
+	if err != nil {
+		fatal(err)
+	}
+	model, err := detect.ModelByName(*modelName)
+	if err != nil {
+		fatal(err)
+	}
+	class, err := scene.ParseClass(strings.ToLower(*className))
+	if err != nil {
+		fatal(err)
+	}
+	if !model.CanDetect(class) {
+		fatal(fmt.Errorf("model %s cannot detect %v", model.Name, class))
+	}
+	if *fraction <= 0 || *fraction > 1 {
+		fatal(fmt.Errorf("fraction %v out of (0,1]", *fraction))
+	}
+
+	n := v.NumFrames()
+	sub := int(float64(n) * *fraction)
+	if sub < 1 {
+		sub = 1
+	}
+	frames := stats.NewStream(*seed).SampleWithoutReplacement(n, sub)
+
+	fmt.Printf("inherent accuracy of %s on %s (%v, IoU >= %.2f, %d frames)\n\n",
+		model.Name, v.Config.Name, class, *iou, sub)
+	fmt.Println("resolution  precision  recall   F1")
+	for _, point := range evaluate.ResolutionSweep(v, model, class, frames, *iou) {
+		m := point.Metrics
+		fmt.Printf("%-11s %.4f     %.4f   %.4f\n",
+			fmt.Sprintf("%dx%d", point.Resolution, point.Resolution),
+			m.Precision(), m.Recall(), m.F1())
+	}
+}

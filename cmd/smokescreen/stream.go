@@ -1,0 +1,126 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"strings"
+
+	"smokescreen/internal/camera"
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/estimate"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+	"smokescreen/internal/transport"
+)
+
+// cmdStream runs a complete camera-to-processor session over a real TCP
+// loopback connection: the camera degrades on-device and transmits, the
+// central processor detects on the received pixels, and both sides'
+// accounting is printed. This is the deployment topology of the paper's
+// system model, runnable end to end:
+//
+//	smokescreen stream -dataset small -sample 0.05 -resolution 160 -remove face
+func cmdStream(args []string) {
+	fs := flag.NewFlagSet("stream", flag.ExitOnError)
+	var (
+		datasetName = fs.String("dataset", "small", "corpus to stream")
+		sample      = fs.Float64("sample", 0.05, "frame-sampling fraction")
+		resolution  = fs.Int("resolution", 0, "transmission resolution (0 = native)")
+		remove      = fs.String("remove", "", "comma-separated restricted classes")
+		noise       = fs.Float64("noise", 0, "added capture noise sigma")
+		seed        = fs.Uint64("seed", 1, "randomness seed")
+		addr        = fs.String("addr", "127.0.0.1:0", "TCP address to rendezvous on")
+	)
+	if err := fs.Parse(args); err != nil {
+		fatal(err)
+	}
+
+	setting := degrade.Setting{SampleFraction: *sample, Resolution: *resolution, NoiseSigma: *noise}
+	if *remove != "" {
+		for _, name := range strings.Split(*remove, ",") {
+			c, err := scene.ParseClass(strings.TrimSpace(name))
+			if err != nil {
+				fatal(err)
+			}
+			setting.Restricted = append(setting.Restricted, c)
+		}
+	}
+
+	v, err := dataset.Load(*datasetName)
+	if err != nil {
+		fatal(err)
+	}
+	model := detect.YOLOv4Sim()
+	node := &camera.Node{Video: v, Model: model, Setting: setting, Energy: camera.DefaultEnergyModel()}
+
+	listener, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer listener.Close()
+	fmt.Printf("processor listening on %s\n", listener.Addr())
+
+	type streamResult struct {
+		report camera.Report
+		err    error
+	}
+	cameraDone := make(chan streamResult, 1)
+	go func() {
+		conn, err := net.Dial("tcp", listener.Addr().String())
+		if err != nil {
+			cameraDone <- streamResult{err: err}
+			return
+		}
+		defer conn.Close()
+		report, err := node.Stream(transport.New(conn), stats.NewStream(*seed))
+		cameraDone <- streamResult{report: report, err: err}
+	}()
+
+	serverConn, err := listener.Accept()
+	if err != nil {
+		fatal(err)
+	}
+	defer serverConn.Close()
+
+	var totalCars, frames int
+	var estimator *estimate.StreamingEstimator
+	session, err := camera.Receive(transport.New(serverConn), func(s *camera.Session, fr camera.ReceivedFrame) error {
+		if estimator == nil {
+			// Any-time mode: the operator watches the running bound, so
+			// every reported bound must hold simultaneously.
+			var err error
+			estimator, err = estimate.NewStreamingEstimator(estimate.AVG, s.Config.TotalFrames, estimate.DefaultParams(), true)
+			if err != nil {
+				return err
+			}
+		}
+		cars := detect.CountClass(s.Detect(model, fr), scene.Car)
+		totalCars += cars
+		frames++
+		est := estimator.Observe(float64(cars))
+		if frames%10 == 0 {
+			fmt.Printf("  after %3d frames: running mean %.3f, conservative estimate %.3f (err <= %.3f, any-time)\n",
+				frames, float64(totalCars)/float64(frames), est.Value, est.ErrBound)
+		}
+		return nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+	result := <-cameraDone
+	if result.err != nil {
+		fatal(result.err)
+	}
+
+	fmt.Printf("camera:     %s (%s)\n", v.Config.Name, setting)
+	fmt.Printf("transmitted %d frames, %d bytes\n", result.report.FramesTransmitted, result.report.BytesTransmitted)
+	fmt.Printf("energy:     capture %.3f J + compute %.3f J + radio %.3f J = %.3f J\n",
+		result.report.CaptureJoules, result.report.ComputeJoules, result.report.TransmitJoules, result.report.TotalJoules())
+	fmt.Printf("processor:  received %d frames at %dx%d\n", frames, session.Config.Resolution, session.Config.Resolution)
+	if frames > 0 {
+		fmt.Printf("detected:   %.3f cars per transmitted frame\n", float64(totalCars)/float64(frames))
+	}
+}

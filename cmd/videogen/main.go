@@ -1,0 +1,145 @@
+// Command videogen materialises a synthetic corpus to a Smokescreen
+// frame-store file (.smkv): ground-truth annotations per frame, optionally
+// with rasterised pixel planes at a chosen resolution.
+//
+// Usage:
+//
+//	videogen -dataset small -out small.smkv
+//	videogen -dataset night-street -out ns.smkv -rasters -resolution 128 -frames 200
+//	videogen -dataset small -png previews/ -frames 10 -boxes
+//
+// Raster output is large; combine -rasters with -frames to materialise a
+// preview slice. The -png mode writes one grayscale PNG per frame for
+// human inspection, optionally with detection boxes overlaid.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"smokescreen/internal/codec"
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/raster"
+	"smokescreen/internal/scene"
+)
+
+func main() {
+	var (
+		name       = flag.String("dataset", "small", "dataset to materialise (see `smokescreen datasets`)")
+		out        = flag.String("out", "", "output .smkv path")
+		pngDir     = flag.String("png", "", "write per-frame PNG previews into this directory instead")
+		boxes      = flag.Bool("boxes", false, "overlay YOLOv4Sim detections on PNG previews")
+		rasters    = flag.Bool("rasters", false, "include rasterised pixel planes")
+		resolution = flag.Int("resolution", 0, "raster resolution (0 = native)")
+		frames     = flag.Int("frames", 0, "limit the number of frames (0 = all)")
+	)
+	flag.Parse()
+	if *out == "" && *pngDir == "" {
+		fmt.Fprintln(os.Stderr, "videogen: one of -out or -png is required")
+		os.Exit(2)
+	}
+
+	v, err := dataset.Load(*name)
+	if err != nil {
+		fatal(err)
+	}
+	total := v.NumFrames()
+	if *frames > 0 && *frames < total {
+		total = *frames
+	}
+	p := v.Config.Width
+	if *resolution > 0 {
+		p = *resolution
+	}
+
+	if *pngDir != "" {
+		if err := writePNGs(v, *pngDir, total, p, *boxes); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	w, err := codec.NewWriter(f, codec.Metadata{
+		Name:      v.Config.Name,
+		Width:     v.Config.Width,
+		Height:    v.Config.Height,
+		NumFrames: total,
+		Seed:      v.Config.Seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	for i := 0; i < total; i++ {
+		record := &codec.FrameRecord{Index: i, Objects: v.Frame(i).Objects}
+		if *rasters {
+			img := v.RenderNative(i)
+			if p != v.Config.Width {
+				img = raster.Downsample(img, p, p)
+			}
+			record.Raster = img
+		}
+		if err := w.WriteFrame(record); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d frames of %s (%d bytes)\n", *out, total, *name, info.Size())
+}
+
+// writePNGs exports per-frame grayscale previews, optionally with
+// YOLOv4Sim detection boxes overlaid at the preview resolution.
+func writePNGs(v *scene.Video, dir string, total, p int, boxes bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	model := detect.YOLOv4Sim()
+	for i := 0; i < total; i++ {
+		img := v.RenderNative(i)
+		if p != v.Config.Width {
+			img = raster.Downsample(img, p, p)
+		}
+		if boxes {
+			if !model.ValidResolution(p) {
+				return fmt.Errorf("videogen: -boxes requires a resolution %s accepts (multiple of %d <= %d)",
+					model.Name, model.InputMultiple, model.NativeInput)
+			}
+			for _, d := range model.DetectFrame(v, i, p) {
+				img.DrawBox(d.BBox, 1)
+			}
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s-%05d.png", v.Config.Name, i))
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := raster.EncodePNG(f, img); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote %d PNG previews to %s\n", total, dir)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "videogen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module smokescreen
+
+go 1.22

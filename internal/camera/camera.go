@@ -1,0 +1,298 @@
+// Package camera simulates the configurable networked cameras of the
+// paper's system model (Section 1): each camera collects frames, applies
+// the administrator-chosen destructive interventions on-device, and
+// transmits the degraded frames to the central video query processor. The
+// package quantifies the *benefit* side of the tradeoff curves: how many
+// bytes and joules a given intervention setting saves.
+package camera
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"smokescreen/internal/codec"
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/raster"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+	"smokescreen/internal/transport"
+)
+
+// EnergyModel prices the camera's work. The defaults are loosely modelled
+// on embedded-camera measurements (capture dominated by sensor readout,
+// transmission by the radio), but only the *relative* savings matter to
+// the experiments.
+type EnergyModel struct {
+	JoulesPerCapture float64 // sensor readout per captured frame
+	JoulesPerPixel   float64 // on-device processing (downsample, encode)
+	JoulesPerByte    float64 // radio transmission
+}
+
+// DefaultEnergyModel returns the model used by the examples: 50 mJ per
+// capture, 2 nJ per processed pixel, 1 µJ per transmitted byte.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		JoulesPerCapture: 0.05,
+		JoulesPerPixel:   2e-9,
+		JoulesPerByte:    1e-6,
+	}
+}
+
+// Report summarises one streaming session.
+type Report struct {
+	FramesCaptured    int
+	FramesTransmitted int
+	BytesTransmitted  int64
+	CaptureJoules     float64
+	ComputeJoules     float64
+	TransmitJoules    float64
+}
+
+// TotalJoules returns the session's total energy cost.
+func (r Report) TotalJoules() float64 {
+	return r.CaptureJoules + r.ComputeJoules + r.TransmitJoules
+}
+
+// Config is the camera's capture specification, announced to the receiver
+// in the MsgConfig message.
+type Config struct {
+	Name         string
+	CaptureWidth int     // native sensor resolution
+	NoiseSigma   float64 // sensor noise at native resolution
+	Resolution   int     // transmission resolution after degradation
+	TotalFrames  int     // N, so the receiver can scale SUM-type answers
+}
+
+// encode serialises the config message payload.
+func (c Config) encode() []byte {
+	buf := make([]byte, 0, 64)
+	buf = binary.AppendUvarint(buf, uint64(len(c.Name)))
+	buf = append(buf, c.Name...)
+	buf = binary.AppendUvarint(buf, uint64(c.CaptureWidth))
+	buf = binary.AppendUvarint(buf, math.Float64bits(c.NoiseSigma))
+	buf = binary.AppendUvarint(buf, uint64(c.Resolution))
+	buf = binary.AppendUvarint(buf, uint64(c.TotalFrames))
+	return buf
+}
+
+func decodeConfig(payload []byte) (Config, error) {
+	var c Config
+	r := newSliceReader(payload)
+	nameLen, err := r.uvarint()
+	if err != nil {
+		return c, err
+	}
+	name, err := r.bytes(int(nameLen))
+	if err != nil {
+		return c, err
+	}
+	c.Name = string(name)
+	fields := [4]uint64{}
+	for i := range fields {
+		if fields[i], err = r.uvarint(); err != nil {
+			return c, err
+		}
+	}
+	c.CaptureWidth = int(fields[0])
+	c.NoiseSigma = math.Float64frombits(fields[1])
+	c.Resolution = int(fields[2])
+	c.TotalFrames = int(fields[3])
+	if c.CaptureWidth <= 0 || c.Resolution <= 0 || c.TotalFrames < 0 {
+		return c, fmt.Errorf("camera: corrupt config %+v", c)
+	}
+	return c, nil
+}
+
+// Node is one camera bound to a scene and an intervention setting.
+type Node struct {
+	Video   *scene.Video
+	Model   *detect.Model // determines native input and removal priors
+	Setting degrade.Setting
+	Energy  EnergyModel
+}
+
+// Stream captures, degrades, encodes and transmits the configured portion
+// of the video over conn, returning the session report. The sequence is:
+// MsgConfig, MsgBackground, one MsgFrame per sampled admissible frame,
+// MsgEnd. Frames are rendered at native resolution (capture), downsampled
+// on-device, noised with the effective sensor noise, and shipped as
+// compressed rasters — the receiver never sees the restricted frames or
+// the native-resolution pixels.
+func (n *Node) Stream(conn *transport.Conn, stream *stats.Stream) (Report, error) {
+	var report Report
+	plan, err := degrade.Apply(n.Video, n.Model, n.Setting, stream)
+	if err != nil {
+		return report, fmt.Errorf("camera: applying interventions: %w", err)
+	}
+	cfg := Config{
+		Name:         n.Video.Config.Name,
+		CaptureWidth: n.Video.Config.Width,
+		NoiseSigma:   float64(n.Video.Config.Lighting.NoiseSigma),
+		Resolution:   plan.Resolution,
+		TotalFrames:  plan.Total,
+	}
+	if err := conn.Send(transport.MsgConfig, cfg.encode()); err != nil {
+		return report, err
+	}
+
+	p := plan.Resolution
+	bg := raster.Downsample(n.Video.Background(), p, p)
+	bgBlock, err := codec.EncodeFrame(&codec.FrameRecord{Index: -1, Raster: bg})
+	if err != nil {
+		return report, err
+	}
+	if err := conn.Send(transport.MsgBackground, bgBlock); err != nil {
+		return report, err
+	}
+
+	scale := float64(p) / float64(n.Video.Config.Width)
+	sigmaEff := float32(math.Max(0.004, float64(n.Video.Config.Lighting.NoiseSigma)*scale))
+	for _, idx := range plan.Sampled {
+		report.FramesCaptured++
+		report.CaptureJoules += n.Energy.JoulesPerCapture
+
+		native := n.Video.RenderNative(idx)
+		img := raster.Downsample(native, p, p)
+		img.AddNoise(frameSeed(n.Video.Config.Seed, idx, p), sigmaEff)
+		report.ComputeJoules += n.Energy.JoulesPerPixel * float64(native.W*native.H+p*p)
+
+		block, err := codec.EncodeFrame(&codec.FrameRecord{Index: idx, Raster: img})
+		if err != nil {
+			return report, err
+		}
+		if err := conn.Send(transport.MsgFrame, block); err != nil {
+			return report, err
+		}
+		report.FramesTransmitted++
+	}
+	if err := conn.Send(transport.MsgEnd, nil); err != nil {
+		return report, err
+	}
+	report.BytesTransmitted = conn.BytesSent()
+	report.TransmitJoules = n.Energy.JoulesPerByte * float64(report.BytesTransmitted)
+	return report, nil
+}
+
+// frameSeed mirrors the detect package's full-frame noise seeding so
+// transmitted pixels match what DetectFrameFull would have seen locally.
+func frameSeed(corpusSeed uint64, frame, p int) uint64 {
+	z := corpusSeed ^ 0x66726d65
+	for _, v := range []uint64{uint64(frame), uint64(p)} {
+		z ^= v
+		z += 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return z
+}
+
+// ReceivedFrame is one frame as seen by the central processor.
+type ReceivedFrame struct {
+	Index  int
+	Raster *raster.Image
+}
+
+// Session is the receiving side of a camera stream: the central query
+// processor's view.
+type Session struct {
+	Config     Config
+	Background *raster.Image
+}
+
+// Receive consumes a camera stream from conn, invoking handle for every
+// frame. It returns the session after MsgEnd (or an error).
+func Receive(conn *transport.Conn, handle func(*Session, ReceivedFrame) error) (*Session, error) {
+	var session *Session
+	for {
+		msgType, payload, err := conn.Receive()
+		if err != nil {
+			if err == io.EOF {
+				return nil, fmt.Errorf("camera: stream ended before MsgEnd")
+			}
+			return nil, err
+		}
+		switch msgType {
+		case transport.MsgConfig:
+			cfg, err := decodeConfig(payload)
+			if err != nil {
+				return nil, err
+			}
+			session = &Session{Config: cfg}
+		case transport.MsgBackground:
+			if session == nil {
+				return nil, fmt.Errorf("camera: background before config")
+			}
+			fr, err := codec.DecodeFrame(payload)
+			if err != nil {
+				return nil, err
+			}
+			if fr.Raster == nil {
+				return nil, fmt.Errorf("camera: background message without pixels")
+			}
+			session.Background = fr.Raster
+		case transport.MsgFrame:
+			if session == nil || session.Background == nil {
+				return nil, fmt.Errorf("camera: frame before config/background")
+			}
+			fr, err := codec.DecodeFrame(payload)
+			if err != nil {
+				return nil, err
+			}
+			if fr.Raster == nil {
+				return nil, fmt.Errorf("camera: frame message without pixels")
+			}
+			if handle != nil {
+				if err := handle(session, ReceivedFrame{Index: fr.Index, Raster: fr.Raster}); err != nil {
+					return nil, err
+				}
+			}
+		case transport.MsgEnd:
+			if session == nil {
+				return nil, fmt.Errorf("camera: end before config")
+			}
+			return session, nil
+		default:
+			return nil, fmt.Errorf("camera: unknown message type %d", msgType)
+		}
+	}
+}
+
+// Detect runs the model on a received frame against the session's
+// transmitted background — central-side inference on degraded pixels only.
+func (s *Session) Detect(m *detect.Model, fr ReceivedFrame) []detect.Detection {
+	return m.DetectPixels(fr.Raster, s.Background, s.Config.NoiseSigma, s.Config.CaptureWidth, uint64(fr.Index))
+}
+
+// sliceReader is a tiny cursor over a payload slice.
+type sliceReader struct {
+	buf []byte
+	off int
+}
+
+func newSliceReader(buf []byte) *sliceReader { return &sliceReader{buf: buf} }
+
+func (r *sliceReader) ReadByte() (byte, error) {
+	if r.off >= len(r.buf) {
+		return 0, io.ErrUnexpectedEOF
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *sliceReader) uvarint() (uint64, error) {
+	return binary.ReadUvarint(r)
+}
+
+func (r *sliceReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.buf) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}

@@ -1,0 +1,224 @@
+package camera
+
+import (
+	"math"
+	"net"
+	"testing"
+
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+	"smokescreen/internal/transport"
+)
+
+// runSession streams the setting over an in-process pipe and returns the
+// camera report, the receiver session and per-frame car counts computed by
+// central-side detection on the transmitted pixels.
+func runSession(t *testing.T, setting degrade.Setting) (Report, *Session, map[int]int) {
+	t.Helper()
+	v := dataset.MustLoad("small")
+	m := detect.YOLOv4Sim()
+	node := &Node{Video: v, Model: m, Setting: setting, Energy: DefaultEnergyModel()}
+
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	reportCh := make(chan Report, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		report, err := node.Stream(transport.New(client), stats.NewStream(11))
+		reportCh <- report
+		errCh <- err
+	}()
+
+	counts := map[int]int{}
+	session, err := Receive(transport.New(server), func(s *Session, fr ReceivedFrame) error {
+		counts[fr.Index] = detect.CountClass(s.Detect(m, fr), scene.Car)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+	return <-reportCh, session, counts
+}
+
+func TestStreamEndToEnd(t *testing.T) {
+	setting := degrade.Setting{SampleFraction: 0.05, Resolution: 160}
+	report, session, counts := runSession(t, setting)
+
+	v := dataset.MustLoad("small")
+	wantFrames := int(float64(v.NumFrames())*0.05 + 0.5)
+	if report.FramesTransmitted != wantFrames {
+		t.Fatalf("transmitted %d frames, want %d", report.FramesTransmitted, wantFrames)
+	}
+	if len(counts) != wantFrames {
+		t.Fatalf("received %d frames", len(counts))
+	}
+	if session.Config.Resolution != 160 || session.Config.CaptureWidth != v.Config.Width {
+		t.Fatalf("session config %+v", session.Config)
+	}
+	if session.Config.TotalFrames != v.NumFrames() {
+		t.Fatalf("TotalFrames = %d", session.Config.TotalFrames)
+	}
+	if report.BytesTransmitted <= 0 || report.TotalJoules() <= 0 {
+		t.Fatal("accounting empty")
+	}
+	if report.CaptureJoules <= 0 || report.ComputeJoules <= 0 || report.TransmitJoules <= 0 {
+		t.Fatalf("energy breakdown incomplete: %+v", report)
+	}
+}
+
+func TestCentralDetectionMatchesLocal(t *testing.T) {
+	// Counts computed on transmitted pixels must broadly agree with the
+	// local full-frame reference on the same frames.
+	_, _, counts := runSession(t, degrade.Setting{SampleFraction: 0.04, Resolution: 320})
+	v := dataset.MustLoad("small")
+	m := detect.YOLOv4Sim()
+	var transmittedSum, localSum, absDiff float64
+	for idx, got := range counts {
+		local := detect.CountClass(m.DetectFrameFull(v, idx, 320), scene.Car)
+		transmittedSum += float64(got)
+		localSum += float64(local)
+		absDiff += math.Abs(float64(got - local))
+	}
+	if transmittedSum == 0 && localSum == 0 {
+		t.Fatal("no detections at all")
+	}
+	n := float64(len(counts))
+	if absDiff/n > 0.5 {
+		t.Fatalf("mean per-frame deviation %v between wire and local detection", absDiff/n)
+	}
+}
+
+func TestDegradationSavesBandwidthAndEnergy(t *testing.T) {
+	full, _, _ := runSession(t, degrade.Setting{SampleFraction: 0.05, Resolution: 320})
+	degraded, _, _ := runSession(t, degrade.Setting{SampleFraction: 0.02, Resolution: 96})
+	if degraded.BytesTransmitted*2 >= full.BytesTransmitted {
+		t.Fatalf("degradation saved too little bandwidth: %d vs %d", degraded.BytesTransmitted, full.BytesTransmitted)
+	}
+	if degraded.TotalJoules() >= full.TotalJoules() {
+		t.Fatalf("degradation did not save energy: %v vs %v", degraded.TotalJoules(), full.TotalJoules())
+	}
+}
+
+func TestImageRemovalNeverTransmitsRestricted(t *testing.T) {
+	_, _, counts := runSession(t, degrade.Setting{SampleFraction: 0.03, Resolution: 320, Restricted: []scene.Class{scene.Face}})
+	v := dataset.MustLoad("small")
+	present := detect.Presence(v, scene.Face)
+	for idx := range counts {
+		if present[idx] {
+			t.Fatalf("restricted frame %d left the camera", idx)
+		}
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	cfg := Config{Name: "cam-1", CaptureWidth: 640, NoiseSigma: 0.0325, Resolution: 128, TotalFrames: 1234}
+	got, err := decodeConfig(cfg.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != cfg {
+		t.Fatalf("round trip %+v != %+v", got, cfg)
+	}
+}
+
+func TestDecodeConfigRejectsCorruption(t *testing.T) {
+	cfg := Config{Name: "c", CaptureWidth: 640, NoiseSigma: 0.02, Resolution: 128, TotalFrames: 10}
+	good := cfg.encode()
+	for cut := 0; cut < len(good)-1; cut++ {
+		if _, err := decodeConfig(good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestReceiveProtocolErrors(t *testing.T) {
+	// Frame before config must be rejected.
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		c := transport.New(client)
+		_ = c.Send(transport.MsgFrame, []byte{0})
+	}()
+	if _, err := Receive(transport.New(server), nil); err == nil {
+		t.Fatal("frame before config accepted")
+	}
+}
+
+func TestStreamRejectsInfeasibleSetting(t *testing.T) {
+	v := dataset.MustLoad("small")
+	node := &Node{
+		Video:   v,
+		Model:   detect.YOLOv4Sim(),
+		Setting: degrade.Setting{SampleFraction: 1, Restricted: []scene.Class{scene.Person}},
+		Energy:  DefaultEnergyModel(),
+	}
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		c := transport.New(server)
+		for {
+			if _, _, err := c.Receive(); err != nil {
+				return
+			}
+		}
+	}()
+	if _, err := node.Stream(transport.New(client), stats.NewStream(1)); err == nil {
+		t.Fatal("infeasible setting accepted")
+	}
+}
+
+func TestReceiveSurvivesPeerDisconnect(t *testing.T) {
+	// The camera dies mid-stream (after config but before MsgEnd); Receive
+	// must return an error, not hang or fabricate a session.
+	client, server := net.Pipe()
+	defer server.Close()
+	go func() {
+		conn := transport.New(client)
+		cfg := Config{Name: "dying", CaptureWidth: 320, NoiseSigma: 0.01, Resolution: 160, TotalFrames: 100}
+		_ = conn.Send(transport.MsgConfig, cfg.encode())
+		client.Close() // abrupt death before the background and frames
+	}()
+	_, err := Receive(transport.New(server), nil)
+	if err == nil {
+		t.Fatal("Receive succeeded on a dropped stream")
+	}
+}
+
+func TestReceiveRejectsUnknownMessageType(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		c := transport.New(client)
+		cfg := Config{Name: "x", CaptureWidth: 320, NoiseSigma: 0.01, Resolution: 160, TotalFrames: 10}
+		_ = c.Send(transport.MsgConfig, cfg.encode())
+		_ = c.Send(99, []byte{1, 2, 3})
+	}()
+	if _, err := Receive(transport.New(server), nil); err == nil {
+		t.Fatal("unknown message type accepted")
+	}
+}
+
+func TestReportTotalJoules(t *testing.T) {
+	r := Report{CaptureJoules: 1, ComputeJoules: 2, TransmitJoules: 3}
+	if r.TotalJoules() != 6 {
+		t.Fatalf("TotalJoules = %v", r.TotalJoules())
+	}
+}
+
+func TestDefaultEnergyModelPositive(t *testing.T) {
+	e := DefaultEnergyModel()
+	if e.JoulesPerByte <= 0 || e.JoulesPerCapture <= 0 || e.JoulesPerPixel <= 0 {
+		t.Fatalf("energy model has non-positive rates: %+v", e)
+	}
+}

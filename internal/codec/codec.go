@@ -1,0 +1,403 @@
+// Package codec implements Smokescreen's binary frame-store format. It
+// serialises ground-truth annotations and (optionally) rasterised pixel
+// planes so that corpora can be materialised to disk (cmd/videogen) and
+// degraded frames can be shipped over the camera transport with realistic,
+// resolution-dependent byte counts.
+//
+// Layout (all multi-byte integers little-endian unless noted):
+//
+//	magic "SMKV" | u16 version | metadata block | frame records...
+//
+// Frame records are length-prefixed, so readers can stream without an
+// index. Pixel planes are quantised to 8 bits and DEFLATE-compressed; a
+// darker, lower-resolution frame genuinely costs fewer bytes on the wire,
+// which is what gives the bandwidth/energy experiments their numbers.
+package codec
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"smokescreen/internal/raster"
+	"smokescreen/internal/scene"
+)
+
+// Format constants.
+const (
+	magic   = "SMKV"
+	version = 1
+
+	// maxSaneDimension guards decoders against corrupt headers.
+	maxSaneDimension = 1 << 14
+	// maxSaneObjects bounds per-frame object counts while decoding.
+	maxSaneObjects = 1 << 16
+)
+
+// Metadata describes a serialised corpus.
+type Metadata struct {
+	Name      string
+	Width     int
+	Height    int
+	NumFrames int
+	Seed      uint64
+}
+
+// FrameRecord is one serialised frame: annotations plus an optional pixel
+// plane (present when the producer shipped rasters, e.g. camera payloads).
+type FrameRecord struct {
+	Index   int
+	Objects []scene.Object
+	Raster  *raster.Image
+}
+
+// Writer streams frame records to an underlying writer.
+type Writer struct {
+	w      *bufio.Writer
+	closed bool
+	frames int
+	meta   Metadata
+}
+
+// NewWriter writes the header and returns a streaming writer.
+func NewWriter(w io.Writer, meta Metadata) (*Writer, error) {
+	if meta.Width <= 0 || meta.Height <= 0 || meta.Width > maxSaneDimension || meta.Height > maxSaneDimension {
+		return nil, fmt.Errorf("codec: invalid dimensions %dx%d", meta.Width, meta.Height)
+	}
+	if meta.NumFrames < 0 {
+		return nil, fmt.Errorf("codec: negative frame count")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, err
+	}
+	var hdr [2]byte
+	binary.LittleEndian.PutUint16(hdr[:], version)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 64)
+	buf = appendString(buf, meta.Name)
+	buf = binary.AppendUvarint(buf, uint64(meta.Width))
+	buf = binary.AppendUvarint(buf, uint64(meta.Height))
+	buf = binary.AppendUvarint(buf, uint64(meta.NumFrames))
+	buf = binary.AppendUvarint(buf, meta.Seed)
+	if err := writeBlock(bw, buf); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, meta: meta}, nil
+}
+
+// WriteFrame appends one frame record.
+func (w *Writer) WriteFrame(fr *FrameRecord) error {
+	if w.closed {
+		return errors.New("codec: write after Close")
+	}
+	block, err := EncodeFrame(fr)
+	if err != nil {
+		return err
+	}
+	w.frames++
+	return writeBlock(w.w, block)
+}
+
+// Close flushes the stream. It verifies the frame count against the
+// metadata so truncated corpora are caught at write time.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if w.meta.NumFrames != 0 && w.frames != w.meta.NumFrames {
+		return fmt.Errorf("codec: wrote %d frames, metadata declares %d", w.frames, w.meta.NumFrames)
+	}
+	return w.w.Flush()
+}
+
+// Reader streams frame records from an underlying reader.
+type Reader struct {
+	r    *bufio.Reader
+	meta Metadata
+}
+
+// NewReader validates the header and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic)+2)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("codec: reading header: %w", err)
+	}
+	if string(head[:4]) != magic {
+		return nil, fmt.Errorf("codec: bad magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint16(head[4:]); v != version {
+		return nil, fmt.Errorf("codec: unsupported version %d", v)
+	}
+	block, err := readBlock(br)
+	if err != nil {
+		return nil, fmt.Errorf("codec: reading metadata: %w", err)
+	}
+	var meta Metadata
+	buf := bytes.NewBuffer(block)
+	if meta.Name, err = readString(buf); err != nil {
+		return nil, err
+	}
+	dims := [4]uint64{}
+	for i := range dims {
+		if dims[i], err = binary.ReadUvarint(buf); err != nil {
+			return nil, fmt.Errorf("codec: metadata field %d: %w", i, err)
+		}
+	}
+	meta.Width, meta.Height, meta.NumFrames, meta.Seed = int(dims[0]), int(dims[1]), int(dims[2]), dims[3]
+	if meta.Width <= 0 || meta.Height <= 0 || meta.Width > maxSaneDimension || meta.Height > maxSaneDimension {
+		return nil, fmt.Errorf("codec: corrupt dimensions %dx%d", meta.Width, meta.Height)
+	}
+	return &Reader{r: br, meta: meta}, nil
+}
+
+// Metadata returns the corpus metadata.
+func (r *Reader) Metadata() Metadata { return r.meta }
+
+// ReadFrame returns the next frame record, or io.EOF after the last one.
+func (r *Reader) ReadFrame() (*FrameRecord, error) {
+	block, err := readBlock(r.r)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	return DecodeFrame(block)
+}
+
+// EncodeFrame serialises a single frame record to a self-contained block
+// (used directly by the camera transport).
+func EncodeFrame(fr *FrameRecord) ([]byte, error) {
+	if len(fr.Objects) > maxSaneObjects {
+		return nil, fmt.Errorf("codec: %d objects exceeds limit", len(fr.Objects))
+	}
+	buf := make([]byte, 0, 64+len(fr.Objects)*16)
+	buf = binary.AppendUvarint(buf, uint64(fr.Index))
+	buf = binary.AppendUvarint(buf, uint64(len(fr.Objects)))
+	for i := range fr.Objects {
+		o := &fr.Objects[i]
+		buf = binary.AppendUvarint(buf, uint64(o.ID))
+		buf = append(buf, byte(o.Class))
+		buf = binary.AppendVarint(buf, int64(o.BBox.MinX))
+		buf = binary.AppendVarint(buf, int64(o.BBox.MinY))
+		buf = binary.AppendVarint(buf, int64(o.BBox.MaxX))
+		buf = binary.AppendVarint(buf, int64(o.BBox.MaxY))
+		buf = binary.LittleEndian.AppendUint16(buf, quantize16(o.Intensity))
+		if o.Elliptic {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	if fr.Raster == nil {
+		buf = append(buf, 0)
+		return buf, nil
+	}
+	buf = append(buf, 1)
+	buf = binary.AppendUvarint(buf, uint64(fr.Raster.W))
+	buf = binary.AppendUvarint(buf, uint64(fr.Raster.H))
+	compressed, err := compressPixels(fr.Raster.Pix)
+	if err != nil {
+		return nil, err
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(compressed)))
+	buf = append(buf, compressed...)
+	return buf, nil
+}
+
+// DecodeFrame parses a block produced by EncodeFrame.
+func DecodeFrame(block []byte) (*FrameRecord, error) {
+	buf := bytes.NewBuffer(block)
+	idx, err := binary.ReadUvarint(buf)
+	if err != nil {
+		return nil, fmt.Errorf("codec: frame index: %w", err)
+	}
+	count, err := binary.ReadUvarint(buf)
+	if err != nil {
+		return nil, fmt.Errorf("codec: object count: %w", err)
+	}
+	if count > maxSaneObjects {
+		return nil, fmt.Errorf("codec: corrupt object count %d", count)
+	}
+	fr := &FrameRecord{Index: int(idx)}
+	for i := uint64(0); i < count; i++ {
+		var o scene.Object
+		id, err := binary.ReadUvarint(buf)
+		if err != nil {
+			return nil, fmt.Errorf("codec: object id: %w", err)
+		}
+		o.ID = int(id)
+		classByte, err := buf.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if classByte >= scene.NumClasses {
+			return nil, fmt.Errorf("codec: corrupt class %d", classByte)
+		}
+		o.Class = scene.Class(classByte)
+		coords := [4]int64{}
+		for j := range coords {
+			if coords[j], err = binary.ReadVarint(buf); err != nil {
+				return nil, fmt.Errorf("codec: bbox coord: %w", err)
+			}
+		}
+		o.BBox = raster.Rect{MinX: int(coords[0]), MinY: int(coords[1]), MaxX: int(coords[2]), MaxY: int(coords[3])}
+		var q [2]byte
+		if _, err := io.ReadFull(buf, q[:]); err != nil {
+			return nil, err
+		}
+		o.Intensity = dequantize16(binary.LittleEndian.Uint16(q[:]))
+		flag, err := buf.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		o.Elliptic = flag == 1
+		fr.Objects = append(fr.Objects, o)
+	}
+	hasRaster, err := buf.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if hasRaster == 0 {
+		if buf.Len() != 0 {
+			return nil, errors.New("codec: trailing data after frame record")
+		}
+		return fr, nil
+	}
+	w64, err := binary.ReadUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	h64, err := binary.ReadUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if w64 == 0 || h64 == 0 || w64 > maxSaneDimension || h64 > maxSaneDimension {
+		return nil, fmt.Errorf("codec: corrupt raster size %dx%d", w64, h64)
+	}
+	clen, err := binary.ReadUvarint(buf)
+	if err != nil {
+		return nil, err
+	}
+	if clen > uint64(buf.Len()) {
+		return nil, fmt.Errorf("codec: raster payload truncated")
+	}
+	img := raster.New(int(w64), int(h64))
+	if err := decompressPixels(buf.Next(int(clen)), img.Pix); err != nil {
+		return nil, err
+	}
+	if buf.Len() != 0 {
+		return nil, errors.New("codec: trailing data after frame record")
+	}
+	fr.Raster = img
+	return fr, nil
+}
+
+// compressPixels quantises samples to 8 bits and DEFLATE-compresses them.
+func compressPixels(pix []float32) ([]byte, error) {
+	raw := make([]byte, len(pix))
+	for i, v := range pix {
+		raw[i] = uint8(math.Round(float64(v) * 255))
+	}
+	var out bytes.Buffer
+	fw, err := flate.NewWriter(&out, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := fw.Write(raw); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+func decompressPixels(compressed []byte, dst []float32) error {
+	fr := flate.NewReader(bytes.NewReader(compressed))
+	defer fr.Close()
+	raw := make([]byte, len(dst))
+	if _, err := io.ReadFull(fr, raw); err != nil {
+		return fmt.Errorf("codec: decompressing pixels: %w", err)
+	}
+	// A well-formed payload ends exactly at the expected length.
+	var tail [1]byte
+	if n, _ := fr.Read(tail[:]); n != 0 {
+		return errors.New("codec: raster payload has trailing data")
+	}
+	for i, b := range raw {
+		dst[i] = float32(b) / 255
+	}
+	return nil
+}
+
+func quantize16(v float32) uint16 {
+	if v < 0 {
+		v = 0
+	}
+	if v > 1 {
+		v = 1
+	}
+	return uint16(math.Round(float64(v) * 65535))
+}
+
+func dequantize16(q uint16) float32 {
+	return float32(q) / 65535
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf *bytes.Buffer) (string, error) {
+	n, err := binary.ReadUvarint(buf)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<16 {
+		return "", fmt.Errorf("codec: corrupt string length %d", n)
+	}
+	out := buf.Next(int(n))
+	if len(out) != int(n) {
+		return "", errors.New("codec: truncated string")
+	}
+	return string(out), nil
+}
+
+// writeBlock writes a length-prefixed block.
+func writeBlock(w io.Writer, block []byte) error {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(block)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(block)
+	return err
+}
+
+// readBlock reads a length-prefixed block.
+func readBlock(r *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > 1<<28 {
+		return nil, fmt.Errorf("codec: block of %d bytes exceeds limit", n)
+	}
+	block := make([]byte, n)
+	if _, err := io.ReadFull(r, block); err != nil {
+		return nil, fmt.Errorf("codec: truncated block: %w", err)
+	}
+	return block, nil
+}

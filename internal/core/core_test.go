@@ -1,0 +1,320 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/estimate"
+	"smokescreen/internal/profile"
+	"smokescreen/internal/query"
+	"smokescreen/internal/scene"
+)
+
+func mustQuery(t *testing.T, input string) *query.Query {
+	t.Helper()
+	q, err := query.Parse(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestResolveDefaults(t *testing.T) {
+	s := New()
+	spec, err := s.Resolve(mustQuery(t, "SELECT AVG(count(car)) FROM small"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Model.Name != "yolov4-sim" {
+		t.Fatalf("default model %s", spec.Model.Name)
+	}
+	spec, err = s.Resolve(mustQuery(t, "SELECT AVG(count(car)) FROM night-street"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Model.Name != "mask-rcnn-sim" {
+		t.Fatalf("night-street default model %s", spec.Model.Name)
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	s := New()
+	cases := []string{
+		"SELECT AVG(count(car)) FROM nowhere",
+		"SELECT AVG(count(car)) FROM small USING alexnet",
+		"SELECT AVG(count(car)) FROM small RESOLUTION 100",
+		"SELECT AVG(count(car)) FROM small USING mtcnn",
+	}
+	for _, input := range cases {
+		if _, err := s.Resolve(mustQuery(t, input)); err == nil {
+			t.Fatalf("Resolve(%q) accepted", input)
+		}
+	}
+}
+
+func TestResolveCountPredicate(t *testing.T) {
+	s := New()
+	spec, err := s.Resolve(mustQuery(t, "SELECT COUNT(*) FROM small WHERE count(car) >= 2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Class != scene.Car || spec.Predicate == nil {
+		t.Fatalf("spec %+v", spec)
+	}
+	if spec.Predicate(1.5) != 0 || spec.Predicate(2) != 1 {
+		t.Fatal("predicate transform wrong")
+	}
+}
+
+func TestExecuteRandomSetting(t *testing.T) {
+	s := New()
+	q := mustQuery(t, "SELECT AVG(count(car)) FROM small SAMPLE 0.2")
+	res, err := s.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Repaired {
+		t.Fatal("random-only execution should not repair")
+	}
+	truth, err := s.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth <= 0 {
+		t.Fatalf("ground truth %v", truth)
+	}
+	trueErr := math.Abs(res.Estimate.Value-truth) / truth
+	if trueErr > res.Estimate.ErrBound {
+		t.Fatalf("bound %v below true error %v", res.Estimate.ErrBound, trueErr)
+	}
+}
+
+func TestExecuteNonRandomRepairs(t *testing.T) {
+	s := New()
+	q := mustQuery(t, "SELECT AVG(count(car)) FROM small SAMPLE 0.3 RESOLUTION 96")
+	res, err := s.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Repaired {
+		t.Fatal("non-random execution must repair")
+	}
+	truth, _ := s.GroundTruth(q)
+	trueErr := math.Abs(res.Estimate.Value-truth) / truth
+	if trueErr > res.Estimate.ErrBound {
+		t.Fatalf("repaired bound %v below true error %v", res.Estimate.ErrBound, trueErr)
+	}
+}
+
+func TestExecuteSettingValidation(t *testing.T) {
+	s := New()
+	q := mustQuery(t, "SELECT AVG(count(car)) FROM small")
+	if _, err := s.ExecuteSetting(q, degrade.Setting{SampleFraction: 2}); err == nil {
+		t.Fatal("invalid setting accepted")
+	}
+}
+
+func TestGenerateProfilesAndChoose(t *testing.T) {
+	s := New(WithFractionCandidates(0.02, 0.1), WithCorrectionLimit(0.1))
+	q := mustQuery(t, "SELECT AVG(count(car)) FROM small")
+	profiles, err := s.GenerateProfiles(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if profiles.Cube == nil || profiles.Correction == nil {
+		t.Fatal("profiles incomplete")
+	}
+	if len(profiles.Cube.Fractions) != 5 {
+		t.Fatalf("fractions %v", profiles.Cube.Fractions)
+	}
+	if profiles.ModelInvocations <= 0 {
+		t.Fatal("model invocations not counted")
+	}
+	if profiles.Elapsed <= 0 {
+		t.Fatal("elapsed not recorded")
+	}
+
+	setting, err := s.ChooseTradeoff(profiles, Preferences{MaxError: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := setting.Validate(profiles.Spec.Model); err != nil {
+		t.Fatalf("chosen setting invalid: %v", err)
+	}
+	// An impossible preference errors with guidance.
+	if _, err := s.ChooseTradeoff(profiles, Preferences{MaxError: 1e-9}); err == nil {
+		t.Fatal("impossible preference satisfied")
+	} else if !strings.Contains(err.Error(), "loosen") {
+		t.Fatalf("unhelpful error %v", err)
+	}
+
+	// Executing the chosen setting yields a bound within the preference.
+	res, err := s.ExecuteSetting(q, setting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate.ErrBound > 0.75 {
+		t.Fatalf("executed bound %v far above preference", res.Estimate.ErrBound)
+	}
+}
+
+func TestGenerateProfilesEarlyStop(t *testing.T) {
+	q := mustQuery(t, "SELECT AVG(count(car)) FROM small")
+	full, err := New(WithFractionCandidates(0.02, 0.2), WithCorrectionLimit(0.1)).GenerateProfiles(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopped, err := New(
+		WithFractionCandidates(0.02, 0.2),
+		WithCorrectionLimit(0.1),
+		WithEarlyStop(0.05),
+	).GenerateProfiles(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countFilled := func(p *Profiles) int {
+		n := 0
+		for _, plane := range p.Cube.Bounds {
+			for _, row := range plane {
+				for _, v := range row {
+					if !math.IsNaN(v) {
+						n++
+					}
+				}
+			}
+		}
+		return n
+	}
+	if countFilled(stopped) >= countFilled(full) {
+		t.Fatalf("early stop filled %d cells, full sweep %d", countFilled(stopped), countFilled(full))
+	}
+}
+
+func TestSweepProfile(t *testing.T) {
+	s := New()
+	q := mustQuery(t, "SELECT AVG(count(car)) FROM small")
+	prof, err := s.SweepProfile(q, profile.SweepOptions{Fractions: []float64{0.05, 0.1, 0.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Points) != 3 {
+		t.Fatalf("profile points %d", len(prof.Points))
+	}
+}
+
+func TestTransferProfile(t *testing.T) {
+	s := New()
+	q := mustQuery(t, "SELECT AVG(count(car)) FROM mvi-40771 USING yolov4")
+	prof, err := s.TransferProfile(q, "mvi-40775", profile.SweepOptions{Fractions: []float64{0.05, 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prof.VideoName, "transferred from mvi-40775") {
+		t.Fatalf("transfer label %q", prof.VideoName)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	q := mustQuery(t, "SELECT SUM(count(car)) FROM small SAMPLE 0.1")
+	a, err := New(WithSeed(9)).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(WithSeed(9)).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate != b.Estimate {
+		t.Fatal("same seed gave different results")
+	}
+	c, err := New(WithSeed(10)).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Estimate == c.Estimate {
+		t.Fatal("different seeds gave identical results")
+	}
+}
+
+func TestVarQueryEndToEnd(t *testing.T) {
+	s := New()
+	q := mustQuery(t, "SELECT VAR(count(car)) FROM small SAMPLE 0.8")
+	res, err := s.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := s.GroundTruth(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth <= 0 {
+		t.Fatalf("variance ground truth %v", truth)
+	}
+	trueErr := math.Abs(res.Estimate.Value-truth) / truth
+	if trueErr > res.Estimate.ErrBound {
+		t.Fatalf("VAR bound %v below true error %v", res.Estimate.ErrBound, trueErr)
+	}
+}
+
+func TestMaxQueryEndToEnd(t *testing.T) {
+	s := New()
+	q := mustQuery(t, "SELECT MAX(count(car)) FROM small SAMPLE 0.3")
+	res, err := s.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate.Value < 1 {
+		t.Fatalf("MAX estimate %v", res.Estimate.Value)
+	}
+	if res.Query.Agg != estimate.MAX {
+		t.Fatal("query echo wrong")
+	}
+}
+
+func TestExecuteUntil(t *testing.T) {
+	s := New()
+	q := mustQuery(t, "SELECT AVG(count(car)) FROM small")
+	res, err := s.ExecuteUntil(q, 0.4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Met || res.Estimate.ErrBound > 0.4 {
+		t.Fatalf("adaptive run: %+v", res)
+	}
+	if _, err := s.ExecuteUntil(mustQuery(t, "SELECT AVG(count(car)) FROM small RESOLUTION 160"), 0.4, 1); err == nil {
+		t.Fatal("adaptive run with non-random setting accepted")
+	}
+}
+
+func TestGroundTruthErrors(t *testing.T) {
+	s := New()
+	if _, err := s.GroundTruth(mustQuery(t, "SELECT AVG(count(car)) FROM nowhere")); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestTransferProfileErrors(t *testing.T) {
+	s := New()
+	q := mustQuery(t, "SELECT AVG(count(car)) FROM small")
+	if _, err := s.TransferProfile(q, "nowhere", profile.SweepOptions{Fractions: []float64{0.1}}); err == nil {
+		t.Fatal("unknown similar dataset accepted")
+	}
+}
+
+func TestExecuteInfeasibleRemoval(t *testing.T) {
+	s := New()
+	// The small corpus is mostly person frames: full sampling under person
+	// removal cannot be satisfied.
+	q := mustQuery(t, "SELECT AVG(count(car)) FROM small REMOVE person")
+	if _, err := s.Execute(q); err == nil {
+		t.Fatal("infeasible removal accepted")
+	}
+}
+
+func TestDatasetClasses(t *testing.T) {
+	if got := DatasetClasses(); len(got) != 3 {
+		t.Fatalf("DatasetClasses = %v", got)
+	}
+}

@@ -1,0 +1,223 @@
+// Package degrade implements the paper's destructive interventions
+// (Section 2.1) and their composition into intervention settings:
+//
+//   - reduced frame sampling (random): keep a random fraction f of frames,
+//     sampled without replacement;
+//   - reduced frame resolution (non-random): process frames at p x p;
+//   - image removal (non-random): delete every frame containing a
+//     restricted object class, using stored prior presence information
+//     (paper Section 5.1).
+//
+// A Setting is the paper's (f, p, c) triple; Apply materialises it against
+// a corpus into a Plan: the admissible frame pool and the sampled frame
+// indices a query processor may touch.
+package degrade
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"smokescreen/internal/detect"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+)
+
+// Setting is one point in the intervention space: the paper's (f, p, c).
+type Setting struct {
+	// SampleFraction is f: the fraction of the corpus that may be
+	// processed, in (0, 1]. 1 means every admissible frame.
+	SampleFraction float64
+	// Resolution is p: the model input resolution. 0 means the model's
+	// native (loosest) resolution.
+	Resolution int
+	// Restricted is c: frames containing any of these classes are removed
+	// before sampling. Empty means no image removal.
+	Restricted []scene.Class
+	// NoiseSigma is the noise-addition intervention: extra sensor noise
+	// (absolute intensity sigma at native resolution) injected at capture
+	// to defeat recognition (paper Section 2.1 cites invisible-noise
+	// privacy methods). Zero means none. Non-random: it biases detector
+	// outputs, so bounds require profile repair.
+	NoiseSigma float64
+}
+
+// IsRandomOnly reports whether the setting consists solely of random
+// interventions (reduced frame sampling). Non-random interventions —
+// reduced resolution or image removal — change the distribution of model
+// outputs and require profile repair (paper Section 3.2.5).
+func (s Setting) IsRandomOnly(m *detect.Model) bool {
+	return len(s.Restricted) == 0 && s.NoiseSigma == 0 &&
+		(s.Resolution == 0 || s.Resolution == m.NativeInput)
+}
+
+// ResolveResolution returns the model input resolution this setting uses.
+func (s Setting) ResolveResolution(m *detect.Model) int {
+	if s.Resolution == 0 {
+		return m.NativeInput
+	}
+	return s.Resolution
+}
+
+// Validate checks the setting against a model's input constraints.
+func (s Setting) Validate(m *detect.Model) error {
+	if s.SampleFraction <= 0 || s.SampleFraction > 1 {
+		return fmt.Errorf("degrade: sample fraction %v out of (0,1]", s.SampleFraction)
+	}
+	if s.Resolution != 0 && !m.ValidResolution(s.Resolution) {
+		return fmt.Errorf("degrade: resolution %d invalid for %s (multiple of %d, max %d)",
+			s.Resolution, m.Name, m.InputMultiple, m.NativeInput)
+	}
+	seen := map[scene.Class]bool{}
+	for _, c := range s.Restricted {
+		if seen[c] {
+			return fmt.Errorf("degrade: duplicate restricted class %v", c)
+		}
+		seen[c] = true
+	}
+	if s.NoiseSigma < 0 || s.NoiseSigma > 0.5 {
+		return fmt.Errorf("degrade: noise sigma %v out of [0,0.5]", s.NoiseSigma)
+	}
+	return nil
+}
+
+// String renders the setting in the (f, p, c) notation of the paper.
+func (s Setting) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "f=%.4g", s.SampleFraction)
+	if s.Resolution != 0 {
+		fmt.Fprintf(&b, " p=%dx%d", s.Resolution, s.Resolution)
+	} else {
+		b.WriteString(" p=native")
+	}
+	if len(s.Restricted) == 0 {
+		b.WriteString(" c=none")
+	} else {
+		names := make([]string, len(s.Restricted))
+		for i, c := range s.Restricted {
+			names[i] = c.String()
+		}
+		fmt.Fprintf(&b, " c=%s", strings.Join(names, "+"))
+	}
+	if s.NoiseSigma > 0 {
+		fmt.Fprintf(&b, " noise=%.3g", s.NoiseSigma)
+	}
+	return b.String()
+}
+
+// Plan is a Setting materialised against a corpus: which frames survive
+// image removal, and which of those were sampled for processing.
+type Plan struct {
+	Setting    Setting
+	Resolution int   // resolved model input resolution
+	Admissible []int // frame indices not containing restricted classes
+	Sampled    []int // the n sampled frame indices (subset of Admissible)
+	Total      int   // N: corpus size before any intervention
+}
+
+// SampleSize returns n, the number of frames the plan processes.
+func (p *Plan) SampleSize() int { return len(p.Sampled) }
+
+// Apply materialises the setting: computes the admissible pool via the
+// stored class-presence priors, then samples n = round(f*N) frames from it
+// without replacement using the provided random stream. It returns an
+// error when the requested sample exceeds the admissible pool — the
+// situation the paper handles by lowering f (Section 5.2.2 uses f = 0.1
+// for UA-DETRAC with restricted class "person").
+func Apply(v *scene.Video, m *detect.Model, s Setting, stream *stats.Stream) (*Plan, error) {
+	if err := s.Validate(m); err != nil {
+		return nil, err
+	}
+	n := v.NumFrames()
+	admissible := AdmissibleFrames(v, s.Restricted)
+	want := int(float64(n)*s.SampleFraction + 0.5)
+	if want < 1 {
+		want = 1
+	}
+	if want > len(admissible) {
+		return nil, fmt.Errorf("degrade: sample of %d frames exceeds admissible pool of %d (of %d total); lower the sample fraction",
+			want, len(admissible), n)
+	}
+	idx := stream.SampleWithoutReplacement(len(admissible), want)
+	sampled := make([]int, len(idx))
+	for i, j := range idx {
+		sampled[i] = admissible[j]
+	}
+	sort.Ints(sampled)
+	return &Plan{
+		Setting:    s,
+		Resolution: s.ResolveResolution(m),
+		Admissible: admissible,
+		Sampled:    sampled,
+		Total:      n,
+	}, nil
+}
+
+// AdmissibleFrames returns the indices of frames that contain none of the
+// restricted classes, per the stored prior presence information.
+func AdmissibleFrames(v *scene.Video, restricted []scene.Class) []int {
+	n := v.NumFrames()
+	if len(restricted) == 0 {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	blocked := make([]bool, n)
+	for _, c := range restricted {
+		for i, present := range detect.Presence(v, c) {
+			if present {
+				blocked[i] = true
+			}
+		}
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		if !blocked[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// SampleOutputs gathers the model outputs for the plan's sampled frames at
+// the plan's resolution: the x_1..x_n series the estimators consume. Only
+// the sampled frames are evaluated (lazily, with caching), so the model
+// cost of a degraded query is proportional to n, not N. When the plan's
+// setting adds capture noise, detection runs on the noised view of the
+// corpus.
+func SampleOutputs(v *scene.Video, m *detect.Model, class scene.Class, p *Plan) []float64 {
+	return detect.OutputsAt(EffectiveVideo(v, p.Setting), m, class, p.Resolution, p.Sampled)
+}
+
+// noised views are cached so repeated estimator trials share one detector
+// output cache per (corpus, sigma).
+var (
+	noisedMu    sync.Mutex
+	noisedCache = map[noisedKey]*scene.Video{}
+)
+
+type noisedKey struct {
+	video *scene.Video
+	sigma float64
+}
+
+// EffectiveVideo returns the corpus as the setting's capture pipeline sees
+// it: the original video, or a noised view under the noise-addition
+// intervention.
+func EffectiveVideo(v *scene.Video, s Setting) *scene.Video {
+	if s.NoiseSigma <= 0 {
+		return v
+	}
+	key := noisedKey{video: v, sigma: s.NoiseSigma}
+	noisedMu.Lock()
+	defer noisedMu.Unlock()
+	if nv, ok := noisedCache[key]; ok {
+		return nv
+	}
+	nv := v.WithNoise(float32(s.NoiseSigma))
+	noisedCache[key] = nv
+	return nv
+}

@@ -1,0 +1,144 @@
+package detect
+
+import "smokescreen/internal/raster"
+
+// component is a connected region of above-threshold pixels.
+type component struct {
+	BBox raster.Rect
+	Area int
+	// SumContrast accumulates |pixel - background| over the component so
+	// the confidence model can use the mean contrast.
+	SumContrast float64
+}
+
+// MeanContrast returns the component's average absolute contrast.
+func (c *component) MeanContrast() float64 {
+	if c.Area == 0 {
+		return 0
+	}
+	return c.SumContrast / float64(c.Area)
+}
+
+// connectedComponents labels the 4-connected regions of mask (length w*h,
+// row-major) and returns one component per region, with contrast sums taken
+// from the parallel contrast slice. Two-pass union-find with path halving.
+func connectedComponents(mask []bool, contrast []float32, w, h int) []component {
+	if len(mask) != w*h || len(contrast) != w*h {
+		panic("detect: connectedComponents size mismatch")
+	}
+	labels := make([]int32, w*h)
+	for i := range labels {
+		labels[i] = -1
+	}
+	parent := make([]int32, 0, 64)
+
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) int32 {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return ra
+		}
+		if ra < rb {
+			parent[rb] = ra
+			return ra
+		}
+		parent[ra] = rb
+		return rb
+	}
+
+	// First pass: provisional labels.
+	for y := 0; y < h; y++ {
+		row := y * w
+		for x := 0; x < w; x++ {
+			i := row + x
+			if !mask[i] {
+				continue
+			}
+			var left, up int32 = -1, -1
+			if x > 0 && mask[i-1] {
+				left = labels[i-1]
+			}
+			if y > 0 && mask[i-w] {
+				up = labels[i-w]
+			}
+			switch {
+			case left < 0 && up < 0:
+				l := int32(len(parent))
+				parent = append(parent, l)
+				labels[i] = l
+			case left >= 0 && up >= 0:
+				labels[i] = union(left, up)
+			case left >= 0:
+				labels[i] = left
+			default:
+				labels[i] = up
+			}
+		}
+	}
+
+	// Second pass: accumulate per-root statistics.
+	stats := make(map[int32]*component)
+	for y := 0; y < h; y++ {
+		row := y * w
+		for x := 0; x < w; x++ {
+			i := row + x
+			if !mask[i] {
+				continue
+			}
+			root := find(labels[i])
+			c, ok := stats[root]
+			if !ok {
+				c = &component{BBox: raster.Rect{MinX: x, MinY: y, MaxX: x + 1, MaxY: y + 1}}
+				stats[root] = c
+			}
+			c.Area++
+			c.SumContrast += float64(contrast[i])
+			if x < c.BBox.MinX {
+				c.BBox.MinX = x
+			}
+			if x+1 > c.BBox.MaxX {
+				c.BBox.MaxX = x + 1
+			}
+			if y < c.BBox.MinY {
+				c.BBox.MinY = y
+			}
+			if y+1 > c.BBox.MaxY {
+				c.BBox.MaxY = y + 1
+			}
+		}
+	}
+
+	out := make([]component, 0, len(stats))
+	for _, c := range stats {
+		out = append(out, *c)
+	}
+	// Deterministic order: top-left first.
+	sortComponents(out)
+	return out
+}
+
+func sortComponents(cs []component) {
+	// Insertion sort: component counts are tiny, and this avoids pulling
+	// sort.Slice closures into the hot path.
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && lessComponent(&cs[j], &cs[j-1]); j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}
+
+func lessComponent(a, b *component) bool {
+	if a.BBox.MinY != b.BBox.MinY {
+		return a.BBox.MinY < b.BBox.MinY
+	}
+	if a.BBox.MinX != b.BBox.MinX {
+		return a.BBox.MinX < b.BBox.MinX
+	}
+	return a.Area > b.Area
+}

@@ -1,0 +1,170 @@
+package detect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"smokescreen/internal/raster"
+)
+
+// maskFromStrings builds a mask and uniform contrast from a picture, where
+// '#' is foreground.
+func maskFromStrings(rows []string) (mask []bool, contrast []float32, w, h int) {
+	h = len(rows)
+	w = len(rows[0])
+	mask = make([]bool, w*h)
+	contrast = make([]float32, w*h)
+	for y, row := range rows {
+		for x, ch := range row {
+			if ch == '#' {
+				mask[y*w+x] = true
+				contrast[y*w+x] = 0.5
+			}
+		}
+	}
+	return mask, contrast, w, h
+}
+
+func TestConnectedComponentsBasic(t *testing.T) {
+	mask, contrast, w, h := maskFromStrings([]string{
+		"##..#",
+		"##..#",
+		".....",
+		"#..##",
+	})
+	comps := connectedComponents(mask, contrast, w, h)
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4", len(comps))
+	}
+	// Sorted top-left first: the 2x2 block is first.
+	if comps[0].Area != 4 {
+		t.Fatalf("first component area = %d, want 4", comps[0].Area)
+	}
+	if comps[0].BBox != raster.RectWH(0, 0, 2, 2) {
+		t.Fatalf("first component bbox = %+v", comps[0].BBox)
+	}
+}
+
+func TestConnectedComponentsDiagonalNotConnected(t *testing.T) {
+	mask, contrast, w, h := maskFromStrings([]string{
+		"#.",
+		".#",
+	})
+	comps := connectedComponents(mask, contrast, w, h)
+	if len(comps) != 2 {
+		t.Fatalf("diagonal pixels merged: %d components", len(comps))
+	}
+}
+
+func TestConnectedComponentsUShape(t *testing.T) {
+	// A U-shape (car body with background-matching cabin) must stay one
+	// component connected through the bottom band.
+	mask, contrast, w, h := maskFromStrings([]string{
+		"##..##",
+		"##..##",
+		"######",
+	})
+	comps := connectedComponents(mask, contrast, w, h)
+	if len(comps) != 1 {
+		t.Fatalf("U shape split into %d components", len(comps))
+	}
+	if comps[0].Area != 14 {
+		t.Fatalf("U area = %d, want 14", comps[0].Area)
+	}
+}
+
+func TestConnectedComponentsContrastSum(t *testing.T) {
+	mask := []bool{true, true, false, false}
+	contrast := []float32{0.2, 0.4, 0.9, 0.9}
+	comps := connectedComponents(mask, contrast, 2, 2)
+	if len(comps) != 1 {
+		t.Fatalf("got %d comps", len(comps))
+	}
+	if got := comps[0].MeanContrast(); got < 0.299 || got > 0.301 {
+		t.Fatalf("mean contrast = %v, want 0.3", got)
+	}
+}
+
+func TestConnectedComponentsEmpty(t *testing.T) {
+	comps := connectedComponents(make([]bool, 9), make([]float32, 9), 3, 3)
+	if len(comps) != 0 {
+		t.Fatalf("empty mask produced %d components", len(comps))
+	}
+}
+
+func TestConnectedComponentsSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch did not panic")
+		}
+	}()
+	connectedComponents(make([]bool, 8), make([]float32, 9), 3, 3)
+}
+
+// floodCount is a reference flood-fill component counter.
+func floodCount(mask []bool, w, h int) int {
+	seen := make([]bool, len(mask))
+	count := 0
+	var stack [][2]int
+	for start := range mask {
+		if !mask[start] || seen[start] {
+			continue
+		}
+		count++
+		stack = stack[:0]
+		stack = append(stack, [2]int{start % w, start / w})
+		seen[start] = true
+		for len(stack) > 0 {
+			p := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := p[0]+d[0], p[1]+d[1]
+				if nx < 0 || ny < 0 || nx >= w || ny >= h {
+					continue
+				}
+				i := ny*w + nx
+				if mask[i] && !seen[i] {
+					seen[i] = true
+					stack = append(stack, [2]int{nx, ny})
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestConnectedComponentsMatchesFloodFill(t *testing.T) {
+	property := func(bits []bool, wRaw uint8) bool {
+		w := int(wRaw)%12 + 1
+		h := len(bits) / w
+		if h == 0 {
+			return true
+		}
+		mask := bits[:w*h]
+		contrast := make([]float32, w*h)
+		for i, b := range mask {
+			if b {
+				contrast[i] = 0.3
+			}
+		}
+		comps := connectedComponents(mask, contrast, w, h)
+		if len(comps) != floodCount(mask, w, h) {
+			return false
+		}
+		// Total component area must equal the number of set pixels.
+		total := 0
+		for _, c := range comps {
+			total += c.Area
+		}
+		set := 0
+		for _, b := range mask {
+			if b {
+				set++
+			}
+		}
+		return total == set
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package detect
+
+import "smokescreen/internal/raster"
+
+// plane is a signed float32 pixel buffer. The detector works on the signed
+// difference between a frame and the static background, which can be
+// negative (dark objects on bright pavement), so raster.Image's clamped
+// [0,1] samples are not usable here.
+type plane struct {
+	w, h int
+	v    []float32
+}
+
+func newPlane(w, h int) *plane {
+	return &plane{w: w, h: h, v: make([]float32, w*h)}
+}
+
+// diffPlane returns a - b elementwise. Both images must share dimensions.
+func diffPlane(a, b *raster.Image) *plane {
+	if a.W != b.W || a.H != b.H {
+		panic("detect: diffPlane size mismatch")
+	}
+	p := newPlane(a.W, a.H)
+	for i := range a.Pix {
+		p.v[i] = a.Pix[i] - b.Pix[i]
+	}
+	return p
+}
+
+// diffScalar returns img - c elementwise.
+func diffScalar(img *raster.Image, c float32) *plane {
+	p := newPlane(img.W, img.H)
+	for i := range img.Pix {
+		p.v[i] = img.Pix[i] - c
+	}
+	return p
+}
+
+// blur3 returns the plane smoothed by a 3x3 box filter (edge pixels
+// average over their in-bounds neighbourhood). A 3x3 average divides
+// uncorrelated noise sigma by 3 while leaving the interior of objects
+// larger than ~3 pixels intact — the detector's denoising stage.
+func (p *plane) blur3() *plane {
+	out := newPlane(p.w, p.h)
+	for y := 0; y < p.h; y++ {
+		y0, y1 := y-1, y+2
+		if y0 < 0 {
+			y0 = 0
+		}
+		if y1 > p.h {
+			y1 = p.h
+		}
+		for x := 0; x < p.w; x++ {
+			x0, x1 := x-1, x+2
+			if x0 < 0 {
+				x0 = 0
+			}
+			if x1 > p.w {
+				x1 = p.w
+			}
+			var sum float32
+			for yy := y0; yy < y1; yy++ {
+				row := yy * p.w
+				for xx := x0; xx < x1; xx++ {
+					sum += p.v[row+xx]
+				}
+			}
+			out.v[y*p.w+x] = sum / float32((y1-y0)*(x1-x0))
+		}
+	}
+	return out
+}
+
+// absMask thresholds |p| > tau, returning the mask and the absolute
+// contrast plane the confidence model consumes.
+func (p *plane) absMask(tau float64) (mask []bool, contrast []float32) {
+	mask = make([]bool, len(p.v))
+	contrast = make([]float32, len(p.v))
+	t := float32(tau)
+	for i, v := range p.v {
+		if v < 0 {
+			v = -v
+		}
+		contrast[i] = v
+		mask[i] = v > t
+	}
+	return mask, contrast
+}

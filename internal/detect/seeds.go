@@ -1,0 +1,52 @@
+package detect
+
+import "smokescreen/internal/stats"
+
+// Seed derivation for the detector's stochastic components. Everything is
+// keyed on (corpus seed, frame, resolution, object) so a given frame at a
+// given resolution always produces the same detections — the property that
+// makes cached model outputs valid across estimator trials.
+
+const (
+	seedDomainNoise = 0x6e6f - iota // arbitrary distinct domain labels
+	seedDomainDup
+	seedDomainFP
+)
+
+func mix(vals ...uint64) uint64 {
+	z := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		z ^= v
+		z += 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return z
+}
+
+// noiseSeed keys per-patch sensor noise.
+func noiseSeed(corpusSeed uint64, frame, p, objID int) uint64 {
+	return mix(corpusSeed, seedDomainNoise, uint64(frame), uint64(p), uint64(objID))
+}
+
+// frameNoiseSeed keys full-frame sensor noise (reference path).
+func frameNoiseSeed(corpusSeed uint64, frame, p int) uint64 {
+	return mix(corpusSeed, seedDomainNoise, uint64(frame), uint64(p), 0xffffffff)
+}
+
+// dupSeed keys the duplicate-resonance coin flip.
+func dupSeed(corpusSeed uint64, frame, p, objID int) uint64 {
+	return mix(corpusSeed, seedDomainDup, uint64(frame), uint64(p), uint64(objID))
+}
+
+// fpStream returns the per-(frame, resolution) stream that drives the
+// clutter false-positive process.
+func fpStream(corpusSeed uint64, frame, p int) *stats.Stream {
+	return stats.NewStream(mix(corpusSeed, seedDomainFP, uint64(frame), uint64(p)))
+}
+
+// hash01 maps a seed to a uniform value in [0, 1).
+func hash01(seed uint64) float64 {
+	return float64(mix(seed)>>11) / (1 << 53)
+}

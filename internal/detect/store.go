@@ -1,0 +1,327 @@
+package detect
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"smokescreen/internal/scene"
+)
+
+// Disk-backed persistence for detector output series. Computing the full
+// output series of a corpus at ten resolutions costs minutes of simulated
+// inference; the series are deterministic functions of (corpus seed,
+// model, class, resolution), so they can be safely persisted and re-used
+// across processes. cmd/smokebench exposes this via -cache.
+//
+// File format (little-endian):
+//
+//	magic "SOUT" | u16 version | name | seed | W | H | N | model | class | p
+//	| kind byte | payload
+//
+// kind 0 (full): N varint counts. kind 1 (sparse): varint m, then m x
+// (varint frame index, varint count) — partially evaluated series from
+// lazy OutputsAt calls are persisted too. Counts are small non-negative
+// integers, so a 19k-frame series costs ~20 KB.
+
+const (
+	storeMagic   = "SOUT"
+	storeVersion = 1
+)
+
+// storeFileName derives a stable file name for a cache key.
+func storeFileName(v *scene.Video, model string, class scene.Class, p int) string {
+	return fmt.Sprintf("%s-%x-%s-%s-%d.sout", v.Config.Name, v.Config.Seed, model, class, p)
+}
+
+// SaveOutputs persists every fully-computed output series currently in the
+// in-memory cache for the given corpus into dir (created if needed). It
+// returns the number of series written.
+func SaveOutputs(v *scene.Video, dir string) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	outputMu.Lock()
+	type entry struct {
+		key    outputKey
+		series []float64       // full series (nil when sparse)
+		vals   map[int]float64 // sparse values (nil when full)
+	}
+	var entries []entry
+	full := map[outputKey]bool{}
+	for key, series := range outputCache {
+		if key.video == v {
+			entries = append(entries, entry{key: key, series: series})
+			full[key] = true
+		}
+	}
+	outputMu.Unlock()
+	sparseMu.Lock()
+	for key, sp := range sparseCache {
+		if key.video != v || full[key] {
+			continue
+		}
+		sp.mu.Lock()
+		vals := make(map[int]float64, len(sp.vals))
+		for i, x := range sp.vals {
+			vals[i] = x
+		}
+		sp.mu.Unlock()
+		if len(vals) > 0 {
+			entries = append(entries, entry{key: key, vals: vals})
+		}
+	}
+	sparseMu.Unlock()
+
+	written := 0
+	for _, e := range entries {
+		path := filepath.Join(dir, storeFileName(v, e.key.model, e.key.class, e.key.p))
+		if err := writeSeries(path, v, e.key, e.series, e.vals); err != nil {
+			return written, err
+		}
+		written++
+	}
+	return written, nil
+}
+
+// WarmOutputs loads every persisted series in dir that matches the corpus
+// into the in-memory cache, returning the number loaded. Mismatched or
+// corrupt files are skipped (a stale cache must never poison results), and
+// reported through the returned skipped count.
+func WarmOutputs(v *scene.Video, dir string) (loaded, skipped int, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	for _, entry := range entries {
+		if entry.IsDir() || filepath.Ext(entry.Name()) != ".sout" {
+			continue
+		}
+		key, series, vals, readErr := readSeries(filepath.Join(dir, entry.Name()), v)
+		if readErr != nil {
+			skipped++
+			continue
+		}
+		if series != nil {
+			outputMu.Lock()
+			if _, ok := outputCache[key]; !ok {
+				outputCache[key] = series
+				loaded++
+			}
+			outputMu.Unlock()
+			continue
+		}
+		sparseMu.Lock()
+		sp, ok := sparseCache[key]
+		if !ok {
+			sp = &sparse{vals: make(map[int]float64)}
+			sparseCache[key] = sp
+		}
+		sparseMu.Unlock()
+		sp.mu.Lock()
+		for i, x := range vals {
+			sp.vals[i] = x
+		}
+		sp.mu.Unlock()
+		loaded++
+	}
+	return loaded, skipped, nil
+}
+
+func writeSeries(path string, v *scene.Video, key outputKey, series []float64, vals map[int]float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	buf := make([]byte, 0, 128)
+	buf = append(buf, storeMagic...)
+	buf = binary.LittleEndian.AppendUint16(buf, storeVersion)
+	buf = appendStoreString(buf, v.Config.Name)
+	buf = binary.AppendUvarint(buf, v.Config.Seed)
+	buf = binary.AppendUvarint(buf, uint64(v.Config.Width))
+	buf = binary.AppendUvarint(buf, uint64(v.Config.Height))
+	buf = binary.AppendUvarint(buf, uint64(v.NumFrames()))
+	buf = appendStoreString(buf, key.model)
+	buf = append(buf, byte(key.class))
+	buf = binary.AppendUvarint(buf, uint64(key.p))
+	if series != nil {
+		buf = append(buf, 0) // kind: full
+	} else {
+		buf = append(buf, 1) // kind: sparse
+		buf = binary.AppendUvarint(buf, uint64(len(vals)))
+	}
+	if _, err := w.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	writeCount := func(x float64) error {
+		if x < 0 || x != float64(uint64(x)) {
+			return fmt.Errorf("detect: series value %v is not a count", x)
+		}
+		n := binary.PutUvarint(scratch[:], uint64(x))
+		_, err := w.Write(scratch[:n])
+		return err
+	}
+	if series != nil {
+		for _, x := range series {
+			if err := writeCount(x); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	} else {
+		// Deterministic order keeps files reproducible.
+		idx := make([]int, 0, len(vals))
+		for i := range vals {
+			idx = append(idx, i)
+		}
+		sortInts(idx)
+		for _, i := range idx {
+			n := binary.PutUvarint(scratch[:], uint64(i))
+			if _, err := w.Write(scratch[:n]); err != nil {
+				f.Close()
+				return err
+			}
+			if err := writeCount(vals[i]); err != nil {
+				f.Close()
+				return err
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func readSeries(path string, v *scene.Video) (outputKey, []float64, map[int]float64, error) {
+	var key outputKey
+	f, err := os.Open(path)
+	if err != nil {
+		return key, nil, nil, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+
+	head := make([]byte, len(storeMagic)+2)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return key, nil, nil, err
+	}
+	if string(head[:4]) != storeMagic {
+		return key, nil, nil, errors.New("detect: bad store magic")
+	}
+	if binary.LittleEndian.Uint16(head[4:]) != storeVersion {
+		return key, nil, nil, errors.New("detect: unsupported store version")
+	}
+	name, err := readStoreString(r)
+	if err != nil {
+		return key, nil, nil, err
+	}
+	fields := [4]uint64{}
+	for i := range fields {
+		if fields[i], err = binary.ReadUvarint(r); err != nil {
+			return key, nil, nil, err
+		}
+	}
+	seed, width, height, n := fields[0], int(fields[1]), int(fields[2]), int(fields[3])
+	if name != v.Config.Name || seed != v.Config.Seed || width != v.Config.Width ||
+		height != v.Config.Height || n != v.NumFrames() {
+		return key, nil, nil, errors.New("detect: store does not match the corpus")
+	}
+	model, err := readStoreString(r)
+	if err != nil {
+		return key, nil, nil, err
+	}
+	classByte, err := r.ReadByte()
+	if err != nil {
+		return key, nil, nil, err
+	}
+	if classByte >= scene.NumClasses {
+		return key, nil, nil, errors.New("detect: corrupt class")
+	}
+	p64, err := binary.ReadUvarint(r)
+	if err != nil {
+		return key, nil, nil, err
+	}
+	kind, err := r.ReadByte()
+	if err != nil {
+		return key, nil, nil, err
+	}
+	key = outputKey{video: v, model: model, class: scene.Class(classByte), p: int(p64)}
+	switch kind {
+	case 0:
+		series := make([]float64, n)
+		for i := range series {
+			x, err := binary.ReadUvarint(r)
+			if err != nil {
+				return key, nil, nil, fmt.Errorf("detect: truncated series at %d: %w", i, err)
+			}
+			series[i] = float64(x)
+		}
+		if _, err := r.ReadByte(); err != io.EOF {
+			return key, nil, nil, errors.New("detect: trailing data in store file")
+		}
+		return key, series, nil, nil
+	case 1:
+		m, err := binary.ReadUvarint(r)
+		if err != nil || m > uint64(n) {
+			return key, nil, nil, errors.New("detect: corrupt sparse count")
+		}
+		vals := make(map[int]float64, m)
+		for j := uint64(0); j < m; j++ {
+			idx, err := binary.ReadUvarint(r)
+			if err != nil || idx >= uint64(n) {
+				return key, nil, nil, errors.New("detect: corrupt sparse index")
+			}
+			x, err := binary.ReadUvarint(r)
+			if err != nil {
+				return key, nil, nil, errors.New("detect: truncated sparse series")
+			}
+			vals[int(idx)] = float64(x)
+		}
+		if _, err := r.ReadByte(); err != io.EOF {
+			return key, nil, nil, errors.New("detect: trailing data in store file")
+		}
+		return key, nil, vals, nil
+	default:
+		return key, nil, nil, errors.New("detect: unknown store kind")
+	}
+}
+
+func appendStoreString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readStoreString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<12 {
+		return "", errors.New("detect: corrupt string length")
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return "", err
+	}
+	return string(out), nil
+}

@@ -1,0 +1,150 @@
+package detect
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/scene"
+)
+
+func TestSaveAndWarmOutputs(t *testing.T) {
+	dir := t.TempDir()
+	v := dataset.MustLoad("small")
+	m := YOLOv4Sim()
+
+	ResetCaches()
+	original := Outputs(v, m, scene.Car, 160)
+	written, err := SaveOutputs(v, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written < 1 {
+		t.Fatalf("wrote %d series", written)
+	}
+
+	// Cold cache, warm from disk: no model invocations needed.
+	ResetCaches()
+	loaded, skipped, err := WarmOutputs(v, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded < 1 || skipped != 0 {
+		t.Fatalf("loaded %d skipped %d", loaded, skipped)
+	}
+	before := Invocations()
+	warmed := Outputs(v, m, scene.Car, 160)
+	if Invocations() != before {
+		t.Fatal("warm cache still invoked the model")
+	}
+	if len(warmed) != len(original) {
+		t.Fatalf("lengths differ: %d vs %d", len(warmed), len(original))
+	}
+	for i := range original {
+		if warmed[i] != original[i] {
+			t.Fatalf("series differs at %d: %v vs %v", i, warmed[i], original[i])
+		}
+	}
+	ResetCaches()
+}
+
+func TestWarmOutputsRejectsMismatchedCorpus(t *testing.T) {
+	dir := t.TempDir()
+	small := dataset.MustLoad("small")
+	m := YOLOv4Sim()
+	ResetCaches()
+	Outputs(small, m, scene.Car, 160)
+	if _, err := SaveOutputs(small, dir); err != nil {
+		t.Fatal(err)
+	}
+	ResetCaches()
+
+	other := dataset.MustLoad("mvi-40775")
+	loaded, skipped, err := WarmOutputs(other, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 0 || skipped == 0 {
+		t.Fatalf("mismatched corpus loaded %d, skipped %d", loaded, skipped)
+	}
+	ResetCaches()
+}
+
+func TestWarmOutputsSkipsCorruptFiles(t *testing.T) {
+	dir := t.TempDir()
+	v := dataset.MustLoad("small")
+	// Garbage and truncated files must be skipped, never poison the cache.
+	if err := os.WriteFile(filepath.Join(dir, "junk.sout"), []byte("not a store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := YOLOv4Sim()
+	ResetCaches()
+	Outputs(v, m, scene.Car, 96)
+	if _, err := SaveOutputs(v, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate a real file.
+	name := storeFileName(v, m.Name, scene.Car, 96)
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ResetCaches()
+	loaded, skipped, err := WarmOutputs(v, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 0 || skipped != 2 {
+		t.Fatalf("loaded %d skipped %d, want 0/2", loaded, skipped)
+	}
+	ResetCaches()
+}
+
+func TestWarmOutputsMissingDir(t *testing.T) {
+	v := dataset.MustLoad("small")
+	loaded, skipped, err := WarmOutputs(v, filepath.Join(t.TempDir(), "nope"))
+	if err != nil || loaded != 0 || skipped != 0 {
+		t.Fatalf("missing dir: %d %d %v", loaded, skipped, err)
+	}
+}
+
+func TestSaveAndWarmSparseOutputs(t *testing.T) {
+	dir := t.TempDir()
+	v := dataset.MustLoad("small")
+	m := YOLOv4Sim()
+	frames := []int{3, 17, 42, 99, 100}
+
+	ResetCaches()
+	original := OutputsAt(v, m, scene.Car, 192, frames)
+	written, err := SaveOutputs(v, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if written < 1 {
+		t.Fatalf("wrote %d series", written)
+	}
+
+	ResetCaches()
+	loaded, skipped, err := WarmOutputs(v, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded < 1 || skipped != 0 {
+		t.Fatalf("loaded %d skipped %d", loaded, skipped)
+	}
+	before := Invocations()
+	warmed := OutputsAt(v, m, scene.Car, 192, frames)
+	if Invocations() != before {
+		t.Fatal("warm sparse cache still invoked the model")
+	}
+	for i := range original {
+		if warmed[i] != original[i] {
+			t.Fatalf("sparse series differs at %d", i)
+		}
+	}
+	ResetCaches()
+}

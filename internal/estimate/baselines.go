@@ -1,0 +1,177 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smokescreen/internal/stats"
+)
+
+// Baseline identifies one of the competing estimators from the paper's
+// Section 5.1. EBGS, Hoeffding, HoeffdingSerfling and CLT apply to
+// AVG/SUM/COUNT; Stein applies to MAX/MIN.
+type Baseline int
+
+// The five baselines evaluated in Figure 4.
+const (
+	EBGS Baseline = iota
+	Hoeffding
+	HoeffdingSerfling
+	CLT
+	Stein
+)
+
+// String returns the baseline's display name as used in the paper's plots.
+func (b Baseline) String() string {
+	switch b {
+	case EBGS:
+		return "EBGS"
+	case Hoeffding:
+		return "Hoeffding"
+	case HoeffdingSerfling:
+		return "Hoeffding-Serfling"
+	case CLT:
+		return "CLT"
+	case Stein:
+		return "Stein"
+	default:
+		return fmt.Sprintf("Baseline(%d)", int(b))
+	}
+}
+
+// MeanBaselines lists the baselines applicable to AVG/SUM/COUNT.
+func MeanBaselines() []Baseline {
+	return []Baseline{EBGS, Hoeffding, HoeffdingSerfling, CLT}
+}
+
+// ExtremumBaselines lists the baselines applicable to MAX/MIN.
+func ExtremumBaselines() []Baseline { return []Baseline{Stein} }
+
+// Supports reports whether the baseline handles the aggregate. No
+// baseline implements VAR: it is this reproduction's extension beyond the
+// paper's comparison set.
+func (b Baseline) Supports(agg Agg) bool {
+	if agg == VAR {
+		return false
+	}
+	if agg.IsExtremum() {
+		return b == Stein
+	}
+	return b != Stein
+}
+
+// BaselineEstimate runs the baseline estimator on the sample. The sample
+// must be drawn uniformly without replacement (except for EBGS, Hoeffding
+// and CLT, which *assume* with-replacement sampling — applying them to the
+// same sample mirrors the paper's comparison). COUNT expects indicator
+// values.
+func BaselineEstimate(b Baseline, agg Agg, sample []float64, N int, p Params) (Estimate, error) {
+	if err := p.validate(); err != nil {
+		return Estimate{}, err
+	}
+	if len(sample) == 0 {
+		return Estimate{}, fmt.Errorf("estimate: empty sample")
+	}
+	if !b.Supports(agg) {
+		return Estimate{}, fmt.Errorf("estimate: baseline %v does not support %v", b, agg)
+	}
+	if agg.IsExtremum() {
+		return stein(agg, sample, N, p), nil
+	}
+	// Range-based baselines share the a-priori COUNT indicator range so
+	// the comparison with Smokescreen stays apples-to-apples.
+	floor := rangeFloor(agg)
+	var e Estimate
+	switch b {
+	case EBGS:
+		e = ebgs(sample, N, p.Delta, floor)
+	case Hoeffding:
+		e = meanWithHalfWidth(sample, N, func(s stats.Summary, n int) float64 {
+			return stats.HoeffdingHalfWidth(math.Max(s.Range(), floor), n, p.Delta)
+		})
+	case HoeffdingSerfling:
+		e = meanWithHalfWidth(sample, N, func(s stats.Summary, n int) float64 {
+			return stats.HoeffdingSerflingHalfWidth(math.Max(s.Range(), floor), n, N, p.Delta)
+		})
+	case CLT:
+		e = meanWithHalfWidth(sample, N, func(s stats.Summary, n int) float64 {
+			return stats.CLTHalfWidth(math.Sqrt(s.Var), n, p.Delta)
+		})
+	default:
+		return Estimate{}, fmt.Errorf("estimate: unknown baseline %v", b)
+	}
+	if agg == SUM || agg == COUNT {
+		e.Value *= float64(N)
+	}
+	return e, nil
+}
+
+// meanWithHalfWidth is the classic online-aggregation construction: the
+// estimate is the sample mean, and the relative-error bound divides the
+// absolute deviation bound by the lower bound of the query result (paper
+// Section 5.1). When the interval crosses zero the bound is unbounded,
+// reported as +Inf.
+func meanWithHalfWidth(sample []float64, N int, halfWidth func(stats.Summary, int) float64) Estimate {
+	n := len(sample)
+	s := stats.Summarize(sample)
+	I := halfWidth(s, n)
+	est := Estimate{Value: s.Mean, N: N, Sample: n}
+	lb := math.Abs(s.Mean) - I
+	if lb <= 0 {
+		if I == 0 && s.Mean == 0 {
+			est.ErrBound = 0
+			return est
+		}
+		est.ErrBound = math.Inf(1)
+		return est
+	}
+	est.ErrBound = I / lb
+	return est
+}
+
+// ebgs is the empirical Bernstein stopping baseline (Mnih et al. 2008),
+// used as an estimator rather than a stopping rule, per the paper: the
+// any-time union-bound schedule supplies the deviation bound, the estimate
+// is the interval midpoint and the relative-error bound follows from the
+// half width against the interval's lower bound.
+func ebgs(sample []float64, N int, delta, floor float64) Estimate {
+	n := len(sample)
+	s := stats.Summarize(sample)
+	eps := stats.EBGSHalfWidth(math.Sqrt(s.Var), math.Max(s.Range(), floor), n, delta)
+	ub := math.Abs(s.Mean) + eps
+	lb := math.Max(0, math.Abs(s.Mean)-eps)
+	est := Estimate{N: N, Sample: n}
+	if ub == 0 {
+		return est
+	}
+	est.Value = sgn(s.Mean) * (ub + lb) / 2
+	if lb == 0 {
+		est.ErrBound = math.Inf(1)
+		return est
+	}
+	est.ErrBound = (ub - lb) / (2 * lb)
+	return est
+}
+
+// stein is the extremum baseline from Manku, Rajagopalan & Lindsay (1999):
+// a with-replacement Hoeffding bound on the sampled cumulative frequency
+// (their Stein's-lemma sample-size bound, inverted to a deviation at the
+// observed n), with the same quantile estimate as Algorithm 2.
+func stein(agg Agg, sample []float64, N int, p Params) Estimate {
+	n := len(sample)
+	r := p.rFor(agg)
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	value := stats.QuantileSorted(sorted, r)
+	count := 0
+	for _, x := range sorted {
+		if x == value {
+			count++
+		}
+	}
+	fHat := float64(count) / float64(n)
+	dev := math.Sqrt(math.Log(2/p.Delta) / (2 * float64(n)))
+	errB := (dev + 2*fHat) / r
+	return Estimate{Value: value, ErrBound: errB, N: N, Sample: n}
+}

@@ -1,0 +1,103 @@
+package estimate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smokescreen/internal/stats"
+)
+
+// This file implements Algorithm 3: profile repair. When non-random
+// interventions (reduced resolution, image removal) bias the sampled
+// outputs, the basic bounds can undershoot the true error. A correction
+// set — m outputs from frames degraded ONLY by random interventions —
+// anchors the bound: the degraded answer is compared against the
+// correction set's answer, whose own error bound is valid by Theorem
+// 3.1/3.2, and the triangle inequality yields a corrected bound that holds
+// with probability at least 1-delta with NO distributional assumption on
+// the non-randomly degraded outputs.
+
+// Correction is a correction set prepared for bound repair: the sampled
+// outputs (random interventions only) plus their Smokescreen estimate.
+type Correction struct {
+	Sample   []float64 // v_1..v_m, outputs on the correction frames
+	Estimate Estimate  // Smokescreen estimate computed from the sample
+	sorted   []float64 // lazily built for rank queries
+}
+
+// NewCorrection builds a correction set for the aggregate from m outputs
+// sampled without replacement out of the N-frame corpus.
+func NewCorrection(agg Agg, sample []float64, N int, p Params) (*Correction, error) {
+	est, err := Smokescreen(agg, sample, N, p)
+	if err != nil {
+		return nil, fmt.Errorf("estimate: building correction set: %w", err)
+	}
+	return &Correction{Sample: sample, Estimate: est}, nil
+}
+
+// Size returns m, the number of frames in the correction set.
+func (c *Correction) Size() int { return len(c.Sample) }
+
+// rank returns the sampled cumulative frequency of value v in the
+// correction set: rank(v)/m.
+func (c *Correction) rank(v float64) float64 {
+	if c.sorted == nil {
+		c.sorted = append([]float64(nil), c.Sample...)
+		sort.Float64s(c.sorted)
+	}
+	return float64(stats.RankSorted(c.sorted, v)) / float64(len(c.sorted))
+}
+
+// Repair corrects the error bound of a degraded estimate using the
+// correction set (Algorithm 3). For AVG/SUM/COUNT:
+//
+//	err_b = (1+err_v) * |Y - Y_v| / |Y_v| + err_v,
+//
+// and for MAX/MIN the value difference is replaced by the rank difference
+// of the two answers within the correction set, divided by r. The repaired
+// bound holds with probability at least 1-delta because it inherits the
+// correction estimate's guarantee.
+func (c *Correction) Repair(agg Agg, degraded Estimate, p Params) (float64, error) {
+	if err := p.validate(); err != nil {
+		return 0, err
+	}
+	errV := c.Estimate.ErrBound
+	if agg.IsExtremum() {
+		r := p.rFor(agg)
+		rankY := c.rank(degraded.Value)
+		rankV := c.rank(c.Estimate.Value)
+		return math.Abs(rankY-rankV)/r + errV, nil
+	}
+	yV := c.Estimate.Value
+	if yV == 0 {
+		// The correction answer carries no scale information; the relative
+		// error of the degraded answer cannot be bounded.
+		if degraded.Value == 0 {
+			return errV, nil
+		}
+		return math.Inf(1), nil
+	}
+	// SUM/COUNT values are scaled by N on both sides, so the ratio form is
+	// identical for all mean-type aggregates.
+	return (1+errV)*math.Abs(degraded.Value-yV)/math.Abs(yV) + errV, nil
+}
+
+// Repaired combines a degraded estimate with the correction set: the error
+// bound is repaired, and for random-only interventions callers may instead
+// take the tighter of the two bounds (paper Section 5.2.2, "when there is
+// only the random intervention, the tighter of the error bounds with and
+// without the correction set is used").
+func (c *Correction) Repaired(agg Agg, degraded Estimate, p Params, randomOnly bool) (Estimate, error) {
+	repaired, err := c.Repair(agg, degraded, p)
+	if err != nil {
+		return Estimate{}, err
+	}
+	out := degraded
+	if randomOnly && degraded.ErrBound < repaired {
+		out.ErrBound = degraded.ErrBound
+		return out, nil
+	}
+	out.ErrBound = repaired
+	return out, nil
+}

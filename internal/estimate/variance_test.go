@@ -1,0 +1,163 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"smokescreen/internal/stats"
+)
+
+func TestVarParseAndString(t *testing.T) {
+	if VAR.String() != "VAR" {
+		t.Fatalf("VAR.String() = %q", VAR.String())
+	}
+	agg, err := ParseAgg("VAR")
+	if err != nil || agg != VAR {
+		t.Fatalf("ParseAgg(VAR) = %v, %v", agg, err)
+	}
+	if VAR.IsExtremum() {
+		t.Fatal("VAR flagged as extremum")
+	}
+}
+
+func TestVarFullSampleNearExact(t *testing.T) {
+	pop := carLikePopulation(800, 2.5, 91)
+	est, err := Smokescreen(VAR, pop, len(pop), DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := trueVariance(pop)
+	if math.Abs(est.Value-truth)/truth > 0.01 {
+		t.Fatalf("full-sample VAR = %v, truth %v", est.Value, truth)
+	}
+	if est.ErrBound > 0.02 {
+		t.Fatalf("full-sample VAR bound = %v", est.ErrBound)
+	}
+}
+
+func TestVarDegenerateConstantSample(t *testing.T) {
+	est, err := Smokescreen(VAR, []float64{3, 3, 3, 3}, 100, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A constant sample carries no variance information beyond "the ranges
+	// collapse": the value is 0 with a degenerate bound.
+	if est.Value != 0 {
+		t.Fatalf("constant-sample VAR = %v", est.Value)
+	}
+}
+
+func TestVarCoverage(t *testing.T) {
+	const (
+		popSize = 3000
+		n       = 150
+		trials  = 400
+		delta   = 0.05
+	)
+	pop := carLikePopulation(popSize, 2.2, 93)
+	truth := trueVariance(pop)
+	if truth <= 0 {
+		t.Fatal("degenerate population")
+	}
+	p := DefaultParams()
+	root := stats.NewStream(97)
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		sample := sampleFrom(pop, n, root.Child(uint64(trial)))
+		est, err := Smokescreen(VAR, sample, popSize, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.RelativeError(est.Value, truth) <= est.ErrBound {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	slack := 3 * math.Sqrt(delta*(1-delta)/trials)
+	if rate < 1-delta-slack {
+		t.Fatalf("VAR coverage = %.3f", rate)
+	}
+}
+
+func TestVarBoundShrinksWithSampleSize(t *testing.T) {
+	pop := carLikePopulation(5000, 2.2, 101)
+	p := DefaultParams()
+	root := stats.NewStream(103)
+	var prev float64 = math.Inf(1)
+	// Variance bounds are range-hungry: they only leave the degenerate
+	// err=1 regime at substantial sample fractions (see variance.go).
+	for _, n := range []int{1000, 2000, 3500, 5000} {
+		var sum float64
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			sample := sampleFrom(pop, n, root.ChildN(uint64(n), uint64(trial)))
+			est, err := Smokescreen(VAR, sample, len(pop), p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += est.ErrBound
+		}
+		mean := sum / trials
+		if mean >= prev {
+			t.Fatalf("VAR bound did not shrink at n=%d: %v -> %v", n, prev, mean)
+		}
+		prev = mean
+	}
+}
+
+func TestVarTrueAnswer(t *testing.T) {
+	pop := []float64{1, 2, 3, 4}
+	got, err := TrueAnswer(VAR, pop, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("TrueAnswer(VAR) = %v, want 1.25 (population variance)", got)
+	}
+}
+
+func TestVarUnsupportedByBaselines(t *testing.T) {
+	for _, b := range []Baseline{EBGS, Hoeffding, HoeffdingSerfling, CLT, Stein} {
+		if b.Supports(VAR) {
+			t.Fatalf("%v claims VAR support", b)
+		}
+	}
+	if _, err := BaselineEstimate(CLT, VAR, []float64{1, 2}, 10, DefaultParams()); err == nil {
+		t.Fatal("baseline accepted VAR")
+	}
+}
+
+func TestVarRepairWorks(t *testing.T) {
+	// Profile repair generalises to VAR untouched: the corrected bound
+	// covers the true error under a systematic bias.
+	const popSize = 3000
+	pop := carLikePopulation(popSize, 3, 107)
+	truth := trueVariance(pop)
+	p := DefaultParams()
+	root := stats.NewStream(109)
+	covered := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		s := root.Child(uint64(trial))
+		degradedSample := biasedSample(pop, 400, 0.6, s)
+		degraded, err := Smokescreen(VAR, degradedSample, popSize, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		corr, err := NewCorrection(VAR, sampleFrom(pop, 400, s.Child(1)), popSize, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound, err := corr.Repair(VAR, degraded, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.RelativeError(degraded.Value, truth) <= bound {
+			covered++
+		}
+	}
+	rate := float64(covered) / trials
+	if rate < 0.9 {
+		t.Fatalf("repaired VAR coverage = %.3f", rate)
+	}
+}

@@ -1,0 +1,162 @@
+// Package evaluate measures the *inherent* accuracy of the simulated
+// detectors against scene ground truth. The paper's usage model assumes
+// administrators "know the approximate accuracy of models" and fold it
+// into the error threshold they choose (Section 2.3) — profiles measure
+// degradation-induced error relative to the model's own full-quality
+// outputs, never against the world. This package supplies that missing
+// number: precision/recall/F1 of a detector per class and resolution,
+// via greedy IoU matching against the simulator's annotations.
+package evaluate
+
+import (
+	"fmt"
+	"sort"
+
+	"smokescreen/internal/detect"
+	"smokescreen/internal/raster"
+	"smokescreen/internal/scene"
+)
+
+// Metrics aggregates detection quality over one or more frames.
+type Metrics struct {
+	TruePositives  int
+	FalsePositives int
+	FalseNegatives int
+}
+
+// Add accumulates another frame's counts.
+func (m *Metrics) Add(o Metrics) {
+	m.TruePositives += o.TruePositives
+	m.FalsePositives += o.FalsePositives
+	m.FalseNegatives += o.FalseNegatives
+}
+
+// Precision returns TP / (TP + FP); 1 when nothing was reported.
+func (m Metrics) Precision() float64 {
+	d := m.TruePositives + m.FalsePositives
+	if d == 0 {
+		return 1
+	}
+	return float64(m.TruePositives) / float64(d)
+}
+
+// Recall returns TP / (TP + FN); 1 when nothing was there to find.
+func (m Metrics) Recall() float64 {
+	d := m.TruePositives + m.FalseNegatives
+	if d == 0 {
+		return 1
+	}
+	return float64(m.TruePositives) / float64(d)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (m Metrics) F1() float64 {
+	p, r := m.Precision(), m.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the metrics for reports.
+func (m Metrics) String() string {
+	return fmt.Sprintf("P=%.3f R=%.3f F1=%.3f (tp=%d fp=%d fn=%d)",
+		m.Precision(), m.Recall(), m.F1(), m.TruePositives, m.FalsePositives, m.FalseNegatives)
+}
+
+// MatchFrame matches detections (model-input coordinates) against the
+// frame's ground-truth objects of the class, greedily by IoU in descending
+// confidence order. scale converts native ground-truth coordinates to
+// model-input coordinates (p / native width). A detection matches at IoU
+// >= iouThreshold; each ground-truth object matches at most once
+// (duplicates count as false positives, exactly the failure mode of the
+// Figure 7 anomaly).
+func MatchFrame(dets []detect.Detection, frame *scene.Frame, class scene.Class, scale, iouThreshold float64) Metrics {
+	var gt []raster.Rect
+	for i := range frame.Objects {
+		if frame.Objects[i].Class != class {
+			continue
+		}
+		b := frame.Objects[i].BBox
+		gt = append(gt, raster.Rect{
+			MinX: int(float64(b.MinX) * scale),
+			MinY: int(float64(b.MinY) * scale),
+			MaxX: int(float64(b.MaxX)*scale + 0.5),
+			MaxY: int(float64(b.MaxY)*scale + 0.5),
+		})
+	}
+	var candidates []detect.Detection
+	for i := range dets {
+		if dets[i].Class == class {
+			candidates = append(candidates, dets[i])
+		}
+	}
+	sort.SliceStable(candidates, func(a, b int) bool {
+		return candidates[a].Confidence > candidates[b].Confidence
+	})
+
+	matched := make([]bool, len(gt))
+	var metrics Metrics
+	for _, d := range candidates {
+		best, bestIoU := -1, iouThreshold
+		for gi, box := range gt {
+			if matched[gi] {
+				continue
+			}
+			if iou := d.BBox.IoU(box); iou >= bestIoU {
+				best, bestIoU = gi, iou
+			}
+		}
+		if best >= 0 {
+			matched[best] = true
+			metrics.TruePositives++
+		} else {
+			metrics.FalsePositives++
+		}
+	}
+	for _, ok := range matched {
+		if !ok {
+			metrics.FalseNegatives++
+		}
+	}
+	return metrics
+}
+
+// Corpus evaluates the model on the listed frames (nil = every frame) at
+// input resolution p.
+func Corpus(v *scene.Video, m *detect.Model, class scene.Class, p int, frames []int, iouThreshold float64) Metrics {
+	if frames == nil {
+		frames = make([]int, v.NumFrames())
+		for i := range frames {
+			frames[i] = i
+		}
+	}
+	scale := float64(p) / float64(v.Config.Width)
+	var total Metrics
+	for _, fi := range frames {
+		dets := m.DetectFrame(v, fi, p)
+		total.Add(MatchFrame(dets, v.Frame(fi), class, scale, iouThreshold))
+	}
+	return total
+}
+
+// ResolutionPoint is one entry of a resolution sweep.
+type ResolutionPoint struct {
+	Resolution int
+	Metrics    Metrics
+}
+
+// ResolutionSweep evaluates the model across its candidate resolutions on
+// the listed frames — the "model inherent accuracy" curve an administrator
+// consults when translating a public error preference into a profile
+// threshold.
+func ResolutionSweep(v *scene.Video, m *detect.Model, class scene.Class, frames []int, iouThreshold float64) []ResolutionPoint {
+	var out []ResolutionPoint
+	for _, p := range m.Resolutions(10) {
+		out = append(out, ResolutionPoint{
+			Resolution: p,
+			Metrics:    Corpus(v, m, class, p, frames, iouThreshold),
+		})
+	}
+	return out
+}

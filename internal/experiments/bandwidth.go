@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"net"
+
+	"smokescreen/internal/camera"
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/estimate"
+	"smokescreen/internal/profile"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+	"smokescreen/internal/transport"
+)
+
+func init() { register("bandwidth", Bandwidth) }
+
+// Bandwidth quantifies the benefit side of the degradation tradeoff — the
+// paper's Section 1 system goals (low bandwidth, energy limits) that
+// motivate intentional degradation in the first place. For a ladder of
+// intervention settings, a simulated camera streams the degraded frames
+// over a byte-accounted wire, and the table reports bytes on the wire,
+// camera energy, and the analytical error bound the estimator attaches to
+// that setting — the two axes of Figure 1, measured.
+func Bandwidth(cfg Config) (*Report, error) {
+	report := &Report{
+		ID:    "bandwidth",
+		Title: "Bandwidth/energy savings vs analytical error bound (extension)",
+	}
+	v, m, spec, err := bandwidthWorkload()
+	if err != nil {
+		return nil, err
+	}
+
+	settings := []degrade.Setting{
+		{SampleFraction: 0.1, Resolution: 320},
+		{SampleFraction: 0.1, Resolution: 160},
+		{SampleFraction: 0.05, Resolution: 160},
+		{SampleFraction: 0.05, Resolution: 96, Restricted: []scene.Class{scene.Face}},
+		{SampleFraction: 0.02, Resolution: 96, Restricted: []scene.Class{scene.Face}},
+	}
+	if cfg.Quick {
+		settings = settings[:3]
+	}
+
+	corr, err := profile.ConstructCorrection(spec, 0.1, stats.NewStream(cfg.Seed).Child(0xbd0))
+	if err != nil {
+		return nil, err
+	}
+
+	table := &Table{
+		Title:  "Bandwidth — small corpus, YOLOv4Sim, AVG cars",
+		Header: []string{"setting", "frames", "bytes", "energy (J)", "bound"},
+	}
+	var baseline float64
+	for si, setting := range settings {
+		reportRow, err := streamSetting(v, m, setting, cfg.Seed+uint64(si))
+		if err != nil {
+			return nil, err
+		}
+		est, err := spec.EstimateSetting(setting, corr.Correction, stats.NewStream(cfg.Seed).ChildN(0xbd1, uint64(si)))
+		if err != nil {
+			return nil, err
+		}
+		if si == 0 {
+			baseline = float64(reportRow.BytesTransmitted)
+		}
+		table.Rows = append(table.Rows, []string{
+			setting.String(),
+			fmt.Sprintf("%d", reportRow.FramesTransmitted),
+			fmt.Sprintf("%d", reportRow.BytesTransmitted),
+			fmt.Sprintf("%.3f", reportRow.TotalJoules()),
+			fmtF(est.ErrBound),
+		})
+		if si == len(settings)-1 && baseline > 0 {
+			report.Notes = append(report.Notes, fmt.Sprintf(
+				"Most degraded setting ships %.1f%% fewer bytes than the least degraded one",
+				100*(1-float64(reportRow.BytesTransmitted)/baseline)))
+		}
+	}
+	report.Tables = append(report.Tables, table)
+	return report, nil
+}
+
+func bandwidthWorkload() (*scene.Video, *detect.Model, *profile.Spec, error) {
+	w := Workload{Dataset: "small", Model: "yolov4", Agg: estimate.AVG}
+	spec, err := w.Spec()
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return spec.Video, spec.Model, spec, nil
+}
+
+// streamSetting runs one camera session over an in-process pipe and
+// returns the camera's accounting.
+func streamSetting(v *scene.Video, m *detect.Model, setting degrade.Setting, seed uint64) (camera.Report, error) {
+	node := &camera.Node{Video: v, Model: m, Setting: setting, Energy: camera.DefaultEnergyModel()}
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	type result struct {
+		report camera.Report
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		report, err := node.Stream(transport.New(client), stats.NewStream(seed))
+		done <- result{report, err}
+	}()
+	if _, err := camera.Receive(transport.New(server), nil); err != nil {
+		return camera.Report{}, err
+	}
+	r := <-done
+	return r.report, r.err
+}

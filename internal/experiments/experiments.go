@@ -1,0 +1,354 @@
+// Package experiments reproduces every figure and headline claim of the
+// paper's evaluation (Section 5). Each experiment is a pure function of a
+// Config and returns a Report of text tables whose rows correspond to the
+// points of the paper's plots; cmd/smokebench renders them, EXPERIMENTS.md
+// records paper-versus-measured, and the root bench_test.go wraps each one
+// in a testing.B benchmark.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/estimate"
+	"smokescreen/internal/profile"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// Trials per measurement point; the paper uses 100.
+	Trials int
+	// Seed roots all randomness.
+	Seed uint64
+	// Quick trims sweeps (fewer points, smaller fractions) so tests can
+	// exercise every experiment in seconds. Figures for EXPERIMENTS.md are
+	// produced with Quick off.
+	Quick bool
+}
+
+// DefaultConfig mirrors the paper: 100 trials.
+func DefaultConfig() Config { return Config{Trials: 100, Seed: 20220612} }
+
+// QuickConfig is the test-sized configuration.
+func QuickConfig() Config { return Config{Trials: 8, Seed: 20220612, Quick: true} }
+
+func (c Config) validate() error {
+	if c.Trials < 1 {
+		return fmt.Errorf("experiments: trials must be positive")
+	}
+	return nil
+}
+
+// Table is a rendered experiment artifact: one per figure panel.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the table in aligned plain text.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "## %s\n\n", t.Title); err != nil {
+		return err
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(rule); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// RenderCSV writes the table as RFC-4180 CSV with the title as a comment
+// line, for downstream plotting tools.
+func (t *Table) RenderCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*Table
+	// Notes carries free-form findings (e.g. the headline percentages).
+	Notes []string
+}
+
+// RenderCSV writes every table of the report as CSV blocks separated by
+// blank lines, with notes as leading comment lines.
+func (r *Report) RenderCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, note := range r.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", note); err != nil {
+			return err
+		}
+	}
+	for _, t := range r.Tables {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+		if err := t.RenderCSV(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render writes the whole report.
+func (r *Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, note := range r.Notes {
+		if _, err := fmt.Fprintf(w, "* %s\n", note); err != nil {
+			return err
+		}
+	}
+	if len(r.Notes) > 0 {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	for _, t := range r.Tables {
+		if err := t.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Runner executes one experiment.
+type Runner func(Config) (*Report, error)
+
+// registry maps experiment IDs to runners. Registration happens in init
+// functions whose order follows source-file names, so presentation order
+// is pinned explicitly in IDs instead.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	registry[id] = r
+}
+
+// presentationOrder pins the order experiments appear in reports: the
+// calibration ground first, then the paper's figures, the timing analysis,
+// the headline claims, and this reproduction's ablations.
+var presentationOrder = []string{
+	"calibration",
+	"figure3", "figure4", "figure5", "figure6", "figure7", "figure8", "figure9", "figure10",
+	"timing", "claims", "ablations", "modelaccuracy", "bandwidth",
+}
+
+// IDs lists the registered experiment IDs in presentation order; any
+// experiment registered but not pinned is appended alphabetically.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	seen := map[string]bool{}
+	for _, id := range presentationOrder {
+		if _, ok := registry[id]; ok {
+			out = append(out, id)
+			seen[id] = true
+		}
+	}
+	var rest []string
+	for id := range registry {
+		if !seen[id] {
+			rest = append(rest, id)
+		}
+	}
+	sort.Strings(rest)
+	return append(out, rest...)
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	runner, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return runner(cfg)
+}
+
+// Workload identifies one (dataset, model, aggregate) combination from the
+// paper's Section 5.1.
+type Workload struct {
+	Dataset string
+	Model   string
+	Agg     estimate.Agg
+}
+
+// String renders the workload for table titles.
+func (w Workload) String() string {
+	return fmt.Sprintf("%s / %s / %s", w.Dataset, w.Model, w.Agg)
+}
+
+// Spec resolves the workload. COUNT uses the paper's predicate: frames
+// that contain cars.
+func (w Workload) Spec() (*profile.Spec, error) {
+	v, err := dataset.Load(w.Dataset)
+	if err != nil {
+		return nil, err
+	}
+	model, err := detect.ModelByName(w.Model)
+	if err != nil {
+		return nil, err
+	}
+	return &profile.Spec{
+		Video:  v,
+		Model:  model,
+		Class:  scene.Car,
+		Agg:    w.Agg,
+		Params: estimate.DefaultParams(),
+	}, nil
+}
+
+// paperWorkloads returns the Figure 4 grid: two datasets x four aggregate
+// types, with the paper's model assignment.
+func paperWorkloads() []Workload {
+	var out []Workload
+	for _, agg := range []estimate.Agg{estimate.AVG, estimate.SUM, estimate.COUNT, estimate.MAX} {
+		out = append(out, Workload{Dataset: "night-street", Model: "mask-rcnn", Agg: agg})
+	}
+	for _, agg := range []estimate.Agg{estimate.AVG, estimate.SUM, estimate.COUNT, estimate.MAX} {
+		out = append(out, Workload{Dataset: "ua-detrac", Model: "yolov4", Agg: agg})
+	}
+	return out
+}
+
+// sweepEnd returns the largest sample fraction of the Figure 4 sweep for a
+// workload — the paper ends each curve where it has flattened.
+func sweepEnd(w Workload) float64 {
+	night := w.Dataset == "night-street"
+	switch w.Agg {
+	case estimate.AVG, estimate.SUM:
+		if night {
+			return 0.1
+		}
+		return 0.06
+	case estimate.MAX:
+		if night {
+			return 0.05
+		}
+		return 0.02
+	case estimate.COUNT:
+		if night {
+			return 0.0015
+		}
+		return 0.003
+	default:
+		return 0.1
+	}
+}
+
+// sweepFractions returns evenly spaced fractions from end/points to end.
+func sweepFractions(end float64, points int) []float64 {
+	out := make([]float64, points)
+	for i := range out {
+		out[i] = end * float64(i+1) / float64(points)
+	}
+	return out
+}
+
+// samplePrefix draws a nested without-replacement sample: a prefix of a
+// permutation, matching the profile package's reuse strategy.
+func samplePrefix(population []float64, n int, stream *stats.Stream) []float64 {
+	idx := stream.SampleWithoutReplacement(len(population), n)
+	out := make([]float64, n)
+	for i, j := range idx {
+		out[i] = population[j]
+	}
+	return out
+}
+
+// fmtF formats a float for table cells.
+func fmtF(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "n/a"
+	case math.IsInf(v, 1):
+		return "inf"
+	case v != 0 && math.Abs(v) < 0.001:
+		return fmt.Sprintf("%.2e", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// fmtPct formats a percentage.
+func fmtPct(v float64) string {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", v)
+}
+
+// capBound truncates unbounded baseline values for averaging across
+// trials; the cap is far above every plotted axis in the paper.
+func capBound(v float64) float64 {
+	if math.IsInf(v, 1) || v > 10 {
+		return 10
+	}
+	return v
+}

@@ -1,0 +1,372 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+
+	"smokescreen/internal/estimate"
+)
+
+func runQuick(t *testing.T, id string) *Report {
+	t.Helper()
+	report, err := Run(id, QuickConfig())
+	if err != nil {
+		t.Fatalf("Run(%q): %v", id, err)
+	}
+	if report.ID != id {
+		t.Fatalf("report ID %q", report.ID)
+	}
+	if len(report.Tables) == 0 {
+		t.Fatalf("%s produced no tables", id)
+	}
+	var buf bytes.Buffer
+	if err := report.Render(&buf); err != nil {
+		t.Fatalf("rendering %s: %v", id, err)
+	}
+	if buf.Len() == 0 {
+		t.Fatalf("%s rendered empty", id)
+	}
+	return report
+}
+
+func cellFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestIDsRegistered(t *testing.T) {
+	ids := IDs()
+	want := []string{"calibration", "figure3", "figure4", "figure5", "figure6", "figure7", "figure8", "figure9", "figure10", "timing", "claims", "ablations", "modelaccuracy", "bandwidth"}
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Fatalf("experiment %q not registered (have %v)", id, ids)
+		}
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("figure99", QuickConfig()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if _, err := Run("figure3", Config{}); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestFigure3Shapes(t *testing.T) {
+	report := runQuick(t, "figure3")
+	if len(report.Tables) != 2 {
+		t.Fatalf("%d tables", len(report.Tables))
+	}
+	for _, table := range report.Tables {
+		first := cellFloat(t, table.Rows[0][2])
+		last := cellFloat(t, table.Rows[len(table.Rows)-1][2])
+		if first != 0 {
+			t.Fatalf("%s: error at native resolution = %v, want 0", table.Title, first)
+		}
+		if last <= first {
+			t.Fatalf("%s: error did not grow with degradation (%v -> %v)", table.Title, first, last)
+		}
+	}
+}
+
+func TestFigure4BoundsDominateAndOrder(t *testing.T) {
+	report := runQuick(t, "figure4")
+	for _, note := range report.Notes {
+		if strings.Contains(note, "WARNING") {
+			t.Fatalf("figure4 warning: %s", note)
+		}
+	}
+	for _, table := range report.Tables {
+		for _, row := range table.Rows {
+			trueErr := cellFloat(t, row[1])
+			ours := cellFloat(t, row[2])
+			if ours < trueErr {
+				t.Fatalf("%s: bound %v below true error %v", table.Title, ours, trueErr)
+			}
+		}
+		// Our bound is tighter than the safe baselines at the smallest
+		// fraction (where the paper's gap is widest).
+		row := table.Rows[0]
+		ours := cellFloat(t, row[2])
+		for i, h := range table.Header {
+			if !strings.HasPrefix(h, "bound (") {
+				continue
+			}
+			if strings.Contains(h, "EBGS") || strings.Contains(h, "Hoeffding") || strings.Contains(h, "Stein") {
+				if b := cellFloat(t, row[i]); b < ours {
+					t.Fatalf("%s: %s bound %v tighter than ours %v at smallest fraction", table.Title, h, b, ours)
+				}
+			}
+		}
+	}
+}
+
+func TestFigure5FailureRates(t *testing.T) {
+	report := runQuick(t, "figure5")
+	if len(report.Tables) != 3 {
+		t.Fatalf("%d tables", len(report.Tables))
+	}
+	// At least one workload must show CLT exceeding the nominal rate; the
+	// COUNT workload is the canonical case.
+	exceeded := false
+	for _, table := range report.Tables {
+		for _, row := range table.Rows {
+			if cellFloat(t, row[1]) > 5 {
+				exceeded = true
+			}
+		}
+	}
+	if !exceeded {
+		t.Fatal("CLT never exceeded its nominal failure rate")
+	}
+}
+
+func TestFigure6RepairIsSafe(t *testing.T) {
+	report := runQuick(t, "figure6")
+	unsafeSeen := false
+	for _, table := range report.Tables {
+		for _, row := range table.Rows {
+			trueErr := cellFloat(t, row[1])
+			corrected := cellFloat(t, row[3])
+			if corrected < trueErr*0.999 {
+				t.Fatalf("%s / %s: corrected bound %v below true error %v", table.Title, row[0], corrected, trueErr)
+			}
+			if strings.Contains(row[4], "YES") {
+				unsafeSeen = true
+				uncorrected := cellFloat(t, row[2])
+				if uncorrected >= trueErr {
+					t.Fatalf("%s / %s: row marked unsafe but bound %v >= true %v", table.Title, row[0], uncorrected, trueErr)
+				}
+			}
+		}
+	}
+	if !unsafeSeen {
+		t.Fatal("no red-circle (unsafe uncorrected bound) cases reproduced")
+	}
+}
+
+func TestFigure7Anomaly(t *testing.T) {
+	report := runQuick(t, "figure7")
+	for _, note := range report.Notes {
+		if strings.Contains(note, "WARNING") {
+			t.Fatalf("figure7: %s", note)
+		}
+	}
+}
+
+func TestFigure8Distribution(t *testing.T) {
+	report := runQuick(t, "figure8")
+	table := report.Tables[0]
+	var total608, total384 int
+	var mean608, mean384 float64
+	for _, row := range table.Rows {
+		c := cellFloat(t, row[0])
+		n608 := cellFloat(t, row[1])
+		n384 := cellFloat(t, row[2])
+		total608 += int(n608)
+		total384 += int(n384)
+		mean608 += c * n608
+		mean384 += c * n384
+	}
+	if total608 == 0 || total608 != total384 {
+		t.Fatalf("histogram totals %d vs %d", total608, total384)
+	}
+	if mean384/float64(total384) <= mean608/float64(total608) {
+		t.Fatal("384x384 distribution not shifted right of the truth")
+	}
+}
+
+func TestFigure9CurvesDecrease(t *testing.T) {
+	report := runQuick(t, "figure9")
+	table := report.Tables[0]
+	first := cellFloat(t, table.Rows[0][1])
+	last := cellFloat(t, table.Rows[len(table.Rows)-1][1])
+	if last >= first {
+		t.Fatalf("err_b(v) did not decrease with correction size: %v -> %v", first, last)
+	}
+}
+
+func TestFigure10Similarity(t *testing.T) {
+	report := runQuick(t, "figure10")
+	left := report.Tables[0]
+	// B must track the target better than limited-A on the whole sweep
+	// (sum of differences).
+	var limitedSum, bSum float64
+	for _, row := range left.Rows {
+		limitedSum += cellFloat(t, row[2])
+		bSum += cellFloat(t, row[3])
+	}
+	if bSum >= limitedSum {
+		t.Fatalf("similar video (%v) did not beat limited access (%v)", bSum, limitedSum)
+	}
+}
+
+func TestTimingDominatedByModel(t *testing.T) {
+	report := runQuick(t, "timing")
+	for _, note := range report.Notes {
+		if strings.Contains(note, "WARNING") {
+			t.Fatalf("timing: %s", note)
+		}
+	}
+}
+
+func TestClaimsPositive(t *testing.T) {
+	report := runQuick(t, "claims")
+	if len(report.Tables) != 2 {
+		t.Fatalf("%d tables", len(report.Tables))
+	}
+	// Tightness gains must be positive everywhere.
+	for _, row := range report.Tables[0].Rows {
+		if cellFloat(t, row[1]) <= 0 {
+			t.Fatalf("no tightness gain for %s", row[0])
+		}
+	}
+}
+
+func TestCalibrationClose(t *testing.T) {
+	report := runQuick(t, "calibration")
+	table := report.Tables[0]
+	for _, row := range table.Rows {
+		person := cellFloat(t, row[3])
+		paperPerson := cellFloat(t, row[4])
+		if absFloat(person-paperPerson) > 8 {
+			t.Fatalf("%s: person fraction %v%% far from paper %v%%", row[0], person, paperPerson)
+		}
+		face := cellFloat(t, row[5])
+		paperFace := cellFloat(t, row[6])
+		if absFloat(face-paperFace) > 3 {
+			t.Fatalf("%s: face fraction %v%% far from paper %v%%", row[0], face, paperFace)
+		}
+	}
+}
+
+func absFloat(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestAblations(t *testing.T) {
+	report := runQuick(t, "ablations")
+	if len(report.Tables) != 5 {
+		t.Fatalf("%d ablation tables", len(report.Tables))
+	}
+	// Ablation 5: the full-access sketch is more rank-accurate than
+	// sampling, which in turn touches far fewer frames.
+	sketchRows := report.Tables[4].Rows
+	if cellFloat(t, sketchRows[1][2]) > cellFloat(t, sketchRows[0][2]) {
+		t.Fatal("full-access sketch less accurate than sampling")
+	}
+	// Ablation 1: ours strictly tighter than EBGS at every n.
+	for _, row := range report.Tables[0].Rows {
+		ebgs := cellFloat(t, row[1])
+		ours := cellFloat(t, row[3])
+		if ours >= ebgs {
+			t.Fatalf("ours %v not tighter than EBGS %v at n=%s", ours, ebgs, row[0])
+		}
+	}
+	// Ablation 2: reuse saves invocations.
+	rows := report.Tables[1].Rows
+	naive := cellFloat(t, rows[0][1])
+	reused := cellFloat(t, rows[1][1])
+	if reused >= naive {
+		t.Fatalf("reuse (%v) did not save invocations vs naive (%v)", reused, naive)
+	}
+	// Ablation 4: noise raises the true error, corrected bound stays safe.
+	noiseRows := report.Tables[3].Rows
+	first := cellFloat(t, noiseRows[0][1])
+	last := cellFloat(t, noiseRows[len(noiseRows)-1][1])
+	if last <= first {
+		t.Fatalf("added noise did not raise the true error: %v -> %v", first, last)
+	}
+	for _, row := range noiseRows {
+		if cellFloat(t, row[3]) < cellFloat(t, row[1])*0.999 {
+			t.Fatalf("corrected bound below true error at sigma %s", row[0])
+		}
+	}
+}
+
+func TestModelAccuracyDegrades(t *testing.T) {
+	report := runQuick(t, "modelaccuracy")
+	for _, table := range report.Tables {
+		first := cellFloat(t, table.Rows[0][3])
+		last := cellFloat(t, table.Rows[len(table.Rows)-1][3])
+		if first < 0.5 {
+			t.Fatalf("%s: native F1 %v too low", table.Title, first)
+		}
+		if last >= first {
+			t.Fatalf("%s: F1 did not degrade (%v -> %v)", table.Title, first, last)
+		}
+	}
+}
+
+func TestBandwidthMonotone(t *testing.T) {
+	report := runQuick(t, "bandwidth")
+	table := report.Tables[0]
+	prev := -1.0
+	for _, row := range table.Rows {
+		bytes := cellFloat(t, row[2])
+		if prev > 0 && bytes >= prev {
+			t.Fatalf("bytes did not shrink down the degradation ladder: %v -> %v", prev, bytes)
+		}
+		prev = bytes
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	table := &Table{
+		Title:  "t",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333333", "4"}},
+	}
+	var buf bytes.Buffer
+	if err := table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "long-header") || !strings.Contains(out, "333333") {
+		t.Fatalf("render output:\n%s", out)
+	}
+}
+
+func TestWorkloadSpec(t *testing.T) {
+	w := Workload{Dataset: "small", Model: "yolov4", Agg: estimate.COUNT}
+	spec, err := w.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := spec.TruePopulation()
+	for _, v := range pop {
+		if v != 0 && v != 1 {
+			t.Fatal("COUNT workload population not indicators")
+		}
+	}
+	if _, err := (Workload{Dataset: "nope", Model: "yolov4"}).Spec(); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if _, err := (Workload{Dataset: "small", Model: "nope"}).Spec(); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestSweepFractions(t *testing.T) {
+	fs := sweepFractions(0.1, 4)
+	want := []float64{0.025, 0.05, 0.075, 0.1}
+	for i := range want {
+		if diff := fs[i] - want[i]; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("sweepFractions = %v", fs)
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"smokescreen/internal/detect"
+	"smokescreen/internal/estimate"
+	"smokescreen/internal/profile"
+	"smokescreen/internal/stats"
+)
+
+func init() { register("figure10", Figure10) }
+
+// boundAtSize computes the AVG error bound on a corpus from a sample of
+// exactly size frames, repaired with a correction set of corrSize frames,
+// averaged over a few trials. It mirrors the Section 5.3.2 protocol, where
+// absolute sample *sizes* (not fractions) make the two differently-sized
+// videos comparable.
+func boundAtSize(spec *profile.Spec, size, corrSize int, root *stats.Stream, trials int) (float64, error) {
+	n := spec.Video.NumFrames()
+	if size > n {
+		size = n
+	}
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		s := root.Child(uint64(trial))
+		population := spec.TruePopulation()
+		sample := samplePrefix(population, size, s.Child(1))
+		est, err := estimate.Smokescreen(spec.Agg, sample, n, spec.Params)
+		if err != nil {
+			return 0, err
+		}
+		if corrSize > 0 {
+			corr, err := profile.BuildCorrectionAt(spec, corrSize, s.Child(2))
+			if err != nil {
+				return 0, err
+			}
+			repaired, err := corr.Repaired(spec.Agg, est, spec.Params, true)
+			if err != nil {
+				return 0, err
+			}
+			est = repaired
+		}
+		sum += capBound(est.ErrBound)
+	}
+	return sum / float64(trials), nil
+}
+
+// boundAtResolution computes the repaired AVG bound under a resolution
+// intervention with a fixed sample size, averaged over trials.
+func boundAtResolution(spec *profile.Spec, p, size, corrSize int, root *stats.Stream, trials int) (float64, error) {
+	n := spec.Video.NumFrames()
+	if size > n {
+		size = n
+	}
+	var sum float64
+	for trial := 0; trial < trials; trial++ {
+		s := root.Child(uint64(trial))
+		frames := s.Child(1).SampleWithoutReplacement(n, size)
+		raw := outputsAt(spec, p, frames)
+		est, err := estimate.Smokescreen(spec.Agg, raw, n, spec.Params)
+		if err != nil {
+			return 0, err
+		}
+		corr, err := profile.BuildCorrectionAt(spec, corrSize, s.Child(2))
+		if err != nil {
+			return 0, err
+		}
+		repaired, err := corr.Repaired(spec.Agg, est, spec.Params, false)
+		if err != nil {
+			return 0, err
+		}
+		sum += capBound(repaired.ErrBound)
+	}
+	return sum / float64(trials), nil
+}
+
+// Figure10 reproduces the paper's Figure 10: profile similarity between
+// visually similar videos. Video A (MVI_40771, 1720 frames) is the target;
+// video B (MVI_40775, 975 frames) is the same camera at a different time.
+// The target profile of A uses a 500-frame correction set; when A's access
+// is limited to 50 frames the profile deviates substantially, while B's
+// 500-frame profile tracks A's target closely — so a similar video can
+// stand in when the target is too sensitive to touch.
+func Figure10(cfg Config) (*Report, error) {
+	const corrTarget = 500
+	wA := Workload{Dataset: "mvi-40771", Model: "yolov4", Agg: estimate.AVG}
+	wB := Workload{Dataset: "mvi-40775", Model: "yolov4", Agg: estimate.AVG}
+	specA, err := wA.Spec()
+	if err != nil {
+		return nil, err
+	}
+	specB, err := wB.Spec()
+	if err != nil {
+		return nil, err
+	}
+	trials := cfg.Trials
+	if trials > 10 {
+		trials = 10
+	}
+	root := stats.NewStream(cfg.Seed).Child(0xa00)
+
+	report := &Report{
+		ID:    "figure10",
+		Title: "Profile similarity between similar videos (Figure 10)",
+	}
+
+	// Left panel: sample-size sweep at native resolution.
+	sizes := []int{5, 10, 20, 30, 40, 50, 60, 80, 100}
+	if cfg.Quick {
+		sizes = []int{10, 30, 60}
+	}
+	left := &Table{
+		Title:  "Figure 10 (left) — frame-sampling sweep, resolution 608x608",
+		Header: []string{"sample size", "target A (corr 500)", "|A limited to 50 - target|", "|B (corr 500) - target|"},
+	}
+	var maxLimitedDiff, maxBDiff float64
+	for _, size := range sizes {
+		target, err := boundAtSize(specA, size, corrTarget, root.ChildN(1, uint64(size)), trials)
+		if err != nil {
+			return nil, err
+		}
+		// Limited access: at most 50 frames of A may be touched, for the
+		// sample and the correction alike.
+		limitedSize := size
+		if limitedSize > 50 {
+			limitedSize = 50
+		}
+		limited, err := boundAtSize(specA, limitedSize, 50, root.ChildN(2, uint64(size)), trials)
+		if err != nil {
+			return nil, err
+		}
+		similar, err := boundAtSize(specB, size, corrTarget, root.ChildN(3, uint64(size)), trials)
+		if err != nil {
+			return nil, err
+		}
+		limitedDiff := math.Abs(limited - target)
+		bDiff := math.Abs(similar - target)
+		maxLimitedDiff = math.Max(maxLimitedDiff, limitedDiff)
+		maxBDiff = math.Max(maxBDiff, bDiff)
+		left.Rows = append(left.Rows, []string{
+			fmt.Sprintf("%d", size), fmtF(target), fmtF(limitedDiff), fmtF(bDiff),
+		})
+	}
+	report.Tables = append(report.Tables, left)
+
+	// Right panel: resolution sweep at sample size 500.
+	resolutions := specA.Model.Resolutions(10)
+	if cfg.Quick {
+		resolutions = []int{608, 320, 96}
+	}
+	right := &Table{
+		Title:  "Figure 10 (right) — resolution sweep, sample size 500",
+		Header: []string{"resolution", "A (corr 500)", "B (corr 500)", "|A - B|"},
+	}
+	var maxResDiff float64
+	for _, p := range resolutions {
+		a, err := boundAtResolution(specA, p, 500, corrTarget, root.ChildN(4, uint64(p)), trials)
+		if err != nil {
+			return nil, err
+		}
+		b, err := boundAtResolution(specB, p, 500, corrTarget, root.ChildN(5, uint64(p)), trials)
+		if err != nil {
+			return nil, err
+		}
+		d := math.Abs(a - b)
+		maxResDiff = math.Max(maxResDiff, d)
+		right.Rows = append(right.Rows, []string{fmt.Sprintf("%dx%d", p, p), fmtF(a), fmtF(b), fmtF(d)})
+	}
+	report.Tables = append(report.Tables, right)
+
+	report.Notes = append(report.Notes,
+		fmt.Sprintf("Similar video B tracks A's target profile within %.4f on the sampling sweep (limited-access deviation up to %.4f)", maxBDiff, maxLimitedDiff),
+		fmt.Sprintf("Resolution-sweep difference between A and B is at most %.4f (paper: within 5%%)", maxResDiff),
+	)
+	return report, nil
+}
+
+// outputsAt evaluates the spec's per-frame outputs for explicit frames at
+// resolution p (AVG uses raw counts, so no transform applies here).
+func outputsAt(spec *profile.Spec, p int, frames []int) []float64 {
+	return detect.OutputsAt(spec.Video, spec.Model, spec.Class, p, frames)
+}

@@ -1,0 +1,125 @@
+package profile
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/estimate"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+)
+
+func TestHypercubeRoundTrip(t *testing.T) {
+	s := testSpec(estimate.AVG)
+	root := stats.NewStream(301)
+	res, err := ConstructCorrection(s, 0.05, root.Child(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := GenerateHypercube(s, []float64{0.02, 0.1}, res.Correction, root.Child(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveHypercube(&buf, cube); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadHypercube(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.VideoName != cube.VideoName || back.Agg != cube.Agg || back.Class != cube.Class {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if len(back.Bounds) != len(cube.Bounds) {
+		t.Fatal("combo axis lost")
+	}
+	for ci := range cube.Bounds {
+		for ri := range cube.Bounds[ci] {
+			for fi := range cube.Bounds[ci][ri] {
+				a, b := cube.Bounds[ci][ri][fi], back.Bounds[ci][ri][fi]
+				if math.IsNaN(a) != math.IsNaN(b) {
+					t.Fatalf("NaN handling broken at %d/%d/%d", ci, ri, fi)
+				}
+				if !math.IsNaN(a) && a != b {
+					t.Fatalf("bound drifted at %d/%d/%d: %v vs %v", ci, ri, fi, a, b)
+				}
+			}
+		}
+	}
+	// The loaded cube supports tradeoff selection like the original.
+	want, okWant := cube.ChooseTradeoff(0.5)
+	got, okGot := back.ChooseTradeoff(0.5)
+	if okWant != okGot || want.String() != got.String() {
+		t.Fatalf("ChooseTradeoff differs after round trip: %v vs %v", want, got)
+	}
+}
+
+func TestHypercubeLoadRejectsCorruption(t *testing.T) {
+	cases := []string{
+		``,
+		`{"version": 99}`,
+		`{"version": 1, "agg": "MEDIAN", "class": "car"}`,
+		`{"version": 1, "agg": "AVG", "class": "dog"}`,
+		`{"version": 1, "agg": "AVG", "class": "car", "combos": [[]], "bounds": []}`,
+	}
+	for _, input := range cases {
+		if _, err := LoadHypercube(strings.NewReader(input)); err == nil {
+			t.Fatalf("corrupt hypercube accepted: %q", input)
+		}
+	}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	p := &Profile{
+		VideoName: "small",
+		ModelName: "yolov4-sim",
+		Class:     scene.Car,
+		Agg:       estimate.MAX,
+		Points: []Point{
+			{
+				Setting:  degrade.Setting{SampleFraction: 0.1, Resolution: 160, Restricted: []scene.Class{scene.Face}, NoiseSigma: 0.05},
+				Estimate: estimate.Estimate{Value: 7, ErrBound: 0.2, Sample: 120, N: 1200},
+				Repaired: true,
+			},
+			{
+				Setting:  degrade.Setting{SampleFraction: 0.5},
+				Estimate: estimate.Estimate{Value: 8, ErrBound: 0.05, Sample: 600, N: 1200},
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := SaveProfile(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Agg != p.Agg || back.Class != p.Class || len(back.Points) != 2 {
+		t.Fatalf("profile lost: %+v", back)
+	}
+	pt := back.Points[0]
+	if pt.Setting.String() != p.Points[0].Setting.String() {
+		t.Fatalf("setting drifted: %v vs %v", pt.Setting, p.Points[0].Setting)
+	}
+	if pt.Estimate != p.Points[0].Estimate || !pt.Repaired {
+		t.Fatalf("estimate drifted: %+v", pt)
+	}
+	// A loaded profile drives tradeoff choices.
+	setting, ok := back.ChooseFraction(0.1)
+	if !ok || setting.SampleFraction != 0.5 {
+		t.Fatalf("ChooseFraction on loaded profile: %v %v", setting, ok)
+	}
+}
+
+func TestProfileLoadRejectsCorruption(t *testing.T) {
+	for _, input := range []string{``, `{"version": 7}`, `{"version":1,"agg":"NOPE","class":"car"}`} {
+		if _, err := LoadProfile(strings.NewReader(input)); err == nil {
+			t.Fatalf("corrupt profile accepted: %q", input)
+		}
+	}
+}

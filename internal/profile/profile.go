@@ -1,0 +1,247 @@
+// Package profile implements the paper's profile-generation machinery
+// (Sections 2.3 and 3.3): degradation-accuracy profiles (tradeoff curves),
+// the degradation hypercube over (f, p, c) with 2D slices, correction-set
+// construction with the 1%-growth / 2%-elbow heuristic, fraction sweeps
+// with early stopping and model-output reuse, and profile similarity for
+// the transfer-from-similar-video fallback.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/estimate"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+)
+
+// Spec identifies the analytical query a profile is generated for: the
+// paper's (D, F_model, F_A) triple plus estimator parameters.
+type Spec struct {
+	Video  *scene.Video
+	Model  *detect.Model
+	Class  scene.Class  // the class whose per-frame count F_model reports
+	Agg    estimate.Agg // aggregate function F_A
+	Params estimate.Params
+	// Predicate transforms per-frame counts before aggregation. COUNT
+	// queries use it to turn counts into indicator values; nil applies
+	// the aggregate to the raw counts (with a contains-object default for
+	// COUNT).
+	Predicate func(float64) float64
+}
+
+// Validate reports an inconsistent specification.
+func (s *Spec) Validate() error {
+	if s.Video == nil || s.Model == nil {
+		return fmt.Errorf("profile: spec requires a video and a model")
+	}
+	if !s.Model.CanDetect(s.Class) {
+		return fmt.Errorf("profile: model %s cannot detect %v", s.Model.Name, s.Class)
+	}
+	return nil
+}
+
+// transform applies the spec's predicate (or the COUNT default) to a raw
+// count.
+func (s *Spec) transform(x float64) float64 {
+	if s.Predicate != nil {
+		return s.Predicate(x)
+	}
+	if s.Agg == estimate.COUNT {
+		if x > 0 {
+			return 1
+		}
+		return 0
+	}
+	return x
+}
+
+// TruePopulation returns the transformed per-frame outputs of the
+// non-degraded video: the X_1..X_N series whose aggregate is the paper's
+// ground truth.
+func (s *Spec) TruePopulation() []float64 {
+	raw := detect.Outputs(s.Video, s.Model, s.Class, s.Model.NativeInput)
+	out := make([]float64, len(raw))
+	for i, x := range raw {
+		out[i] = s.transform(x)
+	}
+	return out
+}
+
+// TrueAnswer computes the exact aggregate over the non-degraded corpus.
+func (s *Spec) TrueAnswer() (float64, error) {
+	return estimate.TrueAnswer(s.Agg, s.TruePopulation(), s.Params)
+}
+
+// TrueErrorOf computes the paper's accuracy metric for an approximate
+// answer against the non-degraded corpus.
+func (s *Spec) TrueErrorOf(approx float64) (float64, error) {
+	return estimate.TrueError(s.Agg, approx, s.TruePopulation(), s.Params)
+}
+
+// sampleValues materialises the transformed outputs for a degradation plan.
+func (s *Spec) sampleValues(plan *degrade.Plan) []float64 {
+	raw := degrade.SampleOutputs(s.Video, s.Model, s.Class, plan)
+	out := make([]float64, len(raw))
+	for i, x := range raw {
+		out[i] = s.transform(x)
+	}
+	return out
+}
+
+// outputsAt returns the transformed outputs for specific frames at the
+// model's native resolution, evaluating the detector lazily — correction
+// sets only ever touch the frames they sample.
+func (s *Spec) outputsAt(frames []int) []float64 {
+	raw := detect.OutputsAt(s.Video, s.Model, s.Class, s.Model.NativeInput, frames)
+	out := make([]float64, len(raw))
+	for i, x := range raw {
+		out[i] = s.transform(x)
+	}
+	return out
+}
+
+// EstimateSetting computes the approximate answer and error bound under
+// one intervention setting (Problem 1 of the paper). Non-random settings
+// require a correction set; passing nil for one returns an error because
+// the uncorrected bound would be unsound. For random-only settings with a
+// correction set, the tighter of the two bounds is used (Section 5.2.2).
+func (s *Spec) EstimateSetting(setting degrade.Setting, corr *estimate.Correction, stream *stats.Stream) (estimate.Estimate, error) {
+	if err := s.Validate(); err != nil {
+		return estimate.Estimate{}, err
+	}
+	plan, err := degrade.Apply(s.Video, s.Model, setting, stream)
+	if err != nil {
+		return estimate.Estimate{}, err
+	}
+	return s.estimatePlan(plan, corr)
+}
+
+func (s *Spec) estimatePlan(plan *degrade.Plan, corr *estimate.Correction) (estimate.Estimate, error) {
+	values := s.sampleValues(plan)
+	est, err := estimate.Smokescreen(s.Agg, values, plan.Total, s.Params)
+	if err != nil {
+		return estimate.Estimate{}, err
+	}
+	randomOnly := plan.Setting.IsRandomOnly(s.Model)
+	if corr == nil {
+		if !randomOnly {
+			return estimate.Estimate{}, fmt.Errorf(
+				"profile: setting %v applies non-random interventions; a correction set is required for a sound bound", plan.Setting)
+		}
+		return est, nil
+	}
+	return corr.Repaired(s.Agg, est, s.Params, randomOnly)
+}
+
+// UncorrectedEstimate computes the estimate WITHOUT profile repair even
+// for non-random settings. The bound may undershoot the true error; it
+// exists for the Figure 6 comparison and for callers that knowingly accept
+// unsound bounds.
+func (s *Spec) UncorrectedEstimate(setting degrade.Setting, stream *stats.Stream) (estimate.Estimate, error) {
+	if err := s.Validate(); err != nil {
+		return estimate.Estimate{}, err
+	}
+	plan, err := degrade.Apply(s.Video, s.Model, setting, stream)
+	if err != nil {
+		return estimate.Estimate{}, err
+	}
+	values := s.sampleValues(plan)
+	return estimate.Smokescreen(s.Agg, values, plan.Total, s.Params)
+}
+
+// Point is one (degradation, error-bound) pair of a profile.
+type Point struct {
+	Setting  degrade.Setting
+	Estimate estimate.Estimate
+	Repaired bool // bound produced by profile repair
+}
+
+// Profile is a tradeoff curve: error bounds across one axis of the
+// intervention space, for a fixed query and corpus. Missing values in
+// between points are interpolated by the administrator (or BoundAtFraction).
+type Profile struct {
+	VideoName string
+	ModelName string
+	Class     scene.Class
+	Agg       estimate.Agg
+	Points    []Point
+}
+
+// BoundAtFraction linearly interpolates the error bound at sample
+// fraction f along a fraction-axis profile. Outside the profiled range the
+// nearest endpoint is returned. It returns an error for an empty profile.
+func (p *Profile) BoundAtFraction(f float64) (float64, error) {
+	if len(p.Points) == 0 {
+		return 0, fmt.Errorf("profile: empty profile")
+	}
+	pts := append([]Point(nil), p.Points...)
+	sort.Slice(pts, func(a, b int) bool {
+		return pts[a].Setting.SampleFraction < pts[b].Setting.SampleFraction
+	})
+	if f <= pts[0].Setting.SampleFraction {
+		return pts[0].Estimate.ErrBound, nil
+	}
+	last := pts[len(pts)-1]
+	if f >= last.Setting.SampleFraction {
+		return last.Estimate.ErrBound, nil
+	}
+	for i := 1; i < len(pts); i++ {
+		lo, hi := pts[i-1], pts[i]
+		if f <= hi.Setting.SampleFraction {
+			span := hi.Setting.SampleFraction - lo.Setting.SampleFraction
+			t := (f - lo.Setting.SampleFraction) / span
+			return lo.Estimate.ErrBound + t*(hi.Estimate.ErrBound-lo.Estimate.ErrBound), nil
+		}
+	}
+	return last.Estimate.ErrBound, nil
+}
+
+// ChooseFraction returns the most degraded (smallest) sample fraction
+// whose bound does not exceed maxErr, implementing the administrator's
+// "choosing a tradeoff" stage along the sampling axis. ok is false when no
+// profiled fraction qualifies.
+func (p *Profile) ChooseFraction(maxErr float64) (degrade.Setting, bool) {
+	best := degrade.Setting{}
+	found := false
+	for _, pt := range p.Points {
+		if pt.Estimate.ErrBound > maxErr {
+			continue
+		}
+		if !found || pt.Setting.SampleFraction < best.SampleFraction {
+			best = pt.Setting
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Distance returns the mean absolute error-bound difference between two
+// profiles over their shared settings (matched by sample fraction and
+// resolution) — the metric of the paper's Figure 10. An error is returned
+// when the profiles share no settings.
+func Distance(a, b *Profile) (float64, error) {
+	type key struct {
+		f float64
+		p int
+	}
+	bounds := make(map[key]float64, len(a.Points))
+	for _, pt := range a.Points {
+		bounds[key{pt.Setting.SampleFraction, pt.Setting.Resolution}] = pt.Estimate.ErrBound
+	}
+	var sum float64
+	var n int
+	for _, pt := range b.Points {
+		if bound, ok := bounds[key{pt.Setting.SampleFraction, pt.Setting.Resolution}]; ok {
+			sum += math.Abs(bound - pt.Estimate.ErrBound)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("profile: profiles share no settings")
+	}
+	return sum / float64(n), nil
+}

@@ -1,0 +1,223 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/estimate"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+)
+
+// SweepOptions configures a sample-fraction sweep.
+type SweepOptions struct {
+	// Fractions to evaluate, ascending. Required.
+	Fractions []float64
+	// Resolution and Restricted fix the non-sampling axes of the sweep.
+	Resolution int
+	Restricted []scene.Class
+	// Correction repairs bounds for non-random settings and tightens
+	// random ones. Required when Resolution or Restricted degrade.
+	Correction *estimate.Correction
+	// EarlyStopDelta stops the sweep when the bound improves by less than
+	// this amount between consecutive fractions (the paper's early
+	// stopping, Section 3.3.2). Zero disables early stopping.
+	EarlyStopDelta float64
+}
+
+// SweepFractions produces a fraction-axis profile. Sampling is nested: one
+// permutation of the admissible pool is drawn and each fraction takes a
+// prefix, so model outputs computed for a low rate are reused at every
+// higher rate — the paper's reuse strategy. A prefix of a uniform random
+// permutation is itself a uniform without-replacement sample, so the
+// estimator assumptions hold at every step.
+func SweepFractions(spec *Spec, opts SweepOptions, stream *stats.Stream) (*Profile, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(opts.Fractions) == 0 {
+		return nil, fmt.Errorf("profile: sweep requires fractions")
+	}
+	for i := 1; i < len(opts.Fractions); i++ {
+		if opts.Fractions[i] <= opts.Fractions[i-1] {
+			return nil, fmt.Errorf("profile: fractions must be ascending")
+		}
+	}
+	base := degrade.Setting{
+		SampleFraction: opts.Fractions[0],
+		Resolution:     opts.Resolution,
+		Restricted:     opts.Restricted,
+	}
+	if err := base.Validate(spec.Model); err != nil {
+		return nil, err
+	}
+	randomOnly := base.IsRandomOnly(spec.Model)
+	if !randomOnly && opts.Correction == nil {
+		return nil, fmt.Errorf("profile: sweep over non-random setting %v requires a correction set", base)
+	}
+
+	admissible := degrade.AdmissibleFrames(spec.Video, opts.Restricted)
+	perm := stream.Perm(len(admissible))
+	resolution := base.ResolveResolution(spec.Model)
+	n := spec.Video.NumFrames()
+
+	prof := &Profile{
+		VideoName: spec.Video.Config.Name,
+		ModelName: spec.Model.Name,
+		Class:     spec.Class,
+		Agg:       spec.Agg,
+	}
+	prevBound := math.Inf(1)
+	for _, f := range opts.Fractions {
+		want := int(float64(n)*f + 0.5)
+		if want < 1 {
+			want = 1
+		}
+		if want > len(admissible) {
+			break // remaining fractions are infeasible under image removal
+		}
+		setting := degrade.Setting{SampleFraction: f, Resolution: opts.Resolution, Restricted: opts.Restricted}
+		plan := &degrade.Plan{
+			Setting:    setting,
+			Resolution: resolution,
+			Admissible: admissible,
+			Total:      n,
+		}
+		plan.Sampled = make([]int, want)
+		for i := 0; i < want; i++ {
+			plan.Sampled[i] = admissible[perm[i]]
+		}
+		est, err := spec.estimatePlan(plan, opts.Correction)
+		if err != nil {
+			return nil, err
+		}
+		prof.Points = append(prof.Points, Point{
+			Setting:  setting,
+			Estimate: est,
+			Repaired: opts.Correction != nil && !randomOnly,
+		})
+		if opts.EarlyStopDelta > 0 && prevBound-est.ErrBound < opts.EarlyStopDelta && est.ErrBound < 1 {
+			break
+		}
+		prevBound = est.ErrBound
+	}
+	if len(prof.Points) == 0 {
+		return nil, fmt.Errorf("profile: no feasible fraction under %v (admissible pool %d of %d)",
+			base, len(admissible), n)
+	}
+	return prof, nil
+}
+
+// Hypercube is the paper's degradation hypercube: error bounds over the
+// full (f, p, c) candidate grid. Administrators view 2D slices obtained by
+// fixing the other dimensions (initially at their loosest values).
+type Hypercube struct {
+	VideoName   string
+	ModelName   string
+	Class       scene.Class
+	Agg         estimate.Agg
+	Fractions   []float64
+	Resolutions []int           // loosest (native) first
+	Combos      [][]scene.Class // loosest (none) first
+	// Bounds[ci][ri][fi] is the error bound; NaN marks infeasible cells
+	// (sample larger than the admissible pool).
+	Bounds [][][]float64
+}
+
+// GenerateHypercube evaluates the full candidate grid (Problem 2). A
+// correction set is required because the grid includes non-random
+// interventions. Each (combo, resolution) pair reuses one nested sample.
+// A positive earlyStopDelta applies the paper's early stopping to every
+// fraction sweep (unevaluated cells stay NaN).
+func GenerateHypercube(spec *Spec, fractions []float64, corr *estimate.Correction, stream *stats.Stream, earlyStopDelta float64) (*Hypercube, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if corr == nil {
+		return nil, fmt.Errorf("profile: hypercube generation requires a correction set")
+	}
+	combos := degrade.ClassCombos()
+	resolutions := degrade.CandidateResolutions(spec.Model)
+	cube := &Hypercube{
+		VideoName:   spec.Video.Config.Name,
+		ModelName:   spec.Model.Name,
+		Class:       spec.Class,
+		Agg:         spec.Agg,
+		Fractions:   fractions,
+		Resolutions: resolutions,
+		Combos:      combos,
+	}
+	for ci, combo := range combos {
+		cube.Bounds = append(cube.Bounds, make([][]float64, len(resolutions)))
+		for ri, res := range resolutions {
+			row := make([]float64, len(fractions))
+			for fi := range row {
+				row[fi] = math.NaN()
+			}
+			prof, err := SweepFractions(spec, SweepOptions{
+				Fractions:      fractions,
+				Resolution:     res,
+				Restricted:     combo,
+				Correction:     corr,
+				EarlyStopDelta: earlyStopDelta,
+			}, stream.ChildN(uint64(ci), uint64(ri)))
+			if err == nil {
+				for _, pt := range prof.Points {
+					for fi, f := range fractions {
+						if f == pt.Setting.SampleFraction {
+							row[fi] = pt.Estimate.ErrBound
+						}
+					}
+				}
+			}
+			cube.Bounds[ci][ri] = row
+		}
+	}
+	return cube, nil
+}
+
+// SliceByFraction returns the error bounds across fractions with the
+// other axes fixed.
+func (h *Hypercube) SliceByFraction(ci, ri int) []float64 {
+	return h.Bounds[ci][ri]
+}
+
+// SliceByResolution returns the error bounds across resolutions with
+// combo and fraction fixed.
+func (h *Hypercube) SliceByResolution(ci, fi int) []float64 {
+	out := make([]float64, len(h.Resolutions))
+	for ri := range h.Resolutions {
+		out[ri] = h.Bounds[ci][ri][fi]
+	}
+	return out
+}
+
+// ChooseTradeoff returns the most degraded feasible setting whose bound
+// does not exceed maxErr. Degradation is ranked by processed pixel volume
+// (f x p^2) with ties broken toward more restricted classes; this is one
+// reasonable administrator policy and is deterministic.
+func (h *Hypercube) ChooseTradeoff(maxErr float64) (degrade.Setting, bool) {
+	var best degrade.Setting
+	bestScore := math.Inf(1)
+	found := false
+	for ci, combo := range h.Combos {
+		for ri, res := range h.Resolutions {
+			for fi, f := range h.Fractions {
+				bound := h.Bounds[ci][ri][fi]
+				if math.IsNaN(bound) || bound > maxErr {
+					continue
+				}
+				score := f * float64(res) * float64(res)
+				// Prefer more removal at equal pixel volume.
+				score -= float64(len(combo)) * 1e-9
+				if score < bestScore {
+					bestScore = score
+					best = degrade.Setting{SampleFraction: f, Resolution: res, Restricted: combo}
+					found = true
+				}
+			}
+		}
+	}
+	return best, found
+}

@@ -1,0 +1,125 @@
+package raster
+
+import "math"
+
+// This file provides the primitive renderers used by the scene simulator.
+// Objects are drawn as filled shapes with soft (anti-aliased) edges so that
+// downsampling produces realistic partial-coverage boundary pixels instead
+// of hard binary masks.
+
+// FillRect paints a solid axis-aligned rectangle with intensity v.
+func (m *Image) FillRect(r Rect, v float32) {
+	r = r.Intersect(RectWH(0, 0, m.W, m.H))
+	for y := r.MinY; y < r.MaxY; y++ {
+		row := y * m.W
+		for x := r.MinX; x < r.MaxX; x++ {
+			m.Pix[row+x] = clamp01(v)
+		}
+	}
+}
+
+// BlendRect alpha-blends a rectangle of intensity v over the existing
+// pixels with opacity alpha in [0, 1].
+func (m *Image) BlendRect(r Rect, v, alpha float32) {
+	r = r.Intersect(RectWH(0, 0, m.W, m.H))
+	for y := r.MinY; y < r.MaxY; y++ {
+		row := y * m.W
+		for x := r.MinX; x < r.MaxX; x++ {
+			old := m.Pix[row+x]
+			m.Pix[row+x] = clamp01(old + (clamp01(v)-old)*alpha)
+		}
+	}
+}
+
+// FillEllipse paints a filled ellipse inscribed in r with intensity v and a
+// one-pixel soft edge.
+func (m *Image) FillEllipse(r Rect, v float32) {
+	if r.Empty() {
+		return
+	}
+	cx, cy := r.Center()
+	rx := float64(r.W()) / 2
+	ry := float64(r.H()) / 2
+	if rx <= 0 || ry <= 0 {
+		return
+	}
+	clip := r.Intersect(RectWH(0, 0, m.W, m.H))
+	for y := clip.MinY; y < clip.MaxY; y++ {
+		for x := clip.MinX; x < clip.MaxX; x++ {
+			dx := (float64(x) + 0.5 - cx) / rx
+			dy := (float64(y) + 0.5 - cy) / ry
+			d := math.Sqrt(dx*dx + dy*dy)
+			switch {
+			case d <= 0.92:
+				m.Set(x, y, v)
+			case d <= 1.0:
+				// Soft edge: linear falloff blended over background.
+				t := float32((1.0 - d) / 0.08)
+				old := m.At(x, y)
+				m.Set(x, y, old+(v-old)*t)
+			}
+		}
+	}
+}
+
+// GradientV paints a vertical linear gradient from top intensity to bottom
+// intensity across the whole image. Scene backgrounds use this to model
+// road-to-sky luminance ramps.
+func (m *Image) GradientV(top, bottom float32) {
+	for y := 0; y < m.H; y++ {
+		t := float32(y) / float32(m.H-1+1)
+		v := clamp01(top + (bottom-top)*t)
+		row := y * m.W
+		for x := 0; x < m.W; x++ {
+			m.Pix[row+x] = v
+		}
+	}
+}
+
+// Texture overlays a deterministic pseudo-random texture with amplitude
+// amp, keyed by seed. The texture is a fixed function of pixel coordinates
+// so the same background renders identically every frame — exactly like a
+// static camera looking at static clutter.
+func (m *Image) Texture(seed uint64, amp float32) {
+	for y := 0; y < m.H; y++ {
+		row := y * m.W
+		for x := 0; x < m.W; x++ {
+			h := pixelHash(seed, x, y)
+			// Map hash to [-1, 1).
+			u := float32(int64(h>>11))/float32(1<<52) - 1
+			m.Pix[row+x] = clamp01(m.Pix[row+x] + u*amp)
+		}
+	}
+}
+
+// AddNoise adds deterministic per-pixel noise with standard deviation
+// sigma, keyed by seed. Approximates sensor noise; night scenes use larger
+// sigma. Uses a sum of three uniforms (Irwin–Hall) as a cheap, bounded
+// near-Gaussian.
+func (m *Image) AddNoise(seed uint64, sigma float32) {
+	if sigma <= 0 {
+		return
+	}
+	// Irwin-Hall with k=3 uniforms in [-0.5,0.5] has sd = 0.5; rescale.
+	scale := sigma / 0.5
+	for y := 0; y < m.H; y++ {
+		row := y * m.W
+		for x := 0; x < m.W; x++ {
+			h := pixelHash(seed, x, y)
+			u1 := float32(h&0x1fffff)/float32(1<<21) - 0.5
+			u2 := float32((h>>21)&0x1fffff)/float32(1<<21) - 0.5
+			u3 := float32((h>>42)&0x1fffff)/float32(1<<21) - 0.5
+			m.Pix[row+x] = clamp01(m.Pix[row+x] + (u1+u2+u3)*scale)
+		}
+	}
+}
+
+// pixelHash mixes a seed with pixel coordinates into 64 well-distributed
+// bits. It is the raster-side analogue of stats.Stream.Child.
+func pixelHash(seed uint64, x, y int) uint64 {
+	z := seed ^ (uint64(uint32(x)) << 32) ^ uint64(uint32(y))
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

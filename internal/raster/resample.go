@@ -1,0 +1,172 @@
+package raster
+
+// Downsample resizes the image to (w, h) using box-filter area averaging —
+// the physically correct model of what a lower-resolution sensor (or a
+// standards-compliant video rescaler) does to a frame. Each destination
+// pixel is the area-weighted average of the source pixels it covers, so
+// small objects lose contrast against the background as their boundary
+// pixels are averaged away. This is the mechanism by which the reduced
+// frame resolution intervention destroys detectability.
+//
+// Upsampling requests fall back to bilinear interpolation; scale factors of
+// exactly 1 return a clone.
+func Downsample(src *Image, w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic("raster: Downsample to non-positive size")
+	}
+	if w == src.W && h == src.H {
+		return src.Clone()
+	}
+	if w > src.W || h > src.H {
+		return bilinear(src, w, h)
+	}
+	dst := New(w, h)
+	xRatio := float64(src.W) / float64(w)
+	yRatio := float64(src.H) / float64(h)
+	for dy := 0; dy < h; dy++ {
+		sy0 := float64(dy) * yRatio
+		sy1 := float64(dy+1) * yRatio
+		for dx := 0; dx < w; dx++ {
+			sx0 := float64(dx) * xRatio
+			sx1 := float64(dx+1) * xRatio
+			dst.Pix[dy*w+dx] = boxAverage(src, sx0, sy0, sx1, sy1)
+		}
+	}
+	return dst
+}
+
+// boxAverage integrates the source image over the continuous box
+// [x0,x1)x[y0,y1) with partial-pixel weighting at the edges.
+func boxAverage(src *Image, x0, y0, x1, y1 float64) float32 {
+	ix0, iy0 := int(x0), int(y0)
+	ix1, iy1 := int(x1), int(y1)
+	if ix1 >= src.W {
+		ix1 = src.W - 1
+	}
+	if iy1 >= src.H {
+		iy1 = src.H - 1
+	}
+	var sum, weight float64
+	for sy := iy0; sy <= iy1; sy++ {
+		wy := 1.0
+		if sy == iy0 {
+			wy -= y0 - float64(iy0)
+		}
+		if sy == iy1 {
+			wy -= float64(iy1) + 1 - y1
+		}
+		if wy <= 0 {
+			continue
+		}
+		row := sy * src.W
+		for sx := ix0; sx <= ix1; sx++ {
+			wx := 1.0
+			if sx == ix0 {
+				wx -= x0 - float64(ix0)
+			}
+			if sx == ix1 {
+				wx -= float64(ix1) + 1 - x1
+			}
+			if wx <= 0 {
+				continue
+			}
+			sum += float64(src.Pix[row+sx]) * wx * wy
+			weight += wx * wy
+		}
+	}
+	if weight == 0 {
+		return 0
+	}
+	return float32(sum / weight)
+}
+
+// bilinear resizes with bilinear interpolation; only used for the rare
+// upsampling path (e.g. rendering previews).
+func bilinear(src *Image, w, h int) *Image {
+	dst := New(w, h)
+	for dy := 0; dy < h; dy++ {
+		sy := (float64(dy)+0.5)*float64(src.H)/float64(h) - 0.5
+		y0 := int(sy)
+		fy := float32(sy - float64(y0))
+		if sy < 0 {
+			y0, fy = 0, 0
+		}
+		for dx := 0; dx < w; dx++ {
+			sx := (float64(dx)+0.5)*float64(src.W)/float64(w) - 0.5
+			x0 := int(sx)
+			fx := float32(sx - float64(x0))
+			if sx < 0 {
+				x0, fx = 0, 0
+			}
+			v00 := src.At(x0, y0)
+			v10 := src.At(x0+1, y0)
+			v01 := src.At(x0, y0+1)
+			v11 := src.At(x0+1, y0+1)
+			top := v00 + (v10-v00)*fx
+			bot := v01 + (v11-v01)*fx
+			dst.Pix[dy*w+dx] = top + (bot-top)*fy
+		}
+	}
+	return dst
+}
+
+// BoxBlur applies a (2r+1)x(2r+1) box blur using a summed-area table, the
+// detector's background-estimation primitive. Border pixels average over
+// the in-bounds part of the kernel.
+func BoxBlur(src *Image, r int) *Image {
+	if r <= 0 {
+		return src.Clone()
+	}
+	integral := Integral(src)
+	dst := New(src.W, src.H)
+	for y := 0; y < src.H; y++ {
+		y0, y1 := y-r, y+r+1
+		if y0 < 0 {
+			y0 = 0
+		}
+		if y1 > src.H {
+			y1 = src.H
+		}
+		for x := 0; x < src.W; x++ {
+			x0, x1 := x-r, x+r+1
+			if x0 < 0 {
+				x0 = 0
+			}
+			if x1 > src.W {
+				x1 = src.W
+			}
+			area := float64((x1 - x0) * (y1 - y0))
+			dst.Pix[y*src.W+x] = float32(integral.SumRect(x0, y0, x1, y1) / area)
+		}
+	}
+	return dst
+}
+
+// IntegralImage is a summed-area table supporting O(1) rectangle sums.
+type IntegralImage struct {
+	W, H int
+	// sums has (W+1)*(H+1) entries; sums[(y)*(W+1)+x] is the sum of all
+	// pixels strictly above and to the left of (x, y).
+	sums []float64
+}
+
+// Integral builds the summed-area table of src.
+func Integral(src *Image) *IntegralImage {
+	w1 := src.W + 1
+	t := &IntegralImage{W: src.W, H: src.H, sums: make([]float64, w1*(src.H+1))}
+	for y := 0; y < src.H; y++ {
+		var rowSum float64
+		for x := 0; x < src.W; x++ {
+			rowSum += float64(src.Pix[y*src.W+x])
+			t.sums[(y+1)*w1+x+1] = t.sums[y*w1+x+1] + rowSum
+		}
+	}
+	return t
+}
+
+// SumRect returns the sum of pixels in [x0,x1)x[y0,y1). Bounds must be
+// within the image; callers clamp first.
+func (t *IntegralImage) SumRect(x0, y0, x1, y1 int) float64 {
+	w1 := t.W + 1
+	return t.sums[y1*w1+x1] - t.sums[y0*w1+x1] - t.sums[y1*w1+x0] + t.sums[y0*w1+x0]
+}

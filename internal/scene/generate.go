@@ -1,0 +1,254 @@
+package scene
+
+import (
+	"smokescreen/internal/raster"
+	"sort"
+
+	"smokescreen/internal/stats"
+)
+
+// track is a live object trajectory during generation.
+type track struct {
+	id        int
+	class     Class
+	x         float64 // left edge, native pixels (may be off-frame)
+	y         int     // top edge
+	w, h      int
+	speed     float64 // pixels per frame, signed
+	intensity float32
+	hasFace   bool // persons only
+	faceInt   float32
+	age       int // frames since arrival
+	faceFrom  int // face visible while faceFrom <= age < faceTo
+	faceTo    int
+}
+
+// Generate simulates the corpus described by cfg and returns its
+// ground-truth annotations. Generation is O(NumFrames * activeObjects) and
+// deterministic given cfg.Seed.
+func Generate(cfg Config) (*Video, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	v := &Video{Config: cfg, frames: make([]Frame, cfg.NumFrames)}
+
+	root := stats.NewStream(cfg.Seed)
+	arrivals := root.Child(1)
+	regimeStream := root.Child(2)
+	trackStream := root.Child(3)
+
+	busy := regimeStream.Bernoulli(0.5)
+	quietFactor := 2 - cfg.BusyFactor
+	switchProb := 1 / float64(cfg.RegimeLength)
+
+	var live []*track
+	nextID := 1
+	// Error diffusion for face assignment: with small corpora a Bernoulli
+	// draw per person can miss the configured face fraction entirely, so
+	// every ceil(1/FaceProb)-th person (in expectation) carries a face.
+	var faceAcc float64
+
+	for fi := 0; fi < cfg.NumFrames; fi++ {
+		// Regime evolution: a symmetric two-state chain with stationary
+		// distribution 50/50 so the long-run mean rates equal the config.
+		if regimeStream.Bernoulli(switchProb) {
+			busy = !busy
+		}
+		mult := quietFactor
+		if busy {
+			mult = cfg.BusyFactor
+		}
+
+		// Arrivals.
+		for k := arrivals.Poisson(cfg.CarRate * mult); k > 0; k-- {
+			live = append(live, newCarTrack(&cfg, trackStream.Child(uint64(nextID)), nextID))
+			nextID++
+		}
+		for k := arrivals.Poisson(cfg.PersonRate * mult); k > 0; k-- {
+			faceAcc += cfg.FaceProb
+			hasFace := faceAcc >= 1
+			if hasFace {
+				faceAcc--
+			}
+			live = append(live, newPersonTrack(&cfg, trackStream.Child(uint64(nextID)), nextID, hasFace))
+			nextID++
+		}
+
+		// Advance and cull.
+		alive := live[:0]
+		for _, tr := range live {
+			tr.x += tr.speed
+			tr.age++
+			if tr.speed > 0 && tr.x > float64(cfg.Width) {
+				continue
+			}
+			if tr.speed < 0 && tr.x+float64(tr.w) < 0 {
+				continue
+			}
+			alive = append(alive, tr)
+		}
+		live = alive
+
+		// Materialise the frame annotation.
+		frame := Frame{Index: fi}
+		for _, tr := range live {
+			bbox := clipToFrame(&cfg, tr)
+			if bbox.Empty() {
+				continue
+			}
+			frame.Objects = append(frame.Objects, Object{
+				ID:        tr.id,
+				Class:     tr.class,
+				BBox:      bbox,
+				Intensity: tr.intensity,
+				Elliptic:  tr.class != Car,
+			})
+			if tr.class == Person && tr.hasFace && tr.age >= tr.faceFrom && tr.age < tr.faceTo {
+				face := faceBox(bbox)
+				if !face.Empty() {
+					frame.Objects = append(frame.Objects, Object{
+						ID:        tr.id,
+						Class:     Face,
+						BBox:      face,
+						Intensity: tr.faceInt,
+						Elliptic:  true,
+					})
+				}
+			}
+		}
+		// Deterministic draw order: back-to-front by y, then by id.
+		sort.Slice(frame.Objects, func(a, b int) bool {
+			oa, ob := frame.Objects[a], frame.Objects[b]
+			if oa.BBox.MinY != ob.BBox.MinY {
+				return oa.BBox.MinY < ob.BBox.MinY
+			}
+			return oa.ID < ob.ID
+		})
+		v.frames[fi] = frame
+	}
+	return v, nil
+}
+
+func newCarTrack(cfg *Config, s *stats.Stream, id int) *track {
+	lane := cfg.LaneYs[s.Intn(len(cfg.LaneYs))]
+	w := cfg.CarMinW + s.Intn(cfg.CarMaxW-cfg.CarMinW+1)
+	h := w / 2
+	if h < 4 {
+		h = 4
+	}
+	// Crossing time jitters +-20% around the configured lifetime.
+	life := float64(cfg.CarLifetime) * (0.8 + 0.4*s.Float64())
+	speed := (float64(cfg.Width) + float64(w)) / life
+	dir := 1.0
+	x := -float64(w)
+	if lane%2 == 1 { // alternate lane directions like a two-way road
+		dir = -1
+		x = float64(cfg.Width)
+	}
+	sign := float32(1)
+	if s.Bernoulli(0.5) {
+		sign = -1
+	}
+	contrast := cfg.CarContrast * (0.75 + 0.5*float32(s.Float64()))
+	bg := backgroundAt(cfg, lane)
+	return &track{
+		id:        id,
+		class:     Car,
+		x:         x,
+		y:         lane - h/2,
+		w:         w,
+		h:         h,
+		speed:     dir * speed,
+		intensity: clampIntensity(bg + sign*contrast),
+	}
+}
+
+func newPersonTrack(cfg *Config, s *stats.Stream, id int, hasFace bool) *track {
+	side := cfg.LaneYs[0]
+	if len(cfg.SidewalkYs) > 0 {
+		side = cfg.SidewalkYs[s.Intn(len(cfg.SidewalkYs))]
+	}
+	w := 14 + s.Intn(11) // 14..24 native pixels wide
+	h := w * 26 / 10
+	life := float64(cfg.PersonLifetime) * (0.8 + 0.4*s.Float64())
+	speed := (float64(cfg.Width) + float64(w)) / life
+	dir := 1.0
+	x := -float64(w)
+	if s.Bernoulli(0.5) {
+		dir = -1
+		x = float64(cfg.Width)
+	}
+	sign := float32(1)
+	if s.Bernoulli(0.6) { // clothing more often darker than pavement
+		sign = -1
+	}
+	contrast := cfg.PersonContrast * (0.75 + 0.5*float32(s.Float64()))
+	bg := backgroundAt(cfg, side)
+	intensity := clampIntensity(bg + sign*contrast)
+	faceFrom, faceTo := 0, int(life)+1
+	if cfg.FaceDuration > 0 && cfg.FaceDuration < int(life) {
+		faceFrom = (int(life) - cfg.FaceDuration) / 2
+		faceTo = faceFrom + cfg.FaceDuration
+	}
+	return &track{
+		id:        id,
+		class:     Person,
+		x:         x,
+		y:         side - h/2,
+		w:         w,
+		h:         h,
+		speed:     dir * speed,
+		intensity: intensity,
+		hasFace:   hasFace,
+		faceFrom:  faceFrom,
+		faceTo:    faceTo,
+		// Faces render brighter than clothing (skin tone against fabric).
+		faceInt: clampIntensity(intensity + 0.3),
+	}
+}
+
+// clipToFrame converts a track's continuous position to an integer bbox
+// clipped to the frame. Tracks partially off-frame keep their visible part.
+func clipToFrame(cfg *Config, tr *track) (r raster.Rect) {
+	x0 := int(tr.x)
+	r = raster.Rect{MinX: x0, MinY: tr.y, MaxX: x0 + tr.w, MaxY: tr.y + tr.h}
+	return r.Intersect(raster.Rect{MinX: 0, MinY: 0, MaxX: cfg.Width, MaxY: cfg.Height})
+}
+
+// faceBox returns the head region of a person bounding box: a centered
+// square in the top ~20% of the body.
+func faceBox(body raster.Rect) raster.Rect {
+	size := body.W() * 55 / 100
+	if size < 3 {
+		return raster.Rect{}
+	}
+	cx := (body.MinX + body.MaxX) / 2
+	return raster.Rect{
+		MinX: cx - size/2,
+		MinY: body.MinY + body.H()/20,
+		MaxX: cx - size/2 + size,
+		MaxY: body.MinY + body.H()/20 + size,
+	}
+}
+
+// backgroundAt returns the background gradient intensity at row y.
+func backgroundAt(cfg *Config, y int) float32 {
+	t := float32(y) / float32(cfg.Height)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return cfg.Lighting.BackgroundTop + (cfg.Lighting.BackgroundBottom-cfg.Lighting.BackgroundTop)*t
+}
+
+func clampIntensity(v float32) float32 {
+	if v < 0.02 {
+		return 0.02
+	}
+	if v > 0.98 {
+		return 0.98
+	}
+	return v
+}

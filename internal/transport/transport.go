@@ -1,0 +1,128 @@
+// Package transport implements the byte-accounted wire protocol between
+// the simulated cameras and the central video query processor. It is a
+// minimal length-prefixed message framing over any io.ReadWriter (net.Pipe
+// for in-process experiments, TCP for distributed ones), with per-
+// direction byte counters that feed the bandwidth and energy accounting of
+// the camera package — the paper's "system requirements" motivation made
+// measurable.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Message types carried on the wire.
+const (
+	// MsgConfig announces the camera's capture spec and intervention
+	// setting; always the first message of a stream.
+	MsgConfig byte = iota + 1
+	// MsgBackground carries the static background raster at transmission
+	// resolution, used by the receiver's detector.
+	MsgBackground
+	// MsgFrame carries one degraded frame (codec frame record).
+	MsgFrame
+	// MsgEnd terminates a stream.
+	MsgEnd
+)
+
+// maxMessageSize bounds a single message; a full 640x640 uncompressed
+// frame is ~400 KiB, so 64 MiB leaves ample slack while still catching
+// corrupt length prefixes.
+const maxMessageSize = 64 << 20
+
+// Conn is a framed, byte-accounted connection. Send and Receive are each
+// safe for one concurrent caller (one sender goroutine, one receiver
+// goroutine), matching the camera/processor topology.
+type Conn struct {
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+	rw     io.ReadWriter
+
+	bytesSent     atomic.Int64
+	bytesReceived atomic.Int64
+	messagesSent  atomic.Int64
+}
+
+// New wraps a bidirectional stream in a framed connection.
+func New(rw io.ReadWriter) *Conn {
+	return &Conn{rw: rw}
+}
+
+// Send writes one framed message: varint length, type byte, payload.
+func (c *Conn) Send(msgType byte, payload []byte) error {
+	if len(payload) > maxMessageSize {
+		return fmt.Errorf("transport: message of %d bytes exceeds limit", len(payload))
+	}
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	var hdr [binary.MaxVarintLen64 + 1]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)+1))
+	hdr[n] = msgType
+	n++
+	if _, err := c.rw.Write(hdr[:n]); err != nil {
+		return fmt.Errorf("transport: send header: %w", err)
+	}
+	// Skip empty writes: net.Pipe blocks even on zero-byte writes, which
+	// would deadlock the final MsgEnd once the receiver has returned.
+	if len(payload) > 0 {
+		if _, err := c.rw.Write(payload); err != nil {
+			return fmt.Errorf("transport: send payload: %w", err)
+		}
+	}
+	c.bytesSent.Add(int64(n + len(payload)))
+	c.messagesSent.Add(1)
+	return nil
+}
+
+// Receive reads the next framed message. It returns io.EOF when the peer
+// closed the stream cleanly before a header.
+func (c *Conn) Receive() (byte, []byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	br := byteReader{r: c.rw}
+	length, err := binary.ReadUvarint(&br)
+	if err != nil {
+		if errors.Is(err, io.EOF) && br.n == 0 {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("transport: receive header: %w", err)
+	}
+	if length == 0 || length > maxMessageSize {
+		return 0, nil, fmt.Errorf("transport: corrupt message length %d", length)
+	}
+	body := make([]byte, length)
+	if _, err := io.ReadFull(c.rw, body); err != nil {
+		return 0, nil, fmt.Errorf("transport: receive payload: %w", err)
+	}
+	c.bytesReceived.Add(int64(br.n) + int64(length))
+	return body[0], body[1:], nil
+}
+
+// BytesSent returns the total bytes written, including framing.
+func (c *Conn) BytesSent() int64 { return c.bytesSent.Load() }
+
+// BytesReceived returns the total bytes read, including framing.
+func (c *Conn) BytesReceived() int64 { return c.bytesReceived.Load() }
+
+// MessagesSent returns the number of messages written.
+func (c *Conn) MessagesSent() int64 { return c.messagesSent.Load() }
+
+// byteReader adapts an io.Reader to io.ByteReader while counting bytes.
+type byteReader struct {
+	r io.Reader
+	n int
+}
+
+func (b *byteReader) ReadByte() (byte, error) {
+	var buf [1]byte
+	if _, err := io.ReadFull(b.r, buf[:]); err != nil {
+		return 0, err
+	}
+	b.n++
+	return buf[0], nil
+}

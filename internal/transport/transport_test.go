@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestSendReceiveRoundTrip(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	a := New(client)
+	b := New(server)
+
+	done := make(chan error, 1)
+	go func() {
+		done <- a.Send(MsgFrame, []byte("hello"))
+	}()
+	msgType, payload, err := b.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if msgType != MsgFrame || string(payload) != "hello" {
+		t.Fatalf("got %d %q", msgType, payload)
+	}
+	if a.BytesSent() != b.BytesReceived() {
+		t.Fatalf("accounting mismatch: sent %d received %d", a.BytesSent(), b.BytesReceived())
+	}
+	if a.MessagesSent() != 1 {
+		t.Fatalf("messages sent = %d", a.MessagesSent())
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	a, b := New(client), New(server)
+	go func() { _ = a.Send(MsgEnd, nil) }()
+	msgType, payload, err := b.Receive()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msgType != MsgEnd || len(payload) != 0 {
+		t.Fatalf("got %d %v", msgType, payload)
+	}
+}
+
+func TestManyMessagesOrdered(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	a, b := New(client), New(server)
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if err := a.Send(MsgFrame, []byte{byte(i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		_, payload, err := b.Receive()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if payload[0] != byte(i) {
+			t.Fatalf("message %d out of order: %d", i, payload[0])
+		}
+	}
+	wg.Wait()
+}
+
+func TestReceiveEOFOnClose(t *testing.T) {
+	client, server := net.Pipe()
+	b := New(server)
+	client.Close()
+	defer server.Close()
+	if _, _, err := b.Receive(); err != io.EOF {
+		t.Fatalf("expected io.EOF, got %v", err)
+	}
+}
+
+func TestCorruptLengthRejected(t *testing.T) {
+	// A huge varint length must be rejected, not allocated.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	c := New(readWriter{&buf})
+	if _, _, err := c.Receive(); err == nil {
+		t.Fatal("corrupt length accepted")
+	}
+}
+
+func TestOversizedSendRejected(t *testing.T) {
+	c := New(readWriter{&bytes.Buffer{}})
+	if err := c.Send(MsgFrame, make([]byte, maxMessageSize+1)); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	property := func(msgType byte, payload []byte) bool {
+		if msgType == 0 {
+			msgType = 1
+		}
+		var buf bytes.Buffer
+		c := New(readWriter{&buf})
+		if err := c.Send(msgType, payload); err != nil {
+			return false
+		}
+		gotType, gotPayload, err := c.Receive()
+		if err != nil {
+			return false
+		}
+		return gotType == msgType && bytes.Equal(gotPayload, payload)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// readWriter joins a buffer into a ReadWriter for loopback tests.
+type readWriter struct{ buf *bytes.Buffer }
+
+func (rw readWriter) Read(p []byte) (int, error)  { return rw.buf.Read(p) }
+func (rw readWriter) Write(p []byte) (int, error) { return rw.buf.Write(p) }
