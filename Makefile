@@ -2,20 +2,39 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench figures figures-quick examples clean
+.PHONY: build test test-race bench bench-json figures figures-quick examples clean
 
 build:
 	$(GO) build ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
 
+# Race coverage for every package that runs or feeds the worker pools:
+# the scheduler itself, the detector caches and pooled scratch buffers,
+# profile generation, and the core/transport/camera plumbing. The
+# experiments package runs only its parallel determinism tests under the
+# race detector — its full figure suite is numeric, race-free by
+# construction on top of these packages, and an order of magnitude too
+# slow with instrumentation on.
 test-race:
-	$(GO) test -race ./internal/detect/ ./internal/transport/ ./internal/camera/ ./internal/degrade/
+	$(GO) test -race ./internal/parallel/ ./internal/detect/ ./internal/raster/ \
+		./internal/profile/ ./internal/core/ \
+		./internal/transport/ ./internal/camera/ ./internal/degrade/
+	$(GO) test -race -run 'Parallel' ./internal/experiments/
 
 # One testing.B benchmark per paper figure/claim plus micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
+
+# Machine-readable benchmark regression artifact: one full -benchtime=1x
+# sweep rendered to JSON (ns/op, B/op, allocs/op, invocations/op) by
+# cmd/benchjson. Committed per PR as BENCH_<pr>.json.
+bench-json:
+	$(GO) test -bench=. -benchmem -benchtime=1x > bench.tmp
+	$(GO) run ./cmd/benchjson -out BENCH_PR1.json < bench.tmp
+	rm -f bench.tmp
 
 # Full-scale evaluation reports (the EXPERIMENTS.md numbers). Detector
 # outputs are cached under .cache so reruns are fast.

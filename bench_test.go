@@ -203,6 +203,50 @@ func BenchmarkSweepFractions(b *testing.B) {
 	}
 }
 
+// Hypercube generation is the system's dominant cost (every cell drives
+// the detectors); these two benches pin the sequential reference against
+// the worker-pool fan-out (one worker per CPU). Caches are dropped each
+// iteration so every op pays the full detector cost, and the detector
+// invocation count is reported alongside time: the parallel path may
+// duplicate a few frame evaluations when workers race on a cache key, and
+// that cost must stay visible.
+
+func benchHypercube(b *testing.B, parallelism int) {
+	spec := &profile.Spec{
+		Video:  dataset.MustLoad("small"),
+		Model:  detect.YOLOv4Sim(),
+		Class:  scene.Car,
+		Agg:    estimate.AVG,
+		Params: estimate.DefaultParams(),
+	}
+	root := stats.NewStream(7)
+	res, err := profile.ConstructCorrection(spec, 1, root.Child(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := profile.HypercubeOptions{
+		Fractions:   []float64{0.02, 0.1},
+		Correction:  res.Correction,
+		Parallelism: parallelism,
+	}
+	var invocations int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		detect.ResetCaches()
+		b.StartTimer()
+		before := detect.Invocations()
+		if _, err := profile.GenerateHypercubeOpts(spec, opts, root.Child(2)); err != nil {
+			b.Fatal(err)
+		}
+		invocations += detect.Invocations() - before
+	}
+	b.ReportMetric(float64(invocations)/float64(b.N), "invocations/op")
+}
+
+func BenchmarkHypercubeSequential(b *testing.B) { benchHypercube(b, 1) }
+func BenchmarkHypercubeParallel(b *testing.B)   { benchHypercube(b, 0) }
+
 // Ablation benches for the DESIGN.md call-outs: the single-n confidence
 // construction vs EBGS's any-time schedule, and Hoeffding-Serfling vs the
 // empirical Bernstein inequality inside Algorithm 1.

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: smokescreen
+cpu: Some CPU @ 2.40GHz
+BenchmarkEstimateAVG-8         	   10000	     11234 ns/op	    2048 B/op	      12 allocs/op
+BenchmarkHypercubeSequential   	       1	 912345678 ns/op	 5120 invocations/op	 1048576 B/op	    9999 allocs/op
+--- BENCH: BenchmarkIgnored
+PASS
+ok  	smokescreen	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "smokescreen" {
+		t.Fatalf("host facts wrong: %+v", rep)
+	}
+	if rep.CPU != "Some CPU @ 2.40GHz" {
+		t.Fatalf("cpu %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks", len(rep.Benchmarks))
+	}
+	avg := rep.Benchmarks[0]
+	if avg.Name != "BenchmarkEstimateAVG" || avg.Procs != 8 || avg.Iterations != 10000 {
+		t.Fatalf("first benchmark: %+v", avg)
+	}
+	if avg.Metrics["ns/op"] != 11234 || avg.Metrics["B/op"] != 2048 || avg.Metrics["allocs/op"] != 12 {
+		t.Fatalf("first metrics: %+v", avg.Metrics)
+	}
+	cube := rep.Benchmarks[1]
+	if cube.Name != "BenchmarkHypercubeSequential" || cube.Procs != 1 {
+		t.Fatalf("second benchmark: %+v", cube)
+	}
+	if cube.Metrics["invocations/op"] != 5120 {
+		t.Fatalf("custom metric lost: %+v", cube.Metrics)
+	}
+}
+
+func TestParseEmptyFails(t *testing.T) {
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok\n"))); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestSplitProcs(t *testing.T) {
+	cases := []struct {
+		in    string
+		name  string
+		procs int
+	}{
+		{"BenchmarkFoo-8", "BenchmarkFoo", 8},
+		{"BenchmarkFoo", "BenchmarkFoo", 1},
+		{"BenchmarkFoo-bar", "BenchmarkFoo-bar", 1},
+	}
+	for _, c := range cases {
+		name, procs := splitProcs(c.in)
+		if name != c.name || procs != c.procs {
+			t.Fatalf("splitProcs(%q) = %q, %d", c.in, name, procs)
+		}
+	}
+}

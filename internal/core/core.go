@@ -41,6 +41,9 @@ type System struct {
 	// sweeps: a sweep stops once the bound improves by less than this
 	// between consecutive fractions. Zero disables it.
 	earlyStopDelta float64
+	// parallelism bounds the worker goroutines used during profile
+	// generation; 1 is sequential, 0 or negative means one per CPU.
+	parallelism int
 }
 
 // Option configures a System.
@@ -71,6 +74,15 @@ func WithEarlyStop(delta float64) Option {
 	return func(s *System) { s.earlyStopDelta = delta }
 }
 
+// WithParallelism bounds the worker goroutines used for profile
+// generation (the hypercube grid and fraction sweeps). 1 — the default —
+// is sequential; 0 or negative means one worker per CPU. Randomness is
+// derived per grid cell from stats.Stream children, so profiles are
+// bit-for-bit identical at any setting.
+func WithParallelism(n int) Option {
+	return func(s *System) { s.parallelism = n }
+}
+
 // New constructs a System with the paper's defaults.
 func New(opts ...Option) *System {
 	s := &System{
@@ -78,6 +90,7 @@ func New(opts ...Option) *System {
 		correctionLimit: 0.2,
 		fractionStep:    0.01,
 		maxFraction:     0.2,
+		parallelism:     1,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -166,7 +179,12 @@ func (s *System) GenerateProfiles(q *query.Query) (*Profiles, error) {
 		return nil, fmt.Errorf("core: constructing correction set: %w", err)
 	}
 	fractions := degrade.CandidateFractions(s.fractionStep, s.maxFraction)
-	cube, err := profile.GenerateHypercube(spec, fractions, corr.Correction, root.Child(2), s.earlyStopDelta)
+	cube, err := profile.GenerateHypercubeOpts(spec, profile.HypercubeOptions{
+		Fractions:      fractions,
+		Correction:     corr.Correction,
+		EarlyStopDelta: s.earlyStopDelta,
+		Parallelism:    s.parallelism,
+	}, root.Child(2))
 	if err != nil {
 		return nil, fmt.Errorf("core: generating hypercube: %w", err)
 	}
@@ -181,11 +199,15 @@ func (s *System) GenerateProfiles(q *query.Query) (*Profiles, error) {
 
 // SweepProfile generates a single-axis profile (fractions at the given
 // resolution and removal combo) for a query — the 2D plot an administrator
-// starts from.
+// starts from. When opts.Parallelism is zero the system's configured
+// parallelism (WithParallelism) applies.
 func (s *System) SweepProfile(q *query.Query, opts profile.SweepOptions) (*profile.Profile, error) {
 	spec, err := s.Resolve(q)
 	if err != nil {
 		return nil, err
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = s.parallelism
 	}
 	return profile.SweepFractions(spec, opts, stats.NewStream(s.seed).Child(3))
 }

@@ -1,0 +1,104 @@
+package detect
+
+import (
+	"testing"
+
+	"smokescreen/internal/scene"
+)
+
+// cacheTestVideo builds a tiny corpus for cache accounting tests.
+func cacheTestVideo(t *testing.T, name string, seed uint64) *scene.Video {
+	t.Helper()
+	cfg := scene.Config{
+		Name: name, Width: 320, Height: 320, NumFrames: 6, Seed: seed,
+		Lighting: scene.Lighting{BackgroundTop: 0.6, BackgroundBottom: 0.7, NoiseSigma: 0.01},
+		CarRate:  0.5, CarLifetime: 4, CarMinW: 30, CarMaxW: 50, CarContrast: 0.3,
+		PersonLifetime: 4, BusyFactor: 1, RegimeLength: 5, LaneYs: []int{160},
+	}
+	v, err := scene.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCacheStatsAndEvictVideo(t *testing.T) {
+	ResetCaches()
+	t.Cleanup(ResetCaches)
+
+	a := cacheTestVideo(t, "cache-a", 41)
+	b := cacheTestVideo(t, "cache-b", 42)
+	m := YOLOv4Sim()
+
+	seriesA := Outputs(a, m, scene.Car, 160)
+	Outputs(b, m, scene.Car, 160)
+	OutputsAt(b, m, scene.Car, 96, []int{0, 2, 4})
+	m.DetectFrameFull(a, 0, 160) // populates the downsampled-background cache
+
+	s := Stats()
+	if s.FullSeries != 2 {
+		t.Fatalf("FullSeries = %d, want 2", s.FullSeries)
+	}
+	if s.SparseSeries != 1 || s.SparseEntries != 3 {
+		t.Fatalf("sparse accounting = (%d series, %d entries), want (1, 3)",
+			s.SparseSeries, s.SparseEntries)
+	}
+	if s.BackgroundImages != 1 {
+		t.Fatalf("BackgroundImages = %d, want 1", s.BackgroundImages)
+	}
+	wantFull := int64(2) * (int64(len(seriesA))*8 + perEntryOverhead)
+	if s.FullBytes != wantFull {
+		t.Fatalf("FullBytes = %d, want %d", s.FullBytes, wantFull)
+	}
+	if s.TotalBytes() != s.FullBytes+s.SparseBytes+s.BackgroundBytes {
+		t.Fatal("TotalBytes does not sum the components")
+	}
+
+	before := s.TotalBytes()
+	freed := EvictVideo(b)
+	after := Stats()
+	if after.FullSeries != 1 || after.SparseSeries != 0 {
+		t.Fatalf("eviction left (%d full, %d sparse) for corpus b",
+			after.FullSeries, after.SparseSeries)
+	}
+	if after.BackgroundImages != 1 {
+		t.Fatal("eviction of b dropped a's background")
+	}
+	if freed != before-after.TotalBytes() {
+		t.Fatalf("freed %d bytes, but totals dropped by %d", freed, before-after.TotalBytes())
+	}
+
+	// Evicted series recompute identically on the next request.
+	again := Outputs(b, m, scene.Car, 160)
+	fresh := computeOutputs(b, m, scene.Car, 160)
+	for i := range again {
+		if again[i] != fresh[i] {
+			t.Fatalf("recomputed series diverges at frame %d", i)
+		}
+	}
+
+	freed = EvictVideo(a)
+	if freed == 0 {
+		t.Fatal("evicting corpus a freed nothing")
+	}
+	if s := Stats(); s.BackgroundImages != 0 {
+		t.Fatal("background cache survived eviction of its corpus")
+	}
+}
+
+func TestInvocationCounterAtomic(t *testing.T) {
+	ResetCaches()
+	t.Cleanup(ResetCaches)
+
+	v := cacheTestVideo(t, "cache-inv", 43)
+	m := YOLOv4Sim()
+	Outputs(v, m, scene.Car, 160)
+	if got := Invocations(); got != int64(v.NumFrames()) {
+		t.Fatalf("Invocations = %d, want %d", got, v.NumFrames())
+	}
+	// Cache hit: no further invocations.
+	Outputs(v, m, scene.Car, 160)
+	if got := Invocations(); got != int64(v.NumFrames()) {
+		t.Fatalf("cache hit changed the counter to %d", got)
+	}
+}

@@ -1,6 +1,10 @@
 package detect
 
-import "smokescreen/internal/raster"
+import (
+	"sync"
+
+	"smokescreen/internal/raster"
+)
 
 // component is a connected region of above-threshold pixels.
 type component struct {
@@ -22,15 +26,32 @@ func (c *component) MeanContrast() float64 {
 // connectedComponents labels the 4-connected regions of mask (length w*h,
 // row-major) and returns one component per region, with contrast sums taken
 // from the parallel contrast slice. Two-pass union-find with path halving.
+// ccScratch pools the label buffer of connectedComponents: one w*h int32
+// slab per frame evaluation, dead as soon as the components are extracted.
+type ccScratch struct {
+	labels []int32
+	parent []int32
+}
+
+var ccPool = sync.Pool{New: func() any { return &ccScratch{} }}
+
 func connectedComponents(mask []bool, contrast []float32, w, h int) []component {
 	if len(mask) != w*h || len(contrast) != w*h {
 		panic("detect: connectedComponents size mismatch")
 	}
-	labels := make([]int32, w*h)
+	cc := ccPool.Get().(*ccScratch)
+	defer ccPool.Put(cc)
+	if cap(cc.labels) < w*h {
+		cc.labels = make([]int32, w*h)
+	} else {
+		cc.labels = cc.labels[:w*h]
+	}
+	labels := cc.labels
 	for i := range labels {
 		labels[i] = -1
 	}
-	parent := make([]int32, 0, 64)
+	parent := cc.parent[:0]
+	defer func() { cc.parent = parent[:0] }()
 
 	find := func(x int32) int32 {
 		for parent[x] != x {

@@ -47,8 +47,11 @@ func debugComponents(v *scene.Video, frameIdx, p int, obj *scene.Object, sx, sy,
 	bgPatch := raster.Downsample(v.BackgroundRegion(region), tw, th)
 	diff := diffPlane(patch, bgPatch)
 	smooth := diff.blur3()
-	mask, contrast := smooth.absMask(tau)
-	comps := connectedComponents(mask, contrast, tw, th)
+	putPlane(diff)
+	scr := smooth.absMask(tau)
+	comps := connectedComponents(scr.mask, scr.contrast, tw, th)
+	putPlane(smooth)
+	putMaskScratch(scr)
 	expected := raster.Rect{
 		MinX: int(math.Floor((float64(obj.BBox.MinX) - float64(region.MinX)) * sx)),
 		MinY: int(math.Floor((float64(obj.BBox.MinY) - float64(region.MinY)) * sy)),

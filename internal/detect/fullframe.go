@@ -33,6 +33,34 @@ func downsampledBackground(v *scene.Video, p int) *raster.Image {
 	return img
 }
 
+// backgroundStats reports the downsampled-background cache size for the
+// byte-accounted cache report.
+func backgroundStats() (n int, bytes int64) {
+	bgDownMu.Lock()
+	defer bgDownMu.Unlock()
+	for _, img := range bgDownCache {
+		n++
+		bytes += int64(len(img.Pix)) * 4
+	}
+	return n, bytes
+}
+
+// evictBackgrounds drops cached downsampled backgrounds for one corpus
+// (nil: for all corpora) and returns the accounted bytes freed.
+func evictBackgrounds(v *scene.Video) int64 {
+	bgDownMu.Lock()
+	defer bgDownMu.Unlock()
+	var freed int64
+	for key, img := range bgDownCache {
+		if v != nil && key.video != v {
+			continue
+		}
+		freed += int64(len(img.Pix)) * 4
+		delete(bgDownCache, key)
+	}
+	return freed
+}
+
 // DetectFrameFull is the reference detection path: it renders the entire
 // frame at native resolution, downsamples it to p x p, adds sensor noise,
 // subtracts the (equally downsampled) static background, denoises, and
@@ -54,7 +82,9 @@ func (m *Model) DetectFrameFull(v *scene.Video, i, p int) []Detection {
 	sigmaEff := effectiveNoise(float64(cfg.Lighting.NoiseSigma), sx)
 
 	native := v.RenderNative(i)
-	img := raster.Downsample(native, p, p)
+	img := raster.GetScratch(p, p)
+	defer raster.PutScratch(img)
+	raster.DownsampleInto(img, native)
 	img.AddNoise(frameNoiseSeed(cfg.Seed, i, p), float32(sigmaEff))
 	return m.DetectPixels(img, downsampledBackground(v, p), float64(cfg.Lighting.NoiseSigma), cfg.Width, dupSeed(cfg.Seed, i, p, 0))
 }
@@ -89,8 +119,11 @@ func (m *Model) DetectPixels(img, bg *raster.Image, nativeNoiseSigma float64, ca
 		diff = diffPlane(img, bg)
 	}
 	smooth := diff.blur3()
-	mask, contrast := smooth.absMask(tau)
-	comps := connectedComponents(mask, contrast, img.W, img.H)
+	putPlane(diff)
+	scr := smooth.absMask(tau)
+	comps := connectedComponents(scr.mask, scr.contrast, img.W, img.H)
+	putPlane(smooth)
+	putMaskScratch(scr)
 
 	var out []Detection
 	for ci := range comps {
@@ -127,8 +160,11 @@ func (m *Model) DetectPixels(img, bg *raster.Image, nativeNoiseSigma float64, ca
 // over the whole frame, the face model's detection response.
 func fullFrameTopHat(img *raster.Image) *plane {
 	radius := maxInt(2, img.W/40)
-	wide := raster.BoxBlur(img, radius)
-	return diffPlane(img, wide)
+	wide := raster.GetScratch(img.W, img.H)
+	raster.BoxBlurInto(wide, img, radius)
+	diff := diffPlane(img, wide)
+	raster.PutScratch(wide)
+	return diff
 }
 
 // CountClass returns the number of detections of class c.

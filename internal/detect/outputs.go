@@ -1,9 +1,10 @@
 package detect
 
 import (
-	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"smokescreen/internal/parallel"
 	"smokescreen/internal/scene"
 )
 
@@ -29,24 +30,21 @@ var (
 	outputInFly = map[outputKey]*sync.WaitGroup{}
 )
 
-// InvocationCounter counts model invocations for the profile-generation
+// invocationCount counts model invocations for the profile-generation
 // time experiment (Section 5.3.1). It is incremented once per frame
-// evaluation that misses the cache.
-var invocationMu sync.Mutex
-var invocationCount int64
+// evaluation that misses the cache. A lock-free atomic keeps the counter
+// off the frame-evaluation hot path: under parallel profile generation
+// every worker pool bumps it, and a mutex here would serialize them.
+var invocationCount atomic.Int64
 
 // Invocations returns the total number of model frame evaluations
 // performed so far by Outputs cache misses.
 func Invocations() int64 {
-	invocationMu.Lock()
-	defer invocationMu.Unlock()
-	return invocationCount
+	return invocationCount.Load()
 }
 
 func addInvocations(n int64) {
-	invocationMu.Lock()
-	invocationCount += n
-	invocationMu.Unlock()
+	invocationCount.Add(n)
 }
 
 // Outputs returns the per-frame counts of class objects reported by model
@@ -86,39 +84,18 @@ func Outputs(v *scene.Video, model *Model, class scene.Class, p int) []float64 {
 	return series
 }
 
-// computeOutputs evaluates the detector over the whole corpus using a
-// worker pool.
+// computeOutputs evaluates the detector over the whole corpus using the
+// bounded work-stealing pool; each frame writes its own series slot, so the
+// result is identical to a sequential evaluation.
 func computeOutputs(v *scene.Video, model *Model, class scene.Class, p int) []float64 {
 	n := v.NumFrames()
 	series := make([]float64, n)
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
 	// Background is rendered lazily behind a sync.Once; touch it before
 	// fanning out so workers share one render.
 	v.Background()
-
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				series[i] = float64(CountClass(model.DetectFrame(v, i, p), class))
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.For(n, 0, func(i int) {
+		series[i] = float64(CountClass(model.DetectFrame(v, i, p), class))
+	})
 	addInvocations(int64(n))
 	return series
 }
@@ -196,31 +173,10 @@ func OutputsAt(v *scene.Video, model *Model, class scene.Class, p int, frames []
 
 	if len(missing) > 0 {
 		v.Background() // share one lazy background render across workers
-		workers := runtime.GOMAXPROCS(0)
-		if workers > len(missing) {
-			workers = len(missing)
-		}
 		results := make([]float64, len(missing))
-		var wg sync.WaitGroup
-		chunk := (len(missing) + workers - 1) / workers
-		for w := 0; w < workers; w++ {
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > len(missing) {
-				hi = len(missing)
-			}
-			if lo >= hi {
-				break
-			}
-			wg.Add(1)
-			go func(lo, hi int) {
-				defer wg.Done()
-				for i := lo; i < hi; i++ {
-					results[i] = float64(CountClass(model.DetectFrame(v, missing[i], p), class))
-				}
-			}(lo, hi)
-		}
-		wg.Wait()
+		parallel.For(len(missing), 0, func(i int) {
+			results[i] = float64(CountClass(model.DetectFrame(v, missing[i], p), class))
+		})
 		sp.mu.Lock()
 		for i, f := range missing {
 			sp.vals[f] = results[i]
@@ -240,7 +196,8 @@ func OutputsAt(v *scene.Video, model *Model, class scene.Class, p int, frames []
 
 // ResetCaches clears the output caches and invocation counter. Tests and
 // the profile-generation-time experiment use it to measure cold-cache
-// behaviour.
+// behaviour; long-running deployments that want to bound memory should
+// prefer the per-corpus EvictVideo hook.
 func ResetCaches() {
 	outputMu.Lock()
 	outputCache = map[outputKey][]float64{}
@@ -249,7 +206,94 @@ func ResetCaches() {
 	sparseMu.Lock()
 	sparseCache = map[outputKey]*sparse{}
 	sparseMu.Unlock()
-	invocationMu.Lock()
-	invocationCount = 0
-	invocationMu.Unlock()
+	evictBackgrounds(nil)
+	invocationCount.Store(0)
+}
+
+// CacheStats is a byte-accounted size report of the detect package's
+// in-process caches. Series counts are small non-negative integers stored
+// as float64, so the accounting below is exact for the slice/map payloads
+// and approximate (a fixed per-entry overhead) for Go's map internals.
+type CacheStats struct {
+	// FullSeries / FullBytes cover the complete per-corpus output series
+	// in outputCache: 8 bytes per frame plus a per-entry key overhead.
+	FullSeries int
+	FullBytes  int64
+	// SparseSeries / SparseEntries / SparseBytes cover the partially
+	// evaluated series in sparseCache: 16 bytes per cached frame value
+	// (int key + float64 value) plus per-entry map overhead.
+	SparseSeries  int
+	SparseEntries int
+	SparseBytes   int64
+	// BackgroundImages / BackgroundBytes cover the downsampled static
+	// backgrounds cached by the full-frame path: 4 bytes per pixel.
+	BackgroundImages int
+	BackgroundBytes  int64
+}
+
+// perEntryOverhead approximates the fixed cost of one cache entry: the
+// outputKey (pointer + string header + two ints) plus map bucket overhead.
+const perEntryOverhead = 96
+
+// TotalBytes returns the total accounted size of all detect caches.
+func (s CacheStats) TotalBytes() int64 {
+	return s.FullBytes + s.SparseBytes + s.BackgroundBytes
+}
+
+// Stats reports the current size of the output caches. Fleet deployments
+// poll it to decide when to evict retired corpora (see EvictVideo); the
+// cache is otherwise unbounded, which is the right default for experiment
+// reruns but not for a long-running service.
+func Stats() CacheStats {
+	var s CacheStats
+	outputMu.Lock()
+	for _, series := range outputCache {
+		s.FullSeries++
+		s.FullBytes += int64(len(series))*8 + perEntryOverhead
+	}
+	outputMu.Unlock()
+	sparseMu.Lock()
+	for _, sp := range sparseCache {
+		sp.mu.Lock()
+		n := len(sp.vals)
+		sp.mu.Unlock()
+		s.SparseSeries++
+		s.SparseEntries += n
+		s.SparseBytes += int64(n)*16 + perEntryOverhead
+	}
+	sparseMu.Unlock()
+	n, bytes := backgroundStats()
+	s.BackgroundImages = n
+	s.BackgroundBytes = bytes
+	return s
+}
+
+// EvictVideo drops every cached artifact derived from the given corpus —
+// full and sparse output series and downsampled backgrounds — and returns
+// the number of accounted bytes freed. It is the memory-bounding hook for
+// long-running fleet workloads: when a camera's corpus rotates out of the
+// query window, evict it instead of resetting every cache. Concurrent
+// Outputs/OutputsAt calls for the same corpus simply recompute.
+func EvictVideo(v *scene.Video) int64 {
+	var freed int64
+	outputMu.Lock()
+	for key, series := range outputCache {
+		if key.video == v {
+			freed += int64(len(series))*8 + perEntryOverhead
+			delete(outputCache, key)
+		}
+	}
+	outputMu.Unlock()
+	sparseMu.Lock()
+	for key, sp := range sparseCache {
+		if key.video == v {
+			sp.mu.Lock()
+			freed += int64(len(sp.vals))*16 + perEntryOverhead
+			sp.mu.Unlock()
+			delete(sparseCache, key)
+		}
+	}
+	sparseMu.Unlock()
+	freed += evictBackgrounds(v)
+	return freed
 }

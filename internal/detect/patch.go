@@ -132,7 +132,9 @@ func (m *Model) evalPatch(v *scene.Video, frameIdx, p int, obj *scene.Object, sx
 	nativePatch := v.RenderRegion(frameIdx, region)
 	tw := maxInt(3, int(math.Round(float64(region.W())*sx)))
 	th := maxInt(3, int(math.Round(float64(region.H())*sy)))
-	patch := raster.Downsample(nativePatch, tw, th)
+	patch := raster.GetScratch(tw, th)
+	defer raster.PutScratch(patch)
+	raster.DownsampleInto(patch, nativePatch)
 	patch.AddNoise(noiseSeed(cfg.Seed, frameIdx, p, obj.ID), float32(sigmaEff))
 
 	var diff *plane
@@ -145,12 +147,17 @@ func (m *Model) evalPatch(v *scene.Video, frameIdx, p int, obj *scene.Object, sx
 		// head/torso pixels.
 		diff = diffScalar(patch, borderMean(patch))
 	} else {
-		bgPatch := raster.Downsample(v.BackgroundRegion(region), tw, th)
+		bgPatch := raster.GetScratch(tw, th)
+		raster.DownsampleInto(bgPatch, v.BackgroundRegion(region))
 		diff = diffPlane(patch, bgPatch)
+		raster.PutScratch(bgPatch)
 	}
 	smooth := diff.blur3()
-	mask, contrast := smooth.absMask(tau)
-	comps := connectedComponents(mask, contrast, tw, th)
+	putPlane(diff)
+	scr := smooth.absMask(tau)
+	comps := connectedComponents(scr.mask, scr.contrast, tw, th)
+	putPlane(smooth)
+	putMaskScratch(scr)
 
 	// Expected object bbox in patch coordinates.
 	expected := raster.Rect{

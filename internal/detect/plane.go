@@ -1,6 +1,10 @@
 package detect
 
-import "smokescreen/internal/raster"
+import (
+	"sync"
+
+	"smokescreen/internal/raster"
+)
 
 // plane is a signed float32 pixel buffer. The detector works on the signed
 // difference between a frame and the static background, which can be
@@ -11,25 +15,73 @@ type plane struct {
 	v    []float32
 }
 
-func newPlane(w, h int) *plane {
-	return &plane{w: w, h: h, v: make([]float32, w*h)}
+// Planes and threshold buffers live for one frame evaluation each —
+// millions of them over a profile run — so the hot paths draw them from
+// pools. Pooled buffers are resliced, never zeroed: every producer below
+// (diffPlane, diffScalar, blur3, absMask) overwrites all samples.
+var planePool = sync.Pool{New: func() any { return &plane{} }}
+
+func getPlane(w, h int) *plane {
+	p := planePool.Get().(*plane)
+	p.w, p.h = w, h
+	if cap(p.v) < w*h {
+		p.v = make([]float32, w*h)
+	} else {
+		p.v = p.v[:w*h]
+	}
+	return p
 }
 
-// diffPlane returns a - b elementwise. Both images must share dimensions.
+func putPlane(p *plane) {
+	if p != nil {
+		planePool.Put(p)
+	}
+}
+
+// maskScratch carries the threshold mask and contrast buffers consumed by
+// connectedComponents and the confidence model; contrast values are copied
+// into component sums before release.
+type maskScratch struct {
+	mask     []bool
+	contrast []float32
+}
+
+var maskPool = sync.Pool{New: func() any { return &maskScratch{} }}
+
+func getMaskScratch(n int) *maskScratch {
+	s := maskPool.Get().(*maskScratch)
+	if cap(s.mask) < n {
+		s.mask = make([]bool, n)
+		s.contrast = make([]float32, n)
+	} else {
+		s.mask = s.mask[:n]
+		s.contrast = s.contrast[:n]
+	}
+	return s
+}
+
+func putMaskScratch(s *maskScratch) {
+	if s != nil {
+		maskPool.Put(s)
+	}
+}
+
+// diffPlane returns a - b elementwise in a pooled plane. Both images must
+// share dimensions. Release with putPlane.
 func diffPlane(a, b *raster.Image) *plane {
 	if a.W != b.W || a.H != b.H {
 		panic("detect: diffPlane size mismatch")
 	}
-	p := newPlane(a.W, a.H)
+	p := getPlane(a.W, a.H)
 	for i := range a.Pix {
 		p.v[i] = a.Pix[i] - b.Pix[i]
 	}
 	return p
 }
 
-// diffScalar returns img - c elementwise.
+// diffScalar returns img - c elementwise in a pooled plane.
 func diffScalar(img *raster.Image, c float32) *plane {
-	p := newPlane(img.W, img.H)
+	p := getPlane(img.W, img.H)
 	for i := range img.Pix {
 		p.v[i] = img.Pix[i] - c
 	}
@@ -41,7 +93,7 @@ func diffScalar(img *raster.Image, c float32) *plane {
 // uncorrelated noise sigma by 3 while leaving the interior of objects
 // larger than ~3 pixels intact — the detector's denoising stage.
 func (p *plane) blur3() *plane {
-	out := newPlane(p.w, p.h)
+	out := getPlane(p.w, p.h)
 	for y := 0; y < p.h; y++ {
 		y0, y1 := y-1, y+2
 		if y0 < 0 {
@@ -71,18 +123,18 @@ func (p *plane) blur3() *plane {
 	return out
 }
 
-// absMask thresholds |p| > tau, returning the mask and the absolute
-// contrast plane the confidence model consumes.
-func (p *plane) absMask(tau float64) (mask []bool, contrast []float32) {
-	mask = make([]bool, len(p.v))
-	contrast = make([]float32, len(p.v))
+// absMask thresholds |p| > tau, returning a pooled scratch holding the
+// mask and the absolute contrast plane the confidence model consumes.
+// Release with putMaskScratch once components are extracted.
+func (p *plane) absMask(tau float64) *maskScratch {
+	s := getMaskScratch(len(p.v))
 	t := float32(tau)
 	for i, v := range p.v {
 		if v < 0 {
 			v = -v
 		}
-		contrast[i] = v
-		mask[i] = v > t
+		s.contrast[i] = v
+		s.mask[i] = v > t
 	}
-	return mask, contrast
+	return s
 }

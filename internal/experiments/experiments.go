@@ -32,6 +32,12 @@ type Config struct {
 	// exercise every experiment in seconds. Figures for EXPERIMENTS.md are
 	// produced with Quick off.
 	Quick bool
+	// Parallelism bounds the worker goroutines used for per-point trial
+	// loops: 1 is sequential, 0 or negative means one worker per CPU. Each
+	// trial derives its randomness from a stats.Stream child keyed by the
+	// trial index and results are reduced in trial order, so reports are
+	// bit-for-bit identical at any worker count.
+	Parallelism int
 }
 
 // DefaultConfig mirrors the paper: 100 trials.

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"smokescreen/internal/estimate"
+	"smokescreen/internal/parallel"
 	"smokescreen/internal/stats"
 )
 
@@ -73,35 +74,58 @@ func runPanel(w Workload, cfg Config, points int) (*panel, error) {
 			TrueErr:  map[string]float64{},
 			Bound:    map[string]float64{},
 		}
-		cltFails := 0
-		for trial := 0; trial < cfg.Trials; trial++ {
+		// Trials are independent: each derives its sample from a stream
+		// child keyed by the trial index, lands its sums in its own slot,
+		// and the slots are reduced in trial order below — so the float
+		// accumulation order (and hence every report digit) matches the
+		// sequential loop exactly.
+		type trialSums struct {
+			trueErr, bound map[string]float64
+			cltFail        bool
+		}
+		trials, err := parallel.Map(cfg.Trials, cfg.Parallelism, func(trial int) (trialSums, error) {
+			sums := trialSums{trueErr: map[string]float64{}, bound: map[string]float64{}}
 			sample := samplePrefix(population, n, root.ChildN(uint64(n), uint64(trial)))
 
 			ours, err := estimate.Smokescreen(w.Agg, sample, N, spec.Params)
 			if err != nil {
-				return nil, err
+				return sums, err
 			}
 			trueErr, err := estimate.TrueError(w.Agg, ours.Value, population, spec.Params)
 			if err != nil {
-				return nil, err
+				return sums, err
 			}
-			pt.TrueErr["Smokescreen"] += trueErr
-			pt.Bound["Smokescreen"] += ours.ErrBound
+			sums.trueErr["Smokescreen"] = trueErr
+			sums.bound["Smokescreen"] = ours.ErrBound
 
 			for _, b := range baselines {
 				be, err := estimate.BaselineEstimate(b, w.Agg, sample, N, spec.Params)
 				if err != nil {
-					return nil, err
+					return sums, err
 				}
 				bTrueErr, err := estimate.TrueError(w.Agg, be.Value, population, spec.Params)
 				if err != nil {
-					return nil, err
+					return sums, err
 				}
-				pt.TrueErr[b.String()] += capBound(bTrueErr)
-				pt.Bound[b.String()] += capBound(be.ErrBound)
+				sums.trueErr[b.String()] = capBound(bTrueErr)
+				sums.bound[b.String()] = capBound(be.ErrBound)
 				if b == estimate.CLT && be.ErrBound < bTrueErr {
-					cltFails++
+					sums.cltFail = true
 				}
+			}
+			return sums, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		cltFails := 0
+		for _, s := range trials {
+			for _, m := range methods {
+				pt.TrueErr[m] += s.trueErr[m]
+				pt.Bound[m] += s.bound[m]
+			}
+			if s.cltFail {
+				cltFails++
 			}
 		}
 		for _, m := range methods {

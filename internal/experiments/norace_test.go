@@ -1,0 +1,6 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled is the no-race-detector default; see race_test.go.
+const raceEnabled = false

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"smokescreen/internal/estimate"
+)
+
+// The parallel trial loops must reproduce the sequential reports exactly:
+// trials derive their randomness from stream children keyed by the trial
+// index and are reduced in trial order, so every float sum matches
+// bit-for-bit. Extra Ps are forced so goroutines genuinely interleave even
+// on a single-CPU host.
+func TestRunPanelParallelBitIdentical(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	// The small corpus keeps this fast enough for `make test-race`, where
+	// instrumentation makes detector work an order of magnitude slower.
+	w := Workload{Dataset: "small", Model: "yolov4", Agg: estimate.AVG}
+	cfg := QuickConfig()
+	cfg.Parallelism = 1
+	seq, err := runPanel(w, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.Parallelism = workers
+		par, err := runPanel(w, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("parallelism=%d: panel differs from sequential:\n%+v\nvs\n%+v", workers, par, seq)
+		}
+	}
+}
+
+func TestFigure9ParallelBitIdentical(t *testing.T) {
+	if raceEnabled {
+		t.Skip("full figure-9 sweep exceeds the test timeout under the race detector; " +
+			"the panel test exercises the same parallel trial reduction")
+	}
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+
+	cfg := QuickConfig()
+	cfg.Parallelism = 1
+	seq, err := Run("figure9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 4
+	par, err := Run("figure9", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("figure9 differs under parallelism:\n%+v\nvs\n%+v", par, seq)
+	}
+}

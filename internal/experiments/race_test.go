@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled trims the parallel determinism tests when the race detector
+// is on: instrumented detector sweeps over the paper corpora run an order
+// of magnitude slower without adding race coverage beyond what the
+// small-corpus panel test already exercises.
+const raceEnabled = true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"smokescreen/internal/estimate"
+	"smokescreen/internal/parallel"
 	"smokescreen/internal/stats"
 )
 
@@ -45,6 +46,11 @@ const (
 // with no image removal — random interventions only. Growth reuses the
 // already-sampled frames: each step extends the previous sample, so model
 // outputs are computed once per frame.
+//
+// Construction is deliberately sequential: the elbow rule decides whether
+// to grow the set from the previous step's bound, so each step is gated on
+// its predecessor and there is no independent work to fan out. (The
+// unstopped sweep, CorrectionCurve, does parallelise.)
 func ConstructCorrection(spec *Spec, sizeLimit float64, stream *stats.Stream) (*ConstructionResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -98,15 +104,24 @@ func ConstructCorrection(spec *Spec, sizeLimit float64, stream *stats.Stream) (*
 // fractions without the stopping rule — the full Figure 9 sweep. The same
 // nested sampling is used so the curve is monotone in information.
 func CorrectionCurve(spec *Spec, fractions []float64, stream *stats.Stream) ([]CorrectionStep, error) {
+	return CorrectionCurveOpts(spec, fractions, 1, stream)
+}
+
+// CorrectionCurveOpts is CorrectionCurve with the fraction evaluations
+// fanned out across parallelism workers (1 is sequential, 0 or negative
+// means one worker per CPU). The permutation is drawn once up front, so
+// every fraction's nested sample — and therefore the curve — is identical
+// at any worker count.
+func CorrectionCurveOpts(spec *Spec, fractions []float64, parallelism int, stream *stats.Stream) ([]CorrectionStep, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	n := spec.Video.NumFrames()
 	perm := stream.Perm(n)
-	var out []CorrectionStep
-	for _, fraction := range fractions {
+	return parallel.Map(len(fractions), parallelism, func(i int) (CorrectionStep, error) {
+		fraction := fractions[i]
 		if fraction <= 0 || fraction > 1 {
-			return nil, fmt.Errorf("profile: correction fraction %v out of (0,1]", fraction)
+			return CorrectionStep{}, fmt.Errorf("profile: correction fraction %v out of (0,1]", fraction)
 		}
 		m := int(float64(n)*fraction + 0.5)
 		if m < 1 {
@@ -115,11 +130,10 @@ func CorrectionCurve(spec *Spec, fractions []float64, stream *stats.Stream) ([]C
 		sample := spec.outputsAt(perm[:m])
 		corr, err := estimate.NewCorrection(spec.Agg, sample, n, spec.Params)
 		if err != nil {
-			return nil, err
+			return CorrectionStep{}, err
 		}
-		out = append(out, CorrectionStep{Fraction: fraction, Size: m, ErrBound: corr.Estimate.ErrBound})
-	}
-	return out, nil
+		return CorrectionStep{Fraction: fraction, Size: m, ErrBound: corr.Estimate.ErrBound}, nil
+	})
 }
 
 // BuildCorrectionAt builds a correction set of an explicit size (used by

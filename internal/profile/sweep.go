@@ -6,6 +6,7 @@ import (
 
 	"smokescreen/internal/degrade"
 	"smokescreen/internal/estimate"
+	"smokescreen/internal/parallel"
 	"smokescreen/internal/scene"
 	"smokescreen/internal/stats"
 )
@@ -24,6 +25,14 @@ type SweepOptions struct {
 	// this amount between consecutive fractions (the paper's early
 	// stopping, Section 3.3.2). Zero disables early stopping.
 	EarlyStopDelta float64
+	// Parallelism bounds the worker goroutines used to evaluate fraction
+	// points concurrently: 1 (or an early-stopping sweep, which is
+	// inherently sequential) evaluates points in order on the calling
+	// goroutine; 0 or negative means one worker per CPU. The sample is
+	// drawn once up front and every point's estimate is a pure function of
+	// its plan and the (deterministic) detector caches, so the profile is
+	// bit-for-bit identical at any worker count.
+	Parallelism int
 }
 
 // SweepFractions produces a fraction-axis profile. Sampling is nested: one
@@ -68,7 +77,10 @@ func SweepFractions(spec *Spec, opts SweepOptions, stream *stats.Stream) (*Profi
 		Class:     spec.Class,
 		Agg:       spec.Agg,
 	}
-	prevBound := math.Inf(1)
+
+	// Materialise the nested plan for every feasible fraction up front; the
+	// estimate of each point is then a pure function of its plan.
+	var plans []*degrade.Plan
 	for _, f := range opts.Fractions {
 		want := int(float64(n)*f + 0.5)
 		if want < 1 {
@@ -88,23 +100,48 @@ func SweepFractions(spec *Spec, opts SweepOptions, stream *stats.Stream) (*Profi
 		for i := 0; i < want; i++ {
 			plan.Sampled[i] = admissible[perm[i]]
 		}
+		plans = append(plans, plan)
+	}
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("profile: no feasible fraction under %v (admissible pool %d of %d)",
+			base, len(admissible), n)
+	}
+	repaired := opts.Correction != nil && !randomOnly
+
+	if workers := parallel.Workers(opts.Parallelism); workers > 1 && opts.EarlyStopDelta <= 0 {
+		// Early stopping decides each point from its predecessor's bound,
+		// so only non-stopping sweeps fan out. Points land in their
+		// per-index slots; the assembled profile is identical to the
+		// sequential order.
+		points, err := parallel.Map(len(plans), workers, func(i int) (Point, error) {
+			est, err := spec.estimatePlan(plans[i], opts.Correction)
+			if err != nil {
+				return Point{}, err
+			}
+			return Point{Setting: plans[i].Setting, Estimate: est, Repaired: repaired}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		prof.Points = points
+		return prof, nil
+	}
+
+	prevBound := math.Inf(1)
+	for _, plan := range plans {
 		est, err := spec.estimatePlan(plan, opts.Correction)
 		if err != nil {
 			return nil, err
 		}
 		prof.Points = append(prof.Points, Point{
-			Setting:  setting,
+			Setting:  plan.Setting,
 			Estimate: est,
-			Repaired: opts.Correction != nil && !randomOnly,
+			Repaired: repaired,
 		})
 		if opts.EarlyStopDelta > 0 && prevBound-est.ErrBound < opts.EarlyStopDelta && est.ErrBound < 1 {
 			break
 		}
 		prevBound = est.ErrBound
-	}
-	if len(prof.Points) == 0 {
-		return nil, fmt.Errorf("profile: no feasible fraction under %v (admissible pool %d of %d)",
-			base, len(admissible), n)
 	}
 	return prof, nil
 }
@@ -125,16 +162,49 @@ type Hypercube struct {
 	Bounds [][][]float64
 }
 
-// GenerateHypercube evaluates the full candidate grid (Problem 2). A
-// correction set is required because the grid includes non-random
-// interventions. Each (combo, resolution) pair reuses one nested sample.
-// A positive earlyStopDelta applies the paper's early stopping to every
-// fraction sweep (unevaluated cells stay NaN).
+// HypercubeOptions configures hypercube generation.
+type HypercubeOptions struct {
+	// Fractions is the sample-fraction axis of the candidate grid. Required.
+	Fractions []float64
+	// Correction repairs the non-random cells; required (the grid always
+	// contains non-random interventions).
+	Correction *estimate.Correction
+	// EarlyStopDelta applies the paper's early stopping to every fraction
+	// sweep (unevaluated cells stay NaN). Zero disables it.
+	EarlyStopDelta float64
+	// Parallelism bounds the worker goroutines that evaluate (combo,
+	// resolution) cells concurrently: 1 is sequential, 0 or negative means
+	// one worker per CPU. Every cell derives its randomness from a
+	// stats.Stream child keyed by its grid coordinates and writes bounds
+	// into its own row, so the hypercube is bit-for-bit identical at any
+	// worker count and under any worker completion order.
+	Parallelism int
+}
+
+// GenerateHypercube evaluates the full candidate grid (Problem 2)
+// sequentially. Each (combo, resolution) pair reuses one nested sample.
+// It is the reference path; GenerateHypercubeOpts fans the grid out across
+// a bounded worker pool and produces identical bytes.
 func GenerateHypercube(spec *Spec, fractions []float64, corr *estimate.Correction, stream *stats.Stream, earlyStopDelta float64) (*Hypercube, error) {
+	return GenerateHypercubeOpts(spec, HypercubeOptions{
+		Fractions:      fractions,
+		Correction:     corr,
+		EarlyStopDelta: earlyStopDelta,
+		Parallelism:    1,
+	}, stream)
+}
+
+// GenerateHypercubeOpts evaluates the full candidate grid (Problem 2). A
+// correction set is required because the grid includes non-random
+// interventions. Cells fan out across opts.Parallelism workers; the model
+// output caches in internal/detect dedupe the underlying detector work, so
+// the dominant cost parallelises across the degradation settings while the
+// profile itself stays deterministic.
+func GenerateHypercubeOpts(spec *Spec, opts HypercubeOptions, stream *stats.Stream) (*Hypercube, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	if corr == nil {
+	if opts.Correction == nil {
 		return nil, fmt.Errorf("profile: hypercube generation requires a correction set")
 	}
 	combos := degrade.ClassCombos()
@@ -144,36 +214,52 @@ func GenerateHypercube(spec *Spec, fractions []float64, corr *estimate.Correctio
 		ModelName:   spec.Model.Name,
 		Class:       spec.Class,
 		Agg:         spec.Agg,
-		Fractions:   fractions,
+		Fractions:   opts.Fractions,
 		Resolutions: resolutions,
 		Combos:      combos,
 	}
-	for ci, combo := range combos {
+	for range combos {
 		cube.Bounds = append(cube.Bounds, make([][]float64, len(resolutions)))
-		for ri, res := range resolutions {
-			row := make([]float64, len(fractions))
-			for fi := range row {
-				row[fi] = math.NaN()
-			}
-			prof, err := SweepFractions(spec, SweepOptions{
-				Fractions:      fractions,
-				Resolution:     res,
-				Restricted:     combo,
-				Correction:     corr,
-				EarlyStopDelta: earlyStopDelta,
-			}, stream.ChildN(uint64(ci), uint64(ri)))
-			if err == nil {
-				for _, pt := range prof.Points {
-					for fi, f := range fractions {
-						if f == pt.Setting.SampleFraction {
-							row[fi] = pt.Estimate.ErrBound
-						}
+	}
+
+	// One task per (combo, resolution) cell. Each task owns its row and its
+	// stream child, so tasks share no mutable state; image-removal combos
+	// additionally share the detect caches, which are safe and
+	// deterministic under concurrency.
+	type cell struct{ ci, ri int }
+	cells := make([]cell, 0, len(combos)*len(resolutions))
+	for ci := range combos {
+		for ri := range resolutions {
+			cells = append(cells, cell{ci, ri})
+		}
+	}
+	parallel.For(len(cells), opts.Parallelism, func(k int) {
+		ci, ri := cells[k].ci, cells[k].ri
+		row := make([]float64, len(opts.Fractions))
+		for fi := range row {
+			row[fi] = math.NaN()
+		}
+		prof, err := SweepFractions(spec, SweepOptions{
+			Fractions:      opts.Fractions,
+			Resolution:     resolutions[ri],
+			Restricted:     combos[ci],
+			Correction:     opts.Correction,
+			EarlyStopDelta: opts.EarlyStopDelta,
+			// The grid is the outer fan-out; keep each sweep sequential so
+			// concurrency stays bounded by opts.Parallelism.
+			Parallelism: 1,
+		}, stream.ChildN(uint64(ci), uint64(ri)))
+		if err == nil {
+			for _, pt := range prof.Points {
+				for fi, f := range opts.Fractions {
+					if f == pt.Setting.SampleFraction {
+						row[fi] = pt.Estimate.ErrBound
 					}
 				}
 			}
-			cube.Bounds[ci][ri] = row
 		}
-	}
+		cube.Bounds[ci][ri] = row
+	})
 	return cube, nil
 }
 

@@ -14,13 +14,28 @@ func Downsample(src *Image, w, h int) *Image {
 	if w <= 0 || h <= 0 {
 		panic("raster: Downsample to non-positive size")
 	}
+	dst := New(w, h)
+	DownsampleInto(dst, src)
+	return dst
+}
+
+// DownsampleInto resamples src into dst at dst's dimensions, overwriting
+// every destination sample. It is the allocation-free core of Downsample:
+// detection hot paths pair it with GetScratch/PutScratch so per-frame
+// rasters come from a pool instead of the heap. dst and src must not alias.
+func DownsampleInto(dst, src *Image) {
+	w, h := dst.W, dst.H
+	if w <= 0 || h <= 0 {
+		panic("raster: DownsampleInto to non-positive size")
+	}
 	if w == src.W && h == src.H {
-		return src.Clone()
+		copy(dst.Pix, src.Pix)
+		return
 	}
 	if w > src.W || h > src.H {
-		return bilinear(src, w, h)
+		bilinearInto(dst, src)
+		return
 	}
-	dst := New(w, h)
 	xRatio := float64(src.W) / float64(w)
 	yRatio := float64(src.H) / float64(h)
 	for dy := 0; dy < h; dy++ {
@@ -32,7 +47,6 @@ func Downsample(src *Image, w, h int) *Image {
 			dst.Pix[dy*w+dx] = boxAverage(src, sx0, sy0, sx1, sy1)
 		}
 	}
-	return dst
 }
 
 // boxAverage integrates the source image over the continuous box
@@ -80,10 +94,10 @@ func boxAverage(src *Image, x0, y0, x1, y1 float64) float32 {
 	return float32(sum / weight)
 }
 
-// bilinear resizes with bilinear interpolation; only used for the rare
+// bilinearInto resizes with bilinear interpolation; only used for the rare
 // upsampling path (e.g. rendering previews).
-func bilinear(src *Image, w, h int) *Image {
-	dst := New(w, h)
+func bilinearInto(dst, src *Image) {
+	w, h := dst.W, dst.H
 	for dy := 0; dy < h; dy++ {
 		sy := (float64(dy)+0.5)*float64(src.H)/float64(h) - 0.5
 		y0 := int(sy)
@@ -107,18 +121,29 @@ func bilinear(src *Image, w, h int) *Image {
 			dst.Pix[dy*w+dx] = top + (bot-top)*fy
 		}
 	}
-	return dst
 }
 
 // BoxBlur applies a (2r+1)x(2r+1) box blur using a summed-area table, the
 // detector's background-estimation primitive. Border pixels average over
 // the in-bounds part of the kernel.
 func BoxBlur(src *Image, r int) *Image {
+	dst := New(src.W, src.H)
+	BoxBlurInto(dst, src, r)
+	return dst
+}
+
+// BoxBlurInto writes the box blur of src into dst, which must share src's
+// dimensions and not alias it. Every destination sample is overwritten, so
+// dst may come from GetScratch.
+func BoxBlurInto(dst, src *Image, r int) {
+	if dst.W != src.W || dst.H != src.H {
+		panic("raster: BoxBlurInto size mismatch")
+	}
 	if r <= 0 {
-		return src.Clone()
+		copy(dst.Pix, src.Pix)
+		return
 	}
 	integral := Integral(src)
-	dst := New(src.W, src.H)
 	for y := 0; y < src.H; y++ {
 		y0, y1 := y-r, y+r+1
 		if y0 < 0 {
@@ -139,7 +164,6 @@ func BoxBlur(src *Image, r int) *Image {
 			dst.Pix[y*src.W+x] = float32(integral.SumRect(x0, y0, x1, y1) / area)
 		}
 	}
-	return dst
 }
 
 // IntegralImage is a summed-area table supporting O(1) rectangle sums.

@@ -117,6 +117,9 @@ var (
 	WithCorrectionLimit    = core.WithCorrectionLimit
 	WithFractionCandidates = core.WithFractionCandidates
 	WithEarlyStop          = core.WithEarlyStop
+	// WithParallelism fans profile generation out across a bounded worker
+	// pool; profiles stay bit-for-bit identical at any worker count.
+	WithParallelism = core.WithParallelism
 )
 
 // ParseQuery parses the analytical query language; see the package
