@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-json figures figures-quick examples clean
+.PHONY: build test test-race bench bench-json figures figures-quick examples serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,8 @@ test:
 test-race:
 	$(GO) test -race ./internal/parallel/ ./internal/detect/ ./internal/raster/ \
 		./internal/profile/ ./internal/core/ \
-		./internal/transport/ ./internal/camera/ ./internal/degrade/
+		./internal/transport/ ./internal/camera/ ./internal/degrade/ \
+		./internal/store/ ./internal/server/
 	$(GO) test -race -run 'Parallel' ./internal/experiments/
 
 # One testing.B benchmark per paper figure/claim plus micro-benchmarks.
@@ -44,8 +45,14 @@ figures:
 figures-quick:
 	$(GO) run ./cmd/smokebench -quick -out results-quick/ -cache .cache/
 
+# End-to-end profile-service smoke: ephemeral-port daemon, one tiny
+# profile through the CLI's -remote path, store-hit reuse, SIGTERM drain.
+serve-smoke:
+	sh ./scripts/serve_smoke.sh
+
 examples:
 	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/profileservice
 	$(GO) run ./examples/privacypipeline
 	$(GO) run ./examples/profiletransfer
 	$(GO) run ./examples/cityfleet

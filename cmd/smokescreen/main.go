@@ -18,17 +18,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"strings"
+	"time"
 
 	"smokescreen"
 	"smokescreen/internal/dataset"
 	"smokescreen/internal/degrade"
 	"smokescreen/internal/profile"
 	"smokescreen/internal/scene"
+	"smokescreen/internal/server"
 	"smokescreen/internal/stats"
 )
 
@@ -65,6 +68,7 @@ func usage() {
 	fmt.Fprint(os.Stderr, `usage:
   smokescreen query    "SELECT AVG(count(car)) FROM night-street SAMPLE 0.1"
   smokescreen profile  -max-err 0.1 "SELECT AVG(count(car)) FROM ua-detrac"
+  smokescreen profile  -remote http://127.0.0.1:8040 "SELECT AVG(count(car)) FROM small"
   smokescreen curve    "SELECT AVG(count(car)) FROM small"
   smokescreen choose   -load cube.json -max-err 0.1
   smokescreen explain  "SELECT AVG(count(car)) FROM small RESOLUTION 160"
@@ -139,7 +143,20 @@ func cmdProfile(args []string) {
 	maxFraction := fs.Float64("max-fraction", 0.2, "largest sample-fraction candidate")
 	save := fs.String("save", "", "archive the generated hypercube as JSON at this path")
 	earlyStop := fs.Float64("early-stop", 0, "stop each sweep when the bound improves by less than this (0 = off)")
+	remote := fs.String("remote", "", "smokescreend base URL (e.g. http://127.0.0.1:8040): fetch the tradeoff curve from the profile service instead of generating locally")
+	timeout := fs.Duration("timeout", 5*time.Minute, "remote mode: total request timeout")
 	q := parseQueryArg(fs, args)
+
+	if *remote != "" {
+		remoteProfile(*remote, *timeout, server.GenRequest{
+			Query:       q.String(),
+			Seed:        *seed,
+			Step:        *step,
+			MaxFraction: *maxFraction,
+			EarlyStop:   *earlyStop,
+		})
+		return
+	}
 
 	sys := smokescreen.New(
 		smokescreen.WithSeed(*seed),
@@ -189,6 +206,27 @@ func cmdProfile(args []string) {
 			fatal(err)
 		}
 		fmt.Printf("answer under chosen setting: %.6g (error <= %.4f)\n", res.Estimate.Value, res.Estimate.ErrBound)
+	}
+}
+
+// remoteProfile fetches a fraction-axis tradeoff curve from a running
+// smokescreend and renders it like cmdCurve. The daemon serves the
+// artifact from its content-addressed store, generating it (once, however
+// many clients ask) on a miss.
+func remoteProfile(baseURL string, timeout time.Duration, req server.GenRequest) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	client := &server.Client{BaseURL: strings.TrimRight(baseURL, "/")}
+	prof, key, err := client.Generate(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("profile service %s\n", baseURL)
+	fmt.Printf("artifact key:   %s\n", key)
+	fmt.Printf("tradeoff curve for %s (video %s, model %s)\n", req.Query, prof.VideoName, prof.ModelName)
+	for _, pt := range prof.Points {
+		bar := strings.Repeat("#", int(math.Min(pt.Estimate.ErrBound, 1)*50))
+		fmt.Printf("  f=%-6.3g err<=%-7.4f %s\n", pt.Setting.SampleFraction, pt.Estimate.ErrBound, bar)
 	}
 }
 

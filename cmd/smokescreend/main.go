@@ -1,0 +1,136 @@
+// Command smokescreend is the Smokescreen profile service daemon: it
+// serves degradation-accuracy profiles over HTTP from a content-addressed
+// on-disk store, generating missing ones asynchronously on the parallel
+// profile engine with request coalescing and bounded-queue backpressure.
+//
+// Usage:
+//
+//	smokescreend [-addr :8040] [-store DIR] [-workers N] [-parallelism N]
+//	             [-queue N] [-cache-mb N] [-request-timeout D] [-job-timeout D]
+//	             [-addr-file PATH]
+//
+// Endpoints: POST /v1/profiles, GET /v1/profiles/{key}, GET /v1/jobs/{id},
+// GET /healthz, GET /metrics. SIGINT/SIGTERM drain gracefully: intake
+// stops, in-flight generations finish, the store stays consistent.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"smokescreen/internal/server"
+	"smokescreen/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8040", "listen address (host:port; port 0 picks an ephemeral port)")
+	storeDir := flag.String("store", ".smokescreen-store", "profile store root directory")
+	workers := flag.Int("workers", 2, "concurrent generation jobs")
+	parallelism := flag.Int("parallelism", 0, "worker goroutines per generation (0 = one per CPU)")
+	queueDepth := flag.Int("queue", 16, "queued generation jobs before POST returns 429")
+	cacheMB := flag.Int64("cache-mb", 64, "in-memory profile cache budget in MiB (0 disables)")
+	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "synchronous POST wait before degrading to 202")
+	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "cap on one generation job")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "cap on graceful shutdown")
+	correctionLimit := flag.Float64("correction-limit", 0.2, "correction-set fraction cap")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "smokescreend: ", log.LstdFlags|log.Lmsgprefix)
+	if err := run(runConfig{
+		addr: *addr, storeDir: *storeDir, workers: *workers,
+		parallelism: *parallelism, queueDepth: *queueDepth, cacheMB: *cacheMB,
+		requestTimeout: *requestTimeout, jobTimeout: *jobTimeout,
+		drainTimeout: *drainTimeout, correctionLimit: *correctionLimit,
+		addrFile: *addrFile,
+	}, logger); err != nil {
+		logger.Fatal(err)
+	}
+}
+
+type runConfig struct {
+	addr, storeDir, addrFile   string
+	workers, parallelism       int
+	queueDepth                 int
+	cacheMB                    int64
+	requestTimeout, jobTimeout time.Duration
+	drainTimeout               time.Duration
+	correctionLimit            float64
+}
+
+func run(cfg runConfig, logger *log.Logger) error {
+	st, err := store.Open(cfg.storeDir, store.WithCacheBudget(cfg.cacheMB<<20))
+	if err != nil {
+		return err
+	}
+	keys, corrupt := st.Keys()
+	logger.Printf("store %s: %d profiles", cfg.storeDir, len(keys))
+	for _, err := range corrupt {
+		logger.Printf("store warning: %v (will regenerate on demand)", err)
+	}
+
+	svc, err := server.New(server.Config{
+		Store: st,
+		Generator: &server.SystemGenerator{
+			CorrectionLimit: cfg.correctionLimit,
+			Parallelism:     cfg.parallelism,
+		},
+		Workers:        cfg.workers,
+		QueueDepth:     cfg.queueDepth,
+		RequestTimeout: cfg.requestTimeout,
+		JobTimeout:     cfg.jobTimeout,
+		Logf:           logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	logger.Printf("listening on %s", bound)
+	if cfg.addrFile != "" {
+		// Written after the socket is live, so scripts can poll the file
+		// and connect without races.
+		if err := os.WriteFile(cfg.addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		logger.Printf("received %v, draining", sig)
+	case err := <-serveErr:
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	// Stop accepting connections and let in-flight handlers finish, then
+	// drain the job queue; store writes are atomic throughout.
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		logger.Printf("http shutdown: %v", err)
+	}
+	if err := svc.Drain(ctx); err != nil {
+		return err
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

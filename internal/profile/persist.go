@@ -1,10 +1,14 @@
 package profile
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"sort"
+	"strconv"
 
 	"smokescreen/internal/degrade"
 	"smokescreen/internal/estimate"
@@ -33,6 +37,78 @@ type persistedHypercube struct {
 }
 
 const persistVersion = 1
+
+// KeySpec names everything a cached profile artifact depends on: the
+// corpus fingerprint (name plus frame count, enough to distinguish the
+// deterministic synthetic corpora), the query in canonical syntax, the
+// intervention family swept, the estimator parameters, and the randomness
+// seed. Two generations with equal KeySpecs produce byte-identical
+// artifacts, so the spec's hash content-addresses the profile store.
+type KeySpec struct {
+	// VideoName and FrameCount fingerprint the corpus.
+	VideoName  string
+	FrameCount int
+	// ModelName is the detector the query resolved to.
+	ModelName string
+	// Query is the canonical query string (query.Query.String()).
+	Query string
+	// Family describes the intervention axis the profile sweeps.
+	Family Family
+	// Params are the estimator knobs (risk delta, extreme quantile r).
+	Params estimate.Params
+	// Seed is the root randomness seed.
+	Seed uint64
+}
+
+// Family is the intervention family of a profile: the swept fractions and
+// the fixed non-sampling axes.
+type Family struct {
+	Fractions      []float64
+	Resolution     int
+	Restricted     []scene.Class
+	NoiseSigma     float64
+	EarlyStopDelta float64
+}
+
+// CanonicalKey returns a stable hex digest of the spec. The encoding is
+// order-canonical: fields are written in a fixed labelled sequence and
+// Restricted classes are sorted by name before hashing, so the key does
+// not depend on struct-literal, map-iteration, or clause order at the
+// call site. The digest is safe to use as a file name.
+func (k KeySpec) CanonicalKey() string {
+	h := sha256.New()
+	field := func(label, value string) {
+		// Length-prefix label and value so no concatenation of fields can
+		// collide with a different field split.
+		fmt.Fprintf(h, "%d:%s=%d:%s;", len(label), label, len(value), value)
+	}
+	field("video", k.VideoName)
+	field("frames", strconv.Itoa(k.FrameCount))
+	field("model", k.ModelName)
+	field("query", k.Query)
+	fracs := make([]string, len(k.Family.Fractions))
+	for i, f := range k.Family.Fractions {
+		fracs[i] = strconv.FormatFloat(f, 'g', -1, 64)
+	}
+	for _, f := range fracs {
+		field("fraction", f)
+	}
+	field("resolution", strconv.Itoa(k.Family.Resolution))
+	restricted := make([]string, len(k.Family.Restricted))
+	for i, c := range k.Family.Restricted {
+		restricted[i] = c.String()
+	}
+	sort.Strings(restricted)
+	for _, name := range restricted {
+		field("restricted", name)
+	}
+	field("noise", strconv.FormatFloat(k.Family.NoiseSigma, 'g', -1, 64))
+	field("earlystop", strconv.FormatFloat(k.Family.EarlyStopDelta, 'g', -1, 64))
+	field("delta", strconv.FormatFloat(k.Params.Delta, 'g', -1, 64))
+	field("r", strconv.FormatFloat(k.Params.R, 'g', -1, 64))
+	field("seed", strconv.FormatUint(k.Seed, 10))
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // SaveHypercube writes the hypercube as indented JSON.
 func SaveHypercube(w io.Writer, h *Hypercube) error {

@@ -123,3 +123,108 @@ func TestProfileLoadRejectsCorruption(t *testing.T) {
 		}
 	}
 }
+
+func TestCanonicalKeyStable(t *testing.T) {
+	spec := KeySpec{
+		VideoName:  "small",
+		FrameCount: 1200,
+		ModelName:  "yolov4",
+		Query:      "SELECT AVG(count(car)) FROM small",
+		Family: Family{
+			Fractions:  []float64{0.02, 0.05, 0.1},
+			Resolution: 320,
+			Restricted: []scene.Class{scene.Person, scene.Face},
+		},
+		Params: estimate.Params{Delta: 0.05, R: 0.99},
+		Seed:   1,
+	}
+	key := spec.CanonicalKey()
+	if len(key) != 64 {
+		t.Fatalf("key %q is not a sha256 hex digest", key)
+	}
+	if spec.CanonicalKey() != key {
+		t.Fatal("key not deterministic across calls")
+	}
+
+	// Restricted-class order must not matter: the set, not the slice, is
+	// part of the artifact's identity.
+	reordered := spec
+	reordered.Family.Restricted = []scene.Class{scene.Face, scene.Person}
+	if reordered.CanonicalKey() != key {
+		t.Fatal("key depends on restricted-class order")
+	}
+
+	// Building the spec from a map (any iteration order) must also agree.
+	fields := map[string]func(*KeySpec){
+		"video":  func(k *KeySpec) { k.VideoName = "small" },
+		"frames": func(k *KeySpec) { k.FrameCount = 1200 },
+		"model":  func(k *KeySpec) { k.ModelName = "yolov4" },
+		"query":  func(k *KeySpec) { k.Query = "SELECT AVG(count(car)) FROM small" },
+		"family": func(k *KeySpec) {
+			k.Family = Family{
+				Fractions:  []float64{0.02, 0.05, 0.1},
+				Resolution: 320,
+				Restricted: []scene.Class{scene.Person, scene.Face},
+			}
+		},
+		"params": func(k *KeySpec) { k.Params = estimate.Params{Delta: 0.05, R: 0.99} },
+		"seed":   func(k *KeySpec) { k.Seed = 1 },
+	}
+	var fromMap KeySpec
+	for _, set := range fields {
+		set(&fromMap)
+	}
+	if fromMap.CanonicalKey() != key {
+		t.Fatal("key depends on construction order")
+	}
+}
+
+func TestCanonicalKeySensitivity(t *testing.T) {
+	base := KeySpec{
+		VideoName:  "small",
+		FrameCount: 1200,
+		ModelName:  "yolov4",
+		Query:      "SELECT AVG(count(car)) FROM small",
+		Family: Family{
+			Fractions:  []float64{0.02, 0.05},
+			Resolution: 320,
+			Restricted: []scene.Class{scene.Person},
+		},
+		Params: estimate.Params{Delta: 0.05, R: 0.99},
+		Seed:   1,
+	}
+	key := base.CanonicalKey()
+	mutations := map[string]func(*KeySpec){
+		"video":      func(k *KeySpec) { k.VideoName = "highway" },
+		"frames":     func(k *KeySpec) { k.FrameCount = 1201 },
+		"model":      func(k *KeySpec) { k.ModelName = "mask-rcnn" },
+		"query":      func(k *KeySpec) { k.Query = "SELECT SUM(count(car)) FROM small" },
+		"fractions":  func(k *KeySpec) { k.Family.Fractions = []float64{0.02, 0.06} },
+		"resolution": func(k *KeySpec) { k.Family.Resolution = 160 },
+		"restricted": func(k *KeySpec) { k.Family.Restricted = []scene.Class{scene.Face} },
+		"noise":      func(k *KeySpec) { k.Family.NoiseSigma = 0.1 },
+		"earlystop":  func(k *KeySpec) { k.Family.EarlyStopDelta = 0.01 },
+		"delta":      func(k *KeySpec) { k.Params.Delta = 0.1 },
+		"r":          func(k *KeySpec) { k.Params.R = 0.95 },
+		"seed":       func(k *KeySpec) { k.Seed = 2 },
+	}
+	for name, mutate := range mutations {
+		changed := base
+		// Deep-copy the slices the mutation may share with base.
+		changed.Family.Fractions = append([]float64(nil), base.Family.Fractions...)
+		changed.Family.Restricted = append([]scene.Class(nil), base.Family.Restricted...)
+		mutate(&changed)
+		if changed.CanonicalKey() == key {
+			t.Errorf("mutating %s did not change the key", name)
+		}
+	}
+	// Labelled length-prefixed fields: moving a value between adjacent
+	// fields must not collide.
+	a := base
+	a.VideoName, a.ModelName = "ab", "c"
+	b := base
+	b.VideoName, b.ModelName = "a", "bc"
+	if a.CanonicalKey() == b.CanonicalKey() {
+		t.Fatal("field boundaries collide")
+	}
+}

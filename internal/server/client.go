@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"smokescreen/internal/profile"
+)
+
+// Client talks to a smokescreend daemon. The zero HTTPClient uses
+// http.DefaultClient; BaseURL is e.g. "http://127.0.0.1:8040".
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+	// PollInterval spaces job-status polls after a 202 (default 100ms).
+	PollInterval time.Duration
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// apiError decodes a JSON error body into a Go error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var payload struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &payload) == nil && payload.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", payload.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("server: HTTP %d: %s", resp.StatusCode, bytes.TrimSpace(body))
+}
+
+// GenerateRaw requests a profile and returns the raw stored JSON plus its
+// canonical key. It follows the sync-then-poll protocol: a 200 returns
+// immediately; a 202 (async request, or server-side wait timeout) polls
+// the job until it finishes, then fetches the artifact.
+func (c *Client) GenerateRaw(ctx context.Context, req GenRequest) ([]byte, string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, "", err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/profiles", bytes.NewReader(body))
+	if err != nil {
+		return nil, "", err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(httpReq)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		payload, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, "", err
+		}
+		return payload, resp.Header.Get("X-Smokescreen-Key"), nil
+	case http.StatusAccepted:
+		var status JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+			return nil, "", fmt.Errorf("server: decoding job status: %w", err)
+		}
+		if err := c.awaitJob(ctx, status.ID); err != nil {
+			return nil, "", err
+		}
+		payload, err := c.GetProfile(ctx, status.Key)
+		return payload, status.Key, err
+	default:
+		return nil, "", apiError(resp)
+	}
+}
+
+// Generate is GenerateRaw decoded into a profile.Profile.
+func (c *Client) Generate(ctx context.Context, req GenRequest) (*profile.Profile, string, error) {
+	payload, key, err := c.GenerateRaw(ctx, req)
+	if err != nil {
+		return nil, "", err
+	}
+	prof, err := profile.LoadProfile(bytes.NewReader(payload))
+	if err != nil {
+		return nil, "", err
+	}
+	return prof, key, nil
+}
+
+// GetProfile fetches a stored profile verbatim by key.
+func (c *Client) GetProfile(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/profiles/"+key, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Job fetches one job's status.
+func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var status JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// awaitJob polls a job until it reaches a terminal state.
+func (c *Client) awaitJob(ctx context.Context, id string) error {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		status, err := c.Job(ctx, id)
+		if err != nil {
+			return err
+		}
+		switch status.State {
+		case JobDone:
+			return nil
+		case JobFailed:
+			return fmt.Errorf("server: job %s failed: %s", id, status.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+
+	"smokescreen/internal/core"
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/profile"
+	"smokescreen/internal/query"
+	"smokescreen/internal/stats"
+)
+
+// GenRequest is the wire form of a profile-generation request: the
+// analytical query plus the sweep and estimator knobs that shape the
+// tradeoff curve. Fields with zero values take the paper's defaults, so
+// two requests that spell the defaults differently still canonicalize to
+// the same artifact key.
+type GenRequest struct {
+	// Query is the analytical query in Smokescreen's query language; its
+	// RESOLUTION/REMOVE clauses fix the non-sampling axes of the sweep.
+	Query string `json:"query"`
+	// Seed is the root randomness seed (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+	// Step and MaxFraction define the swept sample fractions
+	// (defaults 0.01 and 0.2, the paper's candidate design).
+	Step        float64 `json:"step,omitempty"`
+	MaxFraction float64 `json:"max_fraction,omitempty"`
+	// EarlyStop enables the paper's early stopping (0 = off).
+	EarlyStop float64 `json:"early_stop,omitempty"`
+	// Async asks POST /v1/profiles to return 202 with a job id instead of
+	// waiting for generation to finish.
+	Async bool `json:"async,omitempty"`
+}
+
+// normalize fills defaulted fields in place.
+func (r *GenRequest) normalize() {
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if r.Step == 0 {
+		r.Step = 0.01
+	}
+	if r.MaxFraction == 0 {
+		r.MaxFraction = 0.2
+	}
+}
+
+// Generator resolves requests to canonical artifact keys and runs the
+// expensive generation stage. Key must be cheap (no detector work);
+// Generate is what the job queue schedules.
+type Generator interface {
+	// Key resolves the request against the corpus and model registries and
+	// returns the canonical content address of the artifact it would
+	// produce, plus the canonical query string for job bookkeeping.
+	Key(req GenRequest) (key, canonicalQuery string, err error)
+	// Generate produces the artifact payload (profile JSON). It must be
+	// deterministic: equal requests yield byte-identical payloads.
+	Generate(ctx context.Context, req GenRequest) ([]byte, error)
+}
+
+// SystemGenerator generates fraction-axis tradeoff curves with the core
+// Smokescreen system: construct a correction set when the query carries
+// non-random interventions, then sweep the candidate fractions on the
+// parallel engine and serialize the profile.
+type SystemGenerator struct {
+	// CorrectionLimit caps the correction-set fraction (default 0.2).
+	CorrectionLimit float64
+	// Parallelism bounds worker goroutines per generation; 0 or negative
+	// means one per CPU (internal/parallel semantics applied by core).
+	Parallelism int
+}
+
+// resolve parses and resolves the request, returning the parsed query,
+// the bound spec, and the swept fractions.
+func (g *SystemGenerator) resolve(req GenRequest) (*query.Query, *profile.Spec, []float64, error) {
+	req.normalize()
+	q, err := query.Parse(req.Query)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// Canonicalize the restricted-class order so "REMOVE person,face" and
+	// "REMOVE face,person" address (and generate) the same artifact;
+	// removal is a set operation, so sorting cannot change results.
+	sort.Slice(q.Setting.Restricted, func(i, j int) bool {
+		return q.Setting.Restricted[i].String() < q.Setting.Restricted[j].String()
+	})
+	if q.Setting.NoiseSigma != 0 {
+		return nil, nil, nil, fmt.Errorf("server: NOISE queries are not supported by the profile service (fraction sweeps fix resolution and removal only)")
+	}
+	if req.Step <= 0 || req.MaxFraction <= 0 || req.MaxFraction > 1 || req.Step > req.MaxFraction {
+		return nil, nil, nil, fmt.Errorf("server: invalid sweep [step %v, max %v]", req.Step, req.MaxFraction)
+	}
+	sys := core.New(core.WithSeed(req.Seed))
+	spec, err := sys.Resolve(q)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return q, spec, degrade.CandidateFractions(req.Step, req.MaxFraction), nil
+}
+
+// Key implements Generator.
+func (g *SystemGenerator) Key(req GenRequest) (string, string, error) {
+	req.normalize()
+	q, spec, fractions, err := g.resolve(req)
+	if err != nil {
+		return "", "", err
+	}
+	ks := profile.KeySpec{
+		VideoName:  spec.Video.Config.Name,
+		FrameCount: spec.Video.NumFrames(),
+		ModelName:  spec.Model.Name,
+		Query:      q.String(),
+		Family: profile.Family{
+			Fractions:      fractions,
+			Resolution:     q.Setting.Resolution,
+			Restricted:     q.Setting.Restricted,
+			EarlyStopDelta: req.EarlyStop,
+		},
+		Params: q.Params(),
+		Seed:   req.Seed,
+	}
+	return ks.CanonicalKey(), q.String(), nil
+}
+
+// Generate implements Generator.
+func (g *SystemGenerator) Generate(ctx context.Context, req GenRequest) ([]byte, error) {
+	req.normalize()
+	q, spec, fractions, err := g.resolve(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	limit := g.CorrectionLimit
+	if limit == 0 {
+		limit = 0.2
+	}
+	sys := core.New(core.WithSeed(req.Seed), core.WithParallelism(g.Parallelism))
+	opts := profile.SweepOptions{
+		Fractions:      fractions,
+		Resolution:     q.Setting.Resolution,
+		Restricted:     q.Setting.Restricted,
+		EarlyStopDelta: req.EarlyStop,
+	}
+	base := degrade.Setting{
+		SampleFraction: fractions[0],
+		Resolution:     q.Setting.Resolution,
+		Restricted:     q.Setting.Restricted,
+	}
+	if !base.IsRandomOnly(spec.Model) {
+		// Non-random axes need a correction set for sound bounds.
+		corr, err := profile.ConstructCorrection(spec, limit, stats.NewStream(req.Seed).Child(1))
+		if err != nil {
+			return nil, fmt.Errorf("server: constructing correction set: %w", err)
+		}
+		opts.Correction = corr.Correction
+	}
+	prof, err := sys.SweepProfile(q, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		// The sweep is not cancellable mid-flight; drop the result rather
+		// than publish after the caller's deadline.
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := profile.SaveProfile(&buf, prof); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// JobState is a generation job's lifecycle position. The state machine is
+// linear: queued -> running -> {done | failed}. Jobs never retry in place;
+// a failed key is retried by the next POST that misses the store.
+type JobState string
+
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Job is one asynchronous profile generation. All mutable fields are
+// guarded by the owning jobSet's mutex; done is closed exactly once on
+// entering a terminal state, so waiters can select on it.
+type Job struct {
+	ID  string
+	Key string
+	// Query is the canonical query string, for operators reading job
+	// listings.
+	Query string
+	// req is the full request the worker replays.
+	req GenRequest
+
+	state     JobState
+	err       string
+	created   time.Time
+	started   time.Time
+	finished  time.Time
+	coalesced int // requests that attached to this job beyond the first
+
+	done chan struct{}
+}
+
+// JobStatus is the wire form of a job, snapshotted under the set lock.
+type JobStatus struct {
+	ID        string    `json:"id"`
+	Key       string    `json:"key"`
+	Query     string    `json:"query"`
+	State     JobState  `json:"state"`
+	Error     string    `json:"error,omitempty"`
+	Coalesced int       `json:"coalesced"`
+	Created   time.Time `json:"created"`
+	Started   time.Time `json:"started,omitempty"`
+	Finished  time.Time `json:"finished,omitempty"`
+}
+
+// jobSet tracks jobs by id and coalesces active ones by key. Terminal
+// jobs stay queryable until the bounded history evicts them.
+type jobSet struct {
+	mu      sync.Mutex
+	nextID  int
+	byID    map[string]*Job
+	history []string // insertion-ordered ids, for eviction
+	active  map[string]*Job
+	// historyLimit bounds byID; oldest terminal jobs are evicted first.
+	historyLimit int
+}
+
+func newJobSet(historyLimit int) *jobSet {
+	if historyLimit <= 0 {
+		historyLimit = 1024
+	}
+	return &jobSet{
+		byID:         make(map[string]*Job),
+		active:       make(map[string]*Job),
+		historyLimit: historyLimit,
+	}
+}
+
+// getOrCreate returns the active job for key, or registers a new one
+// built from req. created reports whether the caller owns enqueueing it;
+// when false the request coalesced onto in-flight work.
+func (js *jobSet) getOrCreate(key, query string, req GenRequest, now time.Time) (job *Job, created bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if job, ok := js.active[key]; ok {
+		job.coalesced++
+		return job, false
+	}
+	js.nextID++
+	job = &Job{
+		ID:      jobID(js.nextID),
+		Key:     key,
+		Query:   query,
+		req:     req,
+		state:   JobQueued,
+		created: now,
+		done:    make(chan struct{}),
+	}
+	js.active[key] = job
+	js.byID[job.ID] = job
+	js.history = append(js.history, job.ID)
+	js.evictLocked()
+	return job, true
+}
+
+// jobID renders a stable, log-friendly id.
+func jobID(n int) string {
+	const digits = "0123456789"
+	buf := []byte("job-000000")
+	for i := len(buf) - 1; n > 0 && i >= 4; i-- {
+		buf[i] = digits[n%10]
+		n /= 10
+	}
+	return string(buf)
+}
+
+// evictLocked drops the oldest terminal jobs beyond the history limit.
+// Active jobs are never evicted.
+func (js *jobSet) evictLocked() {
+	for len(js.byID) > js.historyLimit && len(js.history) > 0 {
+		evicted := false
+		for i, id := range js.history {
+			job := js.byID[id]
+			if job == nil {
+				js.history = append(js.history[:i], js.history[i+1:]...)
+				evicted = true
+				break
+			}
+			if job.state == JobDone || job.state == JobFailed {
+				delete(js.byID, id)
+				js.history = append(js.history[:i], js.history[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			return // everything live is active; grow past the limit
+		}
+	}
+}
+
+// abandon removes a job that never made it into the queue (backpressure
+// or drain rejected it) so the key can be retried immediately.
+func (js *jobSet) abandon(job *Job) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	delete(js.active, job.Key)
+	delete(js.byID, job.ID)
+	for i, id := range js.history {
+		if id == job.ID {
+			js.history = append(js.history[:i], js.history[i+1:]...)
+			break
+		}
+	}
+}
+
+// start transitions a job to running.
+func (js *jobSet) start(job *Job, now time.Time) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	job.state = JobRunning
+	job.started = now
+}
+
+// finish transitions a job to its terminal state, releases the key for
+// future requests, and wakes every waiter.
+func (js *jobSet) finish(job *Job, genErr error, now time.Time) {
+	js.mu.Lock()
+	if genErr != nil {
+		job.state = JobFailed
+		job.err = genErr.Error()
+	} else {
+		job.state = JobDone
+	}
+	job.finished = now
+	delete(js.active, job.Key)
+	js.mu.Unlock()
+	close(job.done)
+}
+
+// get returns the job with the given id.
+func (js *jobSet) get(id string) (*Job, bool) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	job, ok := js.byID[id]
+	return job, ok
+}
+
+// status snapshots a job under the lock.
+func (js *jobSet) status(job *Job) JobStatus {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return JobStatus{
+		ID:        job.ID,
+		Key:       job.Key,
+		Query:     job.Query,
+		State:     job.state,
+		Error:     job.err,
+		Coalesced: job.coalesced,
+		Created:   job.created,
+		Started:   job.started,
+		Finished:  job.finished,
+	}
+}
+
+// counts reports how many tracked jobs are in each state.
+func (js *jobSet) counts() (queued, running, done, failed int) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	for _, job := range js.byID {
+		switch job.state {
+		case JobQueued:
+			queued++
+		case JobRunning:
+			running++
+		case JobDone:
+			done++
+		case JobFailed:
+			failed++
+		}
+	}
+	return
+}

@@ -1,0 +1,70 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"smokescreen/internal/detect"
+	"smokescreen/internal/store"
+	"smokescreen/internal/transport"
+)
+
+// metrics holds the daemon's cumulative counters. Everything is atomic so
+// the hot paths never contend on a metrics lock; gauges (queue depth, job
+// states) are sampled at render time instead of tracked.
+type metrics struct {
+	httpRequests       atomic.Int64
+	profilesServed     atomic.Int64 // 200 responses carrying profile JSON
+	generations        atomic.Int64 // Generate calls started
+	generationFailures atomic.Int64
+	coalesced          atomic.Int64 // requests attached to an in-flight job
+	rejectedQueueFull  atomic.Int64 // 429s
+	rejectedDraining   atomic.Int64 // 503s
+}
+
+// render writes the metrics in the Prometheus text exposition format
+// (untyped samples; no client library in the dependency budget). The
+// store, detector, and transport layers contribute their own counters so
+// one scrape covers the whole daemon.
+func (m *metrics) render(w io.Writer, queueDepth, queueCap int, jobs *jobSet, st *store.Store) {
+	queued, running, done, failed := jobs.counts()
+	stats := st.Stats()
+	tr := transport.Totals()
+
+	samples := map[string]int64{
+		"smokescreend_http_requests_total":               m.httpRequests.Load(),
+		"smokescreend_profiles_served_total":             m.profilesServed.Load(),
+		"smokescreend_generations_total":                 m.generations.Load(),
+		"smokescreend_generation_failures_total":         m.generationFailures.Load(),
+		"smokescreend_requests_coalesced_total":          m.coalesced.Load(),
+		"smokescreend_rejected_queue_full_total":         m.rejectedQueueFull.Load(),
+		"smokescreend_rejected_draining_total":           m.rejectedDraining.Load(),
+		"smokescreend_queue_depth":                       int64(queueDepth),
+		"smokescreend_queue_capacity":                    int64(queueCap),
+		"smokescreend_jobs_queued":                       int64(queued),
+		"smokescreend_jobs_running":                      int64(running),
+		"smokescreend_jobs_done":                         int64(done),
+		"smokescreend_jobs_failed":                       int64(failed),
+		"smokescreend_store_cache_hits_total":            stats.Hits,
+		"smokescreend_store_disk_hits_total":             stats.DiskHits,
+		"smokescreend_store_misses_total":                stats.Misses,
+		"smokescreend_store_puts_total":                  stats.Puts,
+		"smokescreend_store_cache_bytes":                 stats.CacheBytes,
+		"smokescreend_store_cache_entries":               int64(stats.CacheCount),
+		"smokescreend_detector_invocations_total":        detect.Invocations(),
+		"smokescreend_transport_bytes_sent_total":        tr.BytesSent,
+		"smokescreend_transport_bytes_received_total":    tr.BytesReceived,
+		"smokescreend_transport_messages_sent_total":     tr.MessagesSent,
+		"smokescreend_transport_messages_received_total": tr.MessagesReceived,
+	}
+	names := make([]string, 0, len(samples))
+	for name := range samples {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", name, samples[name])
+	}
+}

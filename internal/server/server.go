@@ -1,0 +1,369 @@
+// Package server implements the Smokescreen profile service: an HTTP
+// JSON API over the content-addressed profile store (internal/store) with
+// an asynchronous, coalescing generation job queue on top of the parallel
+// profile engine. It turns the one-shot CLI profiler into a long-running
+// system: many consumers read one store, and N concurrent requests for
+// the same (corpus, query, intervention family, params, seed) trigger
+// exactly one generation.
+//
+// API:
+//
+//	GET  /v1/profiles/{key}  serve a stored profile verbatim
+//	POST /v1/profiles        request generation (sync by default;
+//	                         "async": true returns 202 + job id)
+//	GET  /v1/jobs/{id}       job lifecycle status
+//	GET  /healthz            liveness (reports draining)
+//	GET  /metrics            Prometheus-style counters
+//
+// Flow control: the job queue is bounded; when it is full POST returns
+// 429 so callers back off instead of piling goroutines onto the daemon.
+// During drain (SIGTERM) new generation requests get 503 while in-flight
+// jobs run to completion — the store's atomic writes make the shutdown
+// window corruption-free.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"smokescreen/internal/store"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Store holds generated artifacts. Required.
+	Store *store.Store
+	// Generator resolves and runs generations. Required.
+	Generator Generator
+	// Workers is the number of concurrent generation jobs (default 2).
+	// Each generation additionally fans out internally per the
+	// generator's parallelism.
+	Workers int
+	// QueueDepth bounds queued-but-not-running jobs (default 16); beyond
+	// it POST returns 429.
+	QueueDepth int
+	// RequestTimeout caps how long a synchronous POST waits for its job
+	// before degrading to a 202 with the job id (default 120s).
+	RequestTimeout time.Duration
+	// JobTimeout caps one generation (default 10m).
+	JobTimeout time.Duration
+	// JobHistory bounds remembered terminal jobs (default 1024).
+	JobHistory int
+	// Logf receives operational log lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server is the profile service. Create with New, mount Handler, and call
+// Close (or Drain) on shutdown.
+type Server struct {
+	cfg     Config
+	store   *store.Store
+	gen     Generator
+	jobs    *jobSet
+	queue   chan *Job
+	metrics metrics
+
+	// lifecycle: mu serializes queue sends against stop's close(queue);
+	// workers is closed when the last worker exits.
+	mu      sync.Mutex
+	stopped bool
+	stopCh  chan struct{}
+	workers chan struct{}
+}
+
+// New validates the config and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Store == nil || cfg.Generator == nil {
+		return nil, fmt.Errorf("server: Config requires Store and Generator")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 120 * time.Second
+	}
+	if cfg.JobTimeout <= 0 {
+		cfg.JobTimeout = 10 * time.Minute
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   cfg.Store,
+		gen:     cfg.Generator,
+		jobs:    newJobSet(cfg.JobHistory),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		stopCh:  make(chan struct{}),
+		workers: make(chan struct{}),
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for job := range s.queue {
+				s.run(job)
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(s.workers)
+	}()
+	return s, nil
+}
+
+// draining reports whether shutdown has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// stop closes intake exactly once. The mutex serializes it against
+// in-flight enqueue sends, so the queue is never sent to after close.
+func (s *Server) stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.stopped {
+		s.stopped = true
+		close(s.stopCh)
+		close(s.queue)
+	}
+}
+
+// enqueue registers req's job, coalescing onto any active job for the
+// same key. It returns errDraining after Drain/Close and errQueueFull
+// when the bounded queue has no room.
+var (
+	errQueueFull = errors.New("server: generation queue full")
+	errDraining  = errors.New("server: draining")
+)
+
+func (s *Server) enqueue(key, canonical string, req GenRequest) (*Job, error) {
+	if s.draining() {
+		return nil, errDraining
+	}
+	job, created := s.jobs.getOrCreate(key, canonical, req, time.Now())
+	if !created {
+		s.metrics.coalesced.Add(1)
+		return job, nil
+	}
+	// The send must not race stop()'s close(queue); s.mu serializes them.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		s.jobs.abandon(job)
+		return nil, errDraining
+	}
+	select {
+	case s.queue <- job:
+		return job, nil
+	default:
+		s.jobs.abandon(job)
+		return nil, errQueueFull
+	}
+}
+
+// run executes one generation job.
+func (s *Server) run(job *Job) {
+	s.jobs.start(job, time.Now())
+	s.metrics.generations.Add(1)
+	s.cfg.Logf("job %s: generating key %s (%s)", job.ID, job.Key, job.Query)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	defer cancel()
+	payload, err := s.gen.Generate(ctx, job.req)
+	if err == nil {
+		err = s.store.Put(job.Key, payload)
+	}
+	if err != nil {
+		s.metrics.generationFailures.Add(1)
+		s.cfg.Logf("job %s: failed: %v", job.ID, err)
+	} else {
+		s.cfg.Logf("job %s: done (%d bytes)", job.ID, len(payload))
+	}
+	s.jobs.finish(job, err, time.Now())
+}
+
+// Drain stops intake and waits for queued and running jobs to finish, or
+// for ctx to expire. It is safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.stop()
+	select {
+	case <-s.workers:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// Close drains with a short grace period.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return s.Drain(ctx)
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/profiles/{key}", s.handleGetProfile)
+	mux.HandleFunc("POST /v1/profiles", s.handlePostProfile)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.httpRequests.Add(1)
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// writeJSON writes a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError writes a JSON error body.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeProfile serves stored profile JSON verbatim — every caller of the
+// same key receives byte-identical bytes.
+func (s *Server) writeProfile(w http.ResponseWriter, key string, payload []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Smokescreen-Key", key)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(payload)
+	s.metrics.profilesServed.Add(1)
+}
+
+func (s *Server) handleGetProfile(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	payload, err := s.store.Get(key)
+	switch {
+	case err == nil:
+		s.writeProfile(w, key, payload)
+	case errors.Is(err, store.ErrNotFound):
+		writeError(w, http.StatusNotFound, err)
+	default:
+		var corrupt *store.CorruptError
+		if errors.As(err, &corrupt) {
+			// The artifact is unusable until re-generated; tell the caller
+			// to re-POST rather than retry the GET.
+			writeError(w, http.StatusGone, err)
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Server) handlePostProfile(w http.ResponseWriter, r *http.Request) {
+	var req GenRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+		return
+	}
+	if req.Query == "" {
+		writeError(w, http.StatusBadRequest, errors.New("server: request requires a query"))
+		return
+	}
+	req.normalize()
+	key, canonical, err := s.gen.Key(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Fast path: the artifact already exists.
+	if payload, err := s.store.Get(key); err == nil {
+		s.writeProfile(w, key, payload)
+		return
+	}
+	// Miss — including a corrupt on-disk entry, which regeneration heals.
+
+	job, err := s.enqueue(key, canonical, req)
+	switch {
+	case errors.Is(err, errQueueFull):
+		s.metrics.rejectedQueueFull.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, errDraining):
+		s.metrics.rejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+
+	if req.Async {
+		writeJSON(w, http.StatusAccepted, s.jobs.status(job))
+		return
+	}
+
+	// Synchronous wait, bounded by the request timeout and the client's
+	// own context; on timeout the job keeps running and the caller can
+	// poll GET /v1/jobs/{id}.
+	timer := time.NewTimer(s.cfg.RequestTimeout)
+	defer timer.Stop()
+	select {
+	case <-job.done:
+	case <-timer.C:
+		writeJSON(w, http.StatusAccepted, s.jobs.status(job))
+		return
+	case <-r.Context().Done():
+		// Client gave up; the job continues for future requesters.
+		return
+	}
+	status := s.jobs.status(job)
+	if status.State == JobFailed {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("server: generation failed: %s", status.Error))
+		return
+	}
+	payload, err := s.store.Get(key)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.writeProfile(w, key, payload)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.status(job))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": status})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.render(w, len(s.queue), cap(s.queue), s.jobs, s.store)
+}

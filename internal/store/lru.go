@@ -1,0 +1,75 @@
+package store
+
+import "container/list"
+
+// lru is a byte-budgeted least-recently-used cache of artifact payloads.
+// It is not goroutine-safe; Store serializes access under its mutex. A
+// zero or negative budget disables caching entirely (every put is a
+// no-op), which keeps the daemon runnable on memory-starved hosts.
+type lru struct {
+	budget  int64
+	bytes   int64
+	order   *list.List // front = most recently used; values are *lruEntry
+	entries map[string]*list.Element
+}
+
+type lruEntry struct {
+	key     string
+	payload []byte
+}
+
+func newLRU(budget int64) *lru {
+	return &lru{
+		budget:  budget,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+func (c *lru) count() int { return len(c.entries) }
+
+func (c *lru) get(key string) ([]byte, bool) {
+	elem, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(elem)
+	return elem.Value.(*lruEntry).payload, true
+}
+
+func (c *lru) put(key string, payload []byte) {
+	if c.budget <= 0 || int64(len(payload)) > c.budget {
+		// An over-budget artifact would evict everything and still not fit.
+		c.remove(key)
+		return
+	}
+	if elem, ok := c.entries[key]; ok {
+		entry := elem.Value.(*lruEntry)
+		c.bytes += int64(len(payload)) - int64(len(entry.payload))
+		entry.payload = payload
+		c.order.MoveToFront(elem)
+	} else {
+		c.entries[key] = c.order.PushFront(&lruEntry{key: key, payload: payload})
+		c.bytes += int64(len(payload))
+	}
+	for c.bytes > c.budget {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		c.evict(oldest)
+	}
+}
+
+func (c *lru) remove(key string) {
+	if elem, ok := c.entries[key]; ok {
+		c.evict(elem)
+	}
+}
+
+func (c *lru) evict(elem *list.Element) {
+	entry := elem.Value.(*lruEntry)
+	c.order.Remove(elem)
+	delete(c.entries, entry.key)
+	c.bytes -= int64(len(entry.payload))
+}

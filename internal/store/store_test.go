@@ -1,0 +1,341 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// testKey derives a valid hex key from a label.
+func testKey(label string) string {
+	sum := sha256.Sum256([]byte(label))
+	return hex.EncodeToString(sum[:])
+}
+
+func payloadFor(i int) []byte {
+	return []byte(fmt.Sprintf(`{"version":1,"value":%d}`, i))
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("roundtrip")
+	payload := payloadFor(1)
+	if err := s.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mangled: %s", got)
+	}
+	// Mutating the returned slice must not poison later reads.
+	got[0] = 'X'
+	again, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, payload) {
+		t.Fatal("cache shares memory with callers")
+	}
+}
+
+func TestGetMissingReturnsNotFound(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(testKey("missing")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+	if s.Has(testKey("missing")) {
+		t.Fatal("Has reported a missing key")
+	}
+}
+
+func TestInvalidKeysRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "short", "../../../../etc/passwd", "ABCDEF0123456789", testKey("x") + "/../y"} {
+		if err := s.Put(key, payloadFor(0)); err == nil {
+			t.Errorf("Put accepted key %q", key)
+		}
+		if _, err := s.Get(key); err == nil {
+			t.Errorf("Get accepted key %q", key)
+		}
+	}
+}
+
+func TestPutSurvivesProcessRestart(t *testing.T) {
+	dir := t.TempDir()
+	key := testKey("restart")
+	s1, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(key, payloadFor(7)); err != nil {
+		t.Fatal(err)
+	}
+	// A second store over the same root (a restarted daemon) must read
+	// the artifact from disk, not memory.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payloadFor(7)) {
+		t.Fatalf("restart lost payload: %s", got)
+	}
+	if stats := s2.Stats(); stats.DiskHits != 1 {
+		t.Fatalf("expected one disk hit, got %+v", stats)
+	}
+}
+
+func TestTornWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithCacheBudget(0)) // force disk reads
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, bad := testKey("good"), testKey("torn")
+	if err := s.Put(good, payloadFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(bad, payloadFor(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn write surviving a crash: truncate the file mid-JSON.
+	path := filepath.Join(dir, bad[:2], bad+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Get returns a typed error, not a crash and not ErrNotFound.
+	var corrupt *CorruptError
+	if _, err := s.Get(bad); !errors.As(err, &corrupt) {
+		t.Fatalf("want *CorruptError, got %v", err)
+	}
+	if corrupt.Key != bad {
+		t.Fatalf("corrupt error names key %s, want %s", corrupt.Key, bad)
+	}
+
+	// The scan skips the damaged entry and still lists the healthy one.
+	keys, corruptErrs := s.Keys()
+	if len(keys) != 1 || keys[0] != good {
+		t.Fatalf("scan keys = %v, want [%s]", keys, good)
+	}
+	if len(corruptErrs) != 1 {
+		t.Fatalf("scan corrupt = %v, want one entry", corruptErrs)
+	}
+
+	// Regeneration overwrites the corrupt file and heals the entry.
+	if err := s.Put(bad, payloadFor(2)); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Get(bad); err != nil || !bytes.Equal(got, payloadFor(2)) {
+		t.Fatalf("heal failed: %s, %v", got, err)
+	}
+}
+
+func TestChecksumMismatchDetected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, WithCacheBudget(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("bitrot")
+	if err := s.Put(key, []byte(`{"value":111}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Flip payload bytes while keeping the envelope valid JSON.
+	path := filepath.Join(dir, key[:2], key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rotted := bytes.Replace(data, []byte(`111`), []byte(`999`), 1)
+	if bytes.Equal(rotted, data) {
+		t.Fatal("test setup: payload not found in envelope")
+	}
+	if err := os.WriteFile(path, rotted, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var corrupt *CorruptError
+	if _, err := s.Get(key); !errors.As(err, &corrupt) {
+		t.Fatalf("bit rot undetected: %v", err)
+	}
+}
+
+func TestEmptyPayloadRejected(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(testKey("empty"), nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+	if err := s.Put(testKey("notjson"), []byte("not json")); err == nil {
+		t.Fatal("non-JSON payload accepted")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Budget fits two payloads; inserting a third evicts the least
+	// recently used, which is then still served from disk.
+	payload := func(i int) []byte { return payloadFor(i) }
+	budget := int64(2 * len(payload(0)))
+	s, err := Open(t.TempDir(), WithCacheBudget(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := []string{testKey("a"), testKey("b"), testKey("c")}
+	for i, key := range k[:2] {
+		if err := s.Put(key, payload(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch k[0] so k[1] is the LRU victim.
+	if _, err := s.Get(k[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k[2], payload(2)); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	if stats.CacheCount != 2 || stats.CacheBytes > budget {
+		t.Fatalf("cache out of budget: %+v", stats)
+	}
+	before := stats.DiskHits
+	if got, err := s.Get(k[1]); err != nil || !bytes.Equal(got, payload(1)) {
+		t.Fatalf("evicted entry unreadable: %v", err)
+	}
+	if s.Stats().DiskHits != before+1 {
+		t.Fatal("evicted entry did not fall back to disk")
+	}
+}
+
+func TestConcurrentSameKey(t *testing.T) {
+	// Parallel writers and readers on one key: every read observes some
+	// complete payload (never torn, never corrupt). Run under -race by
+	// make test-race.
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("contended")
+	if err := s.Put(key, payloadFor(0)); err != nil {
+		t.Fatal(err)
+	}
+	const writers, readers, rounds = 4, 8, 50
+	valid := make(map[string]bool)
+	for i := 0; i <= writers*rounds; i++ {
+		valid[string(payloadFor(i%writers))] = true
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				if err := s.Put(key, payloadFor(w)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				got, err := s.Get(key)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if !valid[string(got)] {
+					t.Errorf("torn read: %s", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// No temp-file litter left behind.
+	entries, err := os.ReadDir(filepath.Join(s.Root(), key[:2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("shard has %d files, want 1 (temp litter?)", len(entries))
+	}
+}
+
+func TestConcurrentDistinctKeys(t *testing.T) {
+	s, err := Open(t.TempDir(), WithCacheBudget(1<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 32
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := testKey(fmt.Sprintf("key-%d", i))
+			if err := s.Put(key, payloadFor(i)); err != nil {
+				t.Error(err)
+				return
+			}
+			got, err := s.Get(key)
+			if err != nil || !bytes.Equal(got, payloadFor(i)) {
+				t.Errorf("key %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	keys, corrupt := s.Keys()
+	if len(keys) != n || len(corrupt) != 0 {
+		t.Fatalf("scan found %d keys, %d corrupt; want %d, 0", len(keys), len(corrupt), n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("delete")
+	if err := s.Put(key, payloadFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(key); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(key); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted key still loads: %v", err)
+	}
+	if err := s.Delete(key); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+}

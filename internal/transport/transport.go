@@ -37,7 +37,9 @@ const maxMessageSize = 64 << 20
 
 // Conn is a framed, byte-accounted connection. Send and Receive are each
 // safe for one concurrent caller (one sender goroutine, one receiver
-// goroutine), matching the camera/processor topology.
+// goroutine), matching the camera/processor topology. All counters are
+// atomics, so Snapshot and the accessor methods are safe to call from any
+// goroutine while Send/Receive are in flight.
 type Conn struct {
 	sendMu sync.Mutex
 	recvMu sync.Mutex
@@ -46,7 +48,25 @@ type Conn struct {
 	bytesSent     atomic.Int64
 	bytesReceived atomic.Int64
 	messagesSent  atomic.Int64
+	messagesRecv  atomic.Int64
 }
+
+// Counters is a point-in-time snapshot of per-direction transfer totals.
+type Counters struct {
+	BytesSent        int64
+	BytesReceived    int64
+	MessagesSent     int64
+	MessagesReceived int64
+}
+
+// globals accumulate transfer totals across every Conn in the process, so
+// a daemon can export fleet-wide bandwidth without tracking connections.
+var (
+	globalBytesSent     atomic.Int64
+	globalBytesReceived atomic.Int64
+	globalMessagesSent  atomic.Int64
+	globalMessagesRecv  atomic.Int64
+)
 
 // New wraps a bidirectional stream in a framed connection.
 func New(rw io.ReadWriter) *Conn {
@@ -76,6 +96,8 @@ func (c *Conn) Send(msgType byte, payload []byte) error {
 	}
 	c.bytesSent.Add(int64(n + len(payload)))
 	c.messagesSent.Add(1)
+	globalBytesSent.Add(int64(n + len(payload)))
+	globalMessagesSent.Add(1)
 	return nil
 }
 
@@ -100,6 +122,9 @@ func (c *Conn) Receive() (byte, []byte, error) {
 		return 0, nil, fmt.Errorf("transport: receive payload: %w", err)
 	}
 	c.bytesReceived.Add(int64(br.n) + int64(length))
+	c.messagesRecv.Add(1)
+	globalBytesReceived.Add(int64(br.n) + int64(length))
+	globalMessagesRecv.Add(1)
 	return body[0], body[1:], nil
 }
 
@@ -111,6 +136,31 @@ func (c *Conn) BytesReceived() int64 { return c.bytesReceived.Load() }
 
 // MessagesSent returns the number of messages written.
 func (c *Conn) MessagesSent() int64 { return c.messagesSent.Load() }
+
+// Snapshot returns the connection's cumulative per-direction transfer
+// counters. It is race-safe against concurrent Send and Receive; each
+// counter is read atomically, so a snapshot taken mid-message may see a
+// message counted whose peer-side bytes are still in flight, but never a
+// torn counter value.
+func (c *Conn) Snapshot() Counters {
+	return Counters{
+		BytesSent:        c.bytesSent.Load(),
+		BytesReceived:    c.bytesReceived.Load(),
+		MessagesSent:     c.messagesSent.Load(),
+		MessagesReceived: c.messagesRecv.Load(),
+	}
+}
+
+// Totals returns process-wide cumulative transfer counters summed over
+// every Conn ever created, for export by long-running daemons.
+func Totals() Counters {
+	return Counters{
+		BytesSent:        globalBytesSent.Load(),
+		BytesReceived:    globalBytesReceived.Load(),
+		MessagesSent:     globalMessagesSent.Load(),
+		MessagesReceived: globalMessagesRecv.Load(),
+	}
+}
 
 // byteReader adapts an io.Reader to io.ByteReader while counting bytes.
 type byteReader struct {

@@ -135,3 +135,70 @@ type readWriter struct{ buf *bytes.Buffer }
 
 func (rw readWriter) Read(p []byte) (int, error)  { return rw.buf.Read(p) }
 func (rw readWriter) Write(p []byte) (int, error) { return rw.buf.Write(p) }
+
+func TestSnapshotRaceSafe(t *testing.T) {
+	// Snapshot must be readable from any goroutine while a sender and a
+	// receiver are both active; run under -race (make test-race) this
+	// pins the counters as atomics, not plain ints.
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	a, b := New(client), New(server)
+
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		payload := bytes.Repeat([]byte{0xAB}, 64)
+		for i := 0; i < n; i++ {
+			if err := a.Send(MsgFrame, payload); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			if _, _, err := b.Receive(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sa, sb := a.Snapshot(), b.Snapshot()
+			if sa.BytesSent < 0 || sb.BytesReceived < 0 {
+				t.Error("negative counter")
+				return
+			}
+			_ = Totals()
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if sa.BytesSent != sb.BytesReceived {
+		t.Fatalf("accounting mismatch: sent %d received %d", sa.BytesSent, sb.BytesReceived)
+	}
+	if sa.MessagesSent != n || sb.MessagesReceived != n {
+		t.Fatalf("message counts: sent %d received %d, want %d", sa.MessagesSent, sb.MessagesReceived, n)
+	}
+	totals := Totals()
+	if totals.BytesSent < sa.BytesSent || totals.MessagesReceived < sb.MessagesReceived {
+		t.Fatalf("process totals %+v below connection totals", totals)
+	}
+}

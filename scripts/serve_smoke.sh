@@ -1,0 +1,77 @@
+#!/bin/sh
+# End-to-end smoke test for the profile service: start smokescreend on an
+# ephemeral port, request one tiny profile through the CLI's -remote path
+# (which fails unless the daemon answers 200 with profile JSON), assert
+# the rendered tradeoff curve is well-formed, then SIGTERM the daemon and
+# require a clean drain.
+set -eu
+
+GO=${GO:-go}
+WORKDIR=$(mktemp -d)
+ADDR_FILE="$WORKDIR/addr"
+STORE_DIR="$WORKDIR/store"
+DAEMON_LOG="$WORKDIR/daemon.log"
+CURVE_OUT="$WORKDIR/curve.out"
+
+cleanup() {
+    status=$?
+    if [ -n "${DAEMON_PID:-}" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+        kill -TERM "$DAEMON_PID" 2>/dev/null || true
+        wait "$DAEMON_PID" 2>/dev/null || true
+    fi
+    if [ "$status" -ne 0 ]; then
+        echo "serve-smoke: FAILED (daemon log follows)" >&2
+        cat "$DAEMON_LOG" >&2 || true
+    fi
+    rm -rf "$WORKDIR"
+    exit "$status"
+}
+trap cleanup EXIT INT TERM
+
+echo "serve-smoke: building binaries"
+$GO build -o "$WORKDIR/smokescreend" ./cmd/smokescreend
+$GO build -o "$WORKDIR/smokescreen" ./cmd/smokescreen
+
+echo "serve-smoke: starting daemon"
+"$WORKDIR/smokescreend" -addr 127.0.0.1:0 -addr-file "$ADDR_FILE" \
+    -store "$STORE_DIR" -workers 1 >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+
+# The daemon writes its bound address only once the socket is live.
+i=0
+while [ ! -s "$ADDR_FILE" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "serve-smoke: daemon never bound" >&2
+        exit 1
+    fi
+    kill -0 "$DAEMON_PID" 2>/dev/null || { echo "serve-smoke: daemon died" >&2; exit 1; }
+    sleep 0.1
+done
+ADDR=$(cat "$ADDR_FILE")
+echo "serve-smoke: daemon at $ADDR"
+
+echo "serve-smoke: requesting a tiny profile end-to-end"
+"$WORKDIR/smokescreen" profile -remote "http://$ADDR" -step 0.05 -max-fraction 0.1 \
+    "SELECT AVG(count(car)) FROM small" | tee "$CURVE_OUT"
+
+# Well-formed curve: the artifact key line plus at least one bound point.
+grep -q '^artifact key:' "$CURVE_OUT"
+grep -q 'f=.*err<=' "$CURVE_OUT"
+
+# A second request must be a pure store hit (no new generation job).
+"$WORKDIR/smokescreen" profile -remote "http://$ADDR" -step 0.05 -max-fraction 0.1 \
+    "SELECT AVG(count(car)) FROM small" >/dev/null
+generations=$(grep -c 'generating key' "$DAEMON_LOG" || true)
+if [ "$generations" -ne 1 ]; then
+    echo "serve-smoke: expected 1 generation, daemon ran $generations" >&2
+    exit 1
+fi
+
+echo "serve-smoke: draining daemon with SIGTERM"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID"
+DAEMON_PID=""
+grep -q 'drained cleanly' "$DAEMON_LOG"
+
+echo "serve-smoke: OK"
