@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-json figures figures-quick examples serve-smoke clean
+.PHONY: build test test-race bench bench-kernels bench-json figures figures-quick examples serve-smoke clean
 
 build:
 	$(GO) build ./...
@@ -20,7 +20,7 @@ test:
 # slow with instrumentation on.
 test-race:
 	$(GO) test -race ./internal/parallel/ ./internal/detect/ ./internal/raster/ \
-		./internal/profile/ ./internal/core/ \
+		./internal/profile/ ./internal/core/ ./internal/scene/ \
 		./internal/transport/ ./internal/camera/ ./internal/degrade/ \
 		./internal/store/ ./internal/server/
 	$(GO) test -race -run 'Parallel' ./internal/experiments/
@@ -29,12 +29,18 @@ test-race:
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x
 
+# Raster/detect kernel micro-benchmarks: fast kernels vs their retained
+# naive oracles, with ns/op and B/op so both the asymptotic win and the
+# pooling win are visible.
+bench-kernels:
+	$(GO) test -run xxx -bench 'Kernel' -benchmem ./internal/raster/ ./internal/detect/
+
 # Machine-readable benchmark regression artifact: one full -benchtime=1x
 # sweep rendered to JSON (ns/op, B/op, allocs/op, invocations/op) by
 # cmd/benchjson. Committed per PR as BENCH_<pr>.json.
 bench-json:
 	$(GO) test -bench=. -benchmem -benchtime=1x > bench.tmp
-	$(GO) run ./cmd/benchjson -out BENCH_PR1.json < bench.tmp
+	$(GO) run ./cmd/benchjson -out BENCH_PR3.json < bench.tmp
 	rm -f bench.tmp
 
 # Full-scale evaluation reports (the EXPERIMENTS.md numbers). Detector

@@ -6,7 +6,8 @@
 // Usage:
 //
 //	smokescreend [-addr :8040] [-store DIR] [-workers N] [-parallelism N]
-//	             [-queue N] [-cache-mb N] [-request-timeout D] [-job-timeout D]
+//	             [-queue N] [-cache-mb N] [-render-cache-mb N]
+//	             [-kernel-parallelism N] [-request-timeout D] [-job-timeout D]
 //	             [-addr-file PATH]
 //
 // Endpoints: POST /v1/profiles, GET /v1/profiles/{key}, GET /v1/jobs/{id},
@@ -26,6 +27,8 @@ import (
 	"syscall"
 	"time"
 
+	"smokescreen/internal/detect"
+	"smokescreen/internal/raster"
 	"smokescreen/internal/server"
 	"smokescreen/internal/store"
 )
@@ -41,8 +44,17 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 10*time.Minute, "cap on one generation job")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "cap on graceful shutdown")
 	correctionLimit := flag.Float64("correction-limit", 0.2, "correction-set fraction cap")
+	renderCacheMB := flag.Int64("render-cache-mb", 64, "degraded-frame render cache budget in MiB (0 disables, -1 unbounded)")
+	kernelParallelism := flag.Int("kernel-parallelism", 1, "worker goroutines per raster kernel (1 sequential, 0 = one per CPU)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
 	flag.Parse()
+
+	if *renderCacheMB < 0 {
+		detect.SetRenderCacheBudget(-1)
+	} else {
+		detect.SetRenderCacheBudget(*renderCacheMB << 20)
+	}
+	raster.SetParallelism(*kernelParallelism)
 
 	logger := log.New(os.Stderr, "smokescreend: ", log.LstdFlags|log.Lmsgprefix)
 	if err := run(runConfig{

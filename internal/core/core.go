@@ -83,6 +83,15 @@ func WithParallelism(n int) Option {
 	return func(s *System) { s.parallelism = n }
 }
 
+// WithRenderCacheBudget bounds the degraded-frame render cache shared by
+// full-frame detection (see detect.SetRenderCacheBudget): positive budgets
+// evict least-recently-used frames, zero disables the cache, negative
+// removes the bound. The budget is process-wide — the cache is shared
+// across Systems, like the detector output caches.
+func WithRenderCacheBudget(bytes int64) Option {
+	return func(s *System) { detect.SetRenderCacheBudget(bytes) }
+}
+
 // New constructs a System with the paper's defaults.
 func New(opts ...Option) *System {
 	s := &System{

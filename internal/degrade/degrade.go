@@ -221,3 +221,26 @@ func EffectiveVideo(v *scene.Video, s Setting) *scene.Video {
 	noisedCache[key] = nv
 	return nv
 }
+
+// EvictVideo drops every detect-side cached artifact derived from the
+// corpus — including the cached noised views EffectiveVideo created for
+// noise-addition settings, which detect.EvictVideo cannot reach because it
+// keys on corpus identity and a noised view is a distinct *scene.Video.
+// Returns the accounted bytes freed. This is the per-corpus memory-bounding
+// hook fleet deployments should call when a camera rotates out.
+func EvictVideo(v *scene.Video) int64 {
+	freed := detect.EvictVideo(v)
+	noisedMu.Lock()
+	var views []*scene.Video
+	for key, nv := range noisedCache {
+		if key.video == v {
+			views = append(views, nv)
+			delete(noisedCache, key)
+		}
+	}
+	noisedMu.Unlock()
+	for _, nv := range views {
+		freed += detect.EvictVideo(nv)
+	}
+	return freed
+}

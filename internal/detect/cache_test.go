@@ -46,11 +46,18 @@ func TestCacheStatsAndEvictVideo(t *testing.T) {
 	if s.BackgroundImages != 1 {
 		t.Fatalf("BackgroundImages = %d, want 1", s.BackgroundImages)
 	}
+	if s.RenderFrames != 1 {
+		t.Fatalf("RenderFrames = %d, want 1", s.RenderFrames)
+	}
+	wantRender := int64(160*160)*4 + perEntryOverhead
+	if s.RenderBytes != wantRender {
+		t.Fatalf("RenderBytes = %d, want %d", s.RenderBytes, wantRender)
+	}
 	wantFull := int64(2) * (int64(len(seriesA))*8 + perEntryOverhead)
 	if s.FullBytes != wantFull {
 		t.Fatalf("FullBytes = %d, want %d", s.FullBytes, wantFull)
 	}
-	if s.TotalBytes() != s.FullBytes+s.SparseBytes+s.BackgroundBytes {
+	if s.TotalBytes() != s.FullBytes+s.SparseBytes+s.BackgroundBytes+s.RenderBytes {
 		t.Fatal("TotalBytes does not sum the components")
 	}
 
@@ -81,8 +88,8 @@ func TestCacheStatsAndEvictVideo(t *testing.T) {
 	if freed == 0 {
 		t.Fatal("evicting corpus a freed nothing")
 	}
-	if s := Stats(); s.BackgroundImages != 0 {
-		t.Fatal("background cache survived eviction of its corpus")
+	if s := Stats(); s.BackgroundImages != 0 || s.RenderFrames != 0 {
+		t.Fatal("background/render caches survived eviction of their corpus")
 	}
 }
 

@@ -31,6 +31,11 @@ func (c *component) MeanContrast() float64 {
 type ccScratch struct {
 	labels []int32
 	parent []int32
+	// compOf maps a union-find root to its index in comps (-1 = unseen);
+	// both are resized per call and replace the per-frame map the second
+	// pass used to allocate (the hottest allocation in the profile).
+	compOf []int32
+	comps  []component
 }
 
 var ccPool = sync.Pool{New: func() any { return &ccScratch{} }}
@@ -103,8 +108,18 @@ func connectedComponents(mask []bool, contrast []float32, w, h int) []component 
 		}
 	}
 
-	// Second pass: accumulate per-root statistics.
-	stats := make(map[int32]*component)
+	// Second pass: accumulate per-root statistics into pooled slabs instead
+	// of a per-call map — root indices are dense (< len(parent)), so a
+	// slice lookup replaces the map's hash-and-probe on every masked pixel.
+	if cap(cc.compOf) < len(parent) {
+		cc.compOf = make([]int32, len(parent))
+	}
+	compOf := cc.compOf[:len(parent)]
+	for i := range compOf {
+		compOf[i] = -1
+	}
+	comps := cc.comps[:0]
+	defer func() { cc.comps = comps[:0] }()
 	for y := 0; y < h; y++ {
 		row := y * w
 		for x := 0; x < w; x++ {
@@ -113,11 +128,13 @@ func connectedComponents(mask []bool, contrast []float32, w, h int) []component 
 				continue
 			}
 			root := find(labels[i])
-			c, ok := stats[root]
-			if !ok {
-				c = &component{BBox: raster.Rect{MinX: x, MinY: y, MaxX: x + 1, MaxY: y + 1}}
-				stats[root] = c
+			ci := compOf[root]
+			if ci < 0 {
+				ci = int32(len(comps))
+				compOf[root] = ci
+				comps = append(comps, component{BBox: raster.Rect{MinX: x, MinY: y, MaxX: x + 1, MaxY: y + 1}})
 			}
+			c := &comps[ci]
 			c.Area++
 			c.SumContrast += float64(contrast[i])
 			if x < c.BBox.MinX {
@@ -135,10 +152,8 @@ func connectedComponents(mask []bool, contrast []float32, w, h int) []component 
 		}
 	}
 
-	out := make([]component, 0, len(stats))
-	for _, c := range stats {
-		out = append(out, *c)
-	}
+	out := make([]component, len(comps))
+	copy(out, comps)
 	// Deterministic order: top-left first.
 	sortComponents(out)
 	return out

@@ -81,11 +81,8 @@ func (m *Model) DetectFrameFull(v *scene.Video, i, p int) []Detection {
 	sx := float64(p) / float64(cfg.Width)
 	sigmaEff := effectiveNoise(float64(cfg.Lighting.NoiseSigma), sx)
 
-	native := v.RenderNative(i)
-	img := raster.GetScratch(p, p)
-	defer raster.PutScratch(img)
-	raster.DownsampleInto(img, native)
-	img.AddNoise(frameNoiseSeed(cfg.Seed, i, p), float32(sigmaEff))
+	img, release := degradedFrame(v, i, p, float32(sigmaEff))
+	defer release()
 	return m.DetectPixels(img, downsampledBackground(v, p), float64(cfg.Lighting.NoiseSigma), cfg.Width, dupSeed(cfg.Seed, i, p, 0))
 }
 

@@ -207,6 +207,7 @@ func ResetCaches() {
 	sparseCache = map[outputKey]*sparse{}
 	sparseMu.Unlock()
 	evictBackgrounds(nil)
+	resetRenderCache()
 	invocationCount.Store(0)
 }
 
@@ -229,6 +230,13 @@ type CacheStats struct {
 	// backgrounds cached by the full-frame path: 4 bytes per pixel.
 	BackgroundImages int
 	BackgroundBytes  int64
+	// RenderFrames / RenderBytes cover the degraded-frame render cache
+	// (4 bytes per pixel plus per-entry overhead); RenderHits/RenderMisses
+	// are its cumulative lookup counters.
+	RenderFrames int
+	RenderBytes  int64
+	RenderHits   int64
+	RenderMisses int64
 }
 
 // perEntryOverhead approximates the fixed cost of one cache entry: the
@@ -237,7 +245,7 @@ const perEntryOverhead = 96
 
 // TotalBytes returns the total accounted size of all detect caches.
 func (s CacheStats) TotalBytes() int64 {
-	return s.FullBytes + s.SparseBytes + s.BackgroundBytes
+	return s.FullBytes + s.SparseBytes + s.BackgroundBytes + s.RenderBytes
 }
 
 // Stats reports the current size of the output caches. Fleet deployments
@@ -265,6 +273,7 @@ func Stats() CacheStats {
 	n, bytes := backgroundStats()
 	s.BackgroundImages = n
 	s.BackgroundBytes = bytes
+	s.RenderFrames, s.RenderBytes, s.RenderHits, s.RenderMisses = renderStats()
 	return s
 }
 
@@ -295,5 +304,6 @@ func EvictVideo(v *scene.Video) int64 {
 	}
 	sparseMu.Unlock()
 	freed += evictBackgrounds(v)
+	freed += evictRenders(v)
 	return freed
 }

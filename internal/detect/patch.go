@@ -129,7 +129,8 @@ func (m *Model) evalPatch(v *scene.Video, frameIdx, p int, obj *scene.Object, sx
 		return cand
 	}
 
-	nativePatch := v.RenderRegion(frameIdx, region)
+	nativePatch := raster.GetScratch(region.W(), region.H())
+	v.RenderRegionInto(nativePatch, frameIdx, region)
 	tw := maxInt(3, int(math.Round(float64(region.W())*sx)))
 	th := maxInt(3, int(math.Round(float64(region.H())*sy)))
 	patch := raster.GetScratch(tw, th)
@@ -147,11 +148,15 @@ func (m *Model) evalPatch(v *scene.Video, frameIdx, p int, obj *scene.Object, sx
 		// head/torso pixels.
 		diff = diffScalar(patch, borderMean(patch))
 	} else {
+		// Reuse the native patch buffer for the background render: the
+		// downsample reads it before anything overwrites it.
+		v.BackgroundRegionInto(nativePatch, region)
 		bgPatch := raster.GetScratch(tw, th)
-		raster.DownsampleInto(bgPatch, v.BackgroundRegion(region))
+		raster.DownsampleInto(bgPatch, nativePatch)
 		diff = diffPlane(patch, bgPatch)
 		raster.PutScratch(bgPatch)
 	}
+	raster.PutScratch(nativePatch)
 	smooth := diff.blur3()
 	putPlane(diff)
 	scr := smooth.absMask(tau)

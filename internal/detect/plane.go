@@ -92,7 +92,62 @@ func diffScalar(img *raster.Image, c float32) *plane {
 // average over their in-bounds neighbourhood). A 3x3 average divides
 // uncorrelated noise sigma by 3 while leaving the interior of objects
 // larger than ~3 pixels intact — the detector's denoising stage.
+//
+// Separable form: a vertical 3-tap pass into a pooled scratch plane, then a
+// horizontal 3-tap pass — 6 adds per pixel instead of the naive window
+// scan's 9 (kept below as blur3Naive, the property-test oracle).
 func (p *plane) blur3() *plane {
+	w, h := p.w, p.h
+	out := getPlane(w, h)
+	if w == 0 || h == 0 {
+		return out
+	}
+	vs := getPlane(w, h)
+	for y := 0; y < h; y++ {
+		row := vs.v[y*w : (y+1)*w]
+		copy(row, p.v[y*w:(y+1)*w])
+		if y > 0 {
+			prev := p.v[(y-1)*w : y*w]
+			for x := range row {
+				row[x] += prev[x]
+			}
+		}
+		if y+1 < h {
+			next := p.v[(y+1)*w : (y+2)*w]
+			for x := range row {
+				row[x] += next[x]
+			}
+		}
+	}
+	for y := 0; y < h; y++ {
+		cy := 3
+		if y == 0 {
+			cy--
+		}
+		if y == h-1 {
+			cy--
+		}
+		inv2 := 1 / float32(2*cy)
+		inv3 := 1 / float32(3*cy)
+		vrow := vs.v[y*w : (y+1)*w]
+		orow := out.v[y*w : (y+1)*w]
+		if w == 1 {
+			orow[0] = vrow[0] / float32(cy)
+			continue
+		}
+		orow[0] = (vrow[0] + vrow[1]) * inv2
+		for x := 1; x < w-1; x++ {
+			orow[x] = (vrow[x-1] + vrow[x] + vrow[x+1]) * inv3
+		}
+		orow[w-1] = (vrow[w-2] + vrow[w-1]) * inv2
+	}
+	putPlane(vs)
+	return out
+}
+
+// blur3Naive is the direct 3x3 window scan retained as the oracle blur3 is
+// property-tested against (1e-5 per sample). Test-only.
+func (p *plane) blur3Naive() *plane {
 	out := getPlane(p.w, p.h)
 	for y := 0; y < p.h; y++ {
 		y0, y1 := y-1, y+2

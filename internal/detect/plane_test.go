@@ -1,0 +1,69 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestBlur3MatchesNaive property-tests the separable blur3 against the
+// direct 3x3 window oracle over random plane sizes, including degenerate
+// 1-pixel-wide and 1-pixel-high planes.
+func TestBlur3MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type dims struct{ w, h int }
+	cases := []dims{{1, 1}, {1, 7}, {7, 1}, {2, 2}, {3, 3}, {17, 5}, {64, 48}}
+	for i := 0; i < 8; i++ {
+		cases = append(cases, dims{1 + rng.Intn(90), 1 + rng.Intn(90)})
+	}
+	for _, c := range cases {
+		p := getPlane(c.w, c.h)
+		for i := range p.v {
+			p.v[i] = rng.Float32()*2 - 1 // signed, like real difference planes
+		}
+		fast := p.blur3()
+		naive := p.blur3Naive()
+		for i := range fast.v {
+			f, n := float64(fast.v[i]), float64(naive.v[i])
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				t.Fatalf("%dx%d: non-finite blur sample %v at %d", c.w, c.h, f, i)
+			}
+			if d := math.Abs(f - n); d > 1e-5 {
+				t.Fatalf("%dx%d: blur3 sample %d diff %g > 1e-5 (fast %v naive %v)",
+					c.w, c.h, i, d, f, n)
+			}
+		}
+		putPlane(naive)
+		putPlane(fast)
+		putPlane(p)
+	}
+}
+
+func benchPlane(w, h int) *plane {
+	rng := rand.New(rand.NewSource(2))
+	p := getPlane(w, h)
+	for i := range p.v {
+		p.v[i] = rng.Float32()*2 - 1
+	}
+	return p
+}
+
+func BenchmarkKernelBlur3(b *testing.B) {
+	p := benchPlane(608, 608)
+	b.SetBytes(int64(len(p.v)) * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		putPlane(p.blur3())
+	}
+}
+
+func BenchmarkKernelBlur3Naive(b *testing.B) {
+	p := benchPlane(608, 608)
+	b.SetBytes(int64(len(p.v)) * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		putPlane(p.blur3Naive())
+	}
+}

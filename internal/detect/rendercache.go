@@ -1,0 +1,229 @@
+package detect
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"smokescreen/internal/raster"
+	"smokescreen/internal/scene"
+)
+
+// This file implements the degraded-frame render cache. The full-frame
+// detection path renders a frame at native resolution, downsamples it to
+// the model input size, and adds effective sensor noise — a deterministic
+// function of (corpus, frame, resolution, noise sigma). Hypercube cells and
+// correction-set passes that share a degradation setting re-request the
+// same degraded frames, so the cache renders each once and serves the
+// raster thereafter, under a byte budget with LRU eviction.
+//
+// Cached images are heap-allocated (never drawn from the scratch pool) and
+// read-only once published, so eviction is safe even while a detection pass
+// still holds the raster: the evicted image simply stays alive until its
+// readers drop it.
+
+// renderKey identifies one cached degraded frame.
+type renderKey struct {
+	video *scene.Video
+	frame int
+	p     int
+	sigma float32
+}
+
+type renderEntry struct {
+	key        renderKey
+	img        *raster.Image
+	bytes      int64
+	prev, next *renderEntry // LRU list; head = most recent
+}
+
+type renderCacheState struct {
+	mu      sync.Mutex
+	entries map[renderKey]*renderEntry
+	head    *renderEntry
+	tail    *renderEntry
+	bytes   int64
+	budget  int64 // >0 budgeted, <0 unlimited, 0 disabled
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// DefaultRenderCacheBudget is the byte budget the render cache starts
+// with: enough for ~1000 degraded 128x128 frames, small next to a corpus's
+// output series but enough to cover a correction-set pass.
+const DefaultRenderCacheBudget int64 = 64 << 20
+
+var renderCache = renderCacheState{
+	entries: map[renderKey]*renderEntry{},
+	budget:  DefaultRenderCacheBudget,
+}
+
+// SetRenderCacheBudget bounds the degraded-frame render cache: a positive
+// budget evicts least-recently-used frames once accounted bytes exceed it,
+// a negative budget removes the bound, and zero disables caching entirely
+// (and drops current entries). The default is DefaultRenderCacheBudget.
+func SetRenderCacheBudget(bytes int64) {
+	c := &renderCache
+	c.mu.Lock()
+	c.budget = bytes
+	if bytes == 0 {
+		c.entries = map[renderKey]*renderEntry{}
+		c.head, c.tail = nil, nil
+		c.bytes = 0
+	} else if bytes > 0 {
+		c.evictOverBudgetLocked()
+	}
+	c.mu.Unlock()
+}
+
+// RenderCacheBudget returns the current byte budget (see
+// SetRenderCacheBudget for the sign semantics).
+func RenderCacheBudget() int64 {
+	c := &renderCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.budget
+}
+
+// moveToFrontLocked makes e the most-recently-used entry.
+func (c *renderCacheState) moveToFrontLocked(e *renderEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlinkLocked(e)
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *renderCacheState) unlinkLocked(e *renderEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if c.head == e {
+		c.head = e.next
+	}
+	if c.tail == e {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *renderCacheState) evictOverBudgetLocked() {
+	for c.budget > 0 && c.bytes > c.budget && c.tail != nil {
+		e := c.tail
+		c.unlinkLocked(e)
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+	}
+}
+
+// degradedFrame returns frame i of v downsampled to p x p with effective
+// sensor noise sigma applied — through the cache when enabled. The release
+// function must be called once the raster is no longer read; it returns
+// pooled scratch when the cache is disabled and is a no-op otherwise.
+// Callers must not mutate the returned image.
+func degradedFrame(v *scene.Video, i, p int, sigma float32) (*raster.Image, func()) {
+	c := &renderCache
+	key := renderKey{video: v, frame: i, p: p, sigma: sigma}
+
+	c.mu.Lock()
+	if c.budget == 0 {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		img := raster.GetScratch(p, p)
+		renderDegradedInto(img, v, i, p, sigma)
+		return img, func() { raster.PutScratch(img) }
+	}
+	if e, ok := c.entries[key]; ok {
+		c.moveToFrontLocked(e)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return e.img, func() {}
+	}
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	img := raster.New(p, p)
+	renderDegradedInto(img, v, i, p, sigma)
+
+	c.mu.Lock()
+	if c.budget == 0 {
+		// Disabled while we rendered: serve the raster uncached.
+		c.mu.Unlock()
+		return img, func() {}
+	}
+	if e, ok := c.entries[key]; ok {
+		// Lost a render race; the published entry wins.
+		c.moveToFrontLocked(e)
+		c.mu.Unlock()
+		return e.img, func() {}
+	}
+	e := &renderEntry{key: key, img: img, bytes: int64(len(img.Pix))*4 + perEntryOverhead}
+	c.entries[key] = e
+	c.bytes += e.bytes
+	c.moveToFrontLocked(e)
+	c.evictOverBudgetLocked()
+	c.mu.Unlock()
+	return img, func() {}
+}
+
+// renderDegradedInto renders the degraded frame into dst (p x p): native
+// render from pooled scratch, box-filter downsample, deterministic sensor
+// noise at the effective post-resample sigma.
+func renderDegradedInto(dst *raster.Image, v *scene.Video, i, p int, sigma float32) {
+	cfg := &v.Config
+	native := raster.GetScratch(cfg.Width, cfg.Height)
+	v.RenderRegionInto(native, i, raster.RectWH(0, 0, cfg.Width, cfg.Height))
+	raster.DownsampleInto(dst, native)
+	raster.PutScratch(native)
+	dst.AddNoise(frameNoiseSeed(cfg.Seed, i, p), sigma)
+}
+
+// renderStats reports the cache's accounted size and hit/miss counters.
+func renderStats() (frames int, bytes int64, hits, misses int64) {
+	c := &renderCache
+	c.mu.Lock()
+	frames = len(c.entries)
+	bytes = c.bytes
+	c.mu.Unlock()
+	return frames, bytes, c.hits.Load(), c.misses.Load()
+}
+
+// evictRenders drops cached degraded frames for one corpus (nil: all) and
+// returns the accounted bytes freed.
+func evictRenders(v *scene.Video) int64 {
+	c := &renderCache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var freed int64
+	for key, e := range c.entries {
+		if v != nil && key.video != v {
+			continue
+		}
+		c.unlinkLocked(e)
+		delete(c.entries, key)
+		c.bytes -= e.bytes
+		freed += e.bytes
+	}
+	return freed
+}
+
+// resetRenderCache clears entries and counters, keeping the budget.
+func resetRenderCache() {
+	c := &renderCache
+	c.mu.Lock()
+	c.entries = map[renderKey]*renderEntry{}
+	c.head, c.tail = nil, nil
+	c.bytes = 0
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

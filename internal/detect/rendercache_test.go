@@ -1,0 +1,170 @@
+package detect
+
+import "testing"
+
+// TestRenderCacheHitsAndIdentity checks that the cached full-frame path is
+// detection-identical to the uncached one, and that hit/miss counters move
+// as expected.
+func TestRenderCacheHitsAndIdentity(t *testing.T) {
+	ResetCaches()
+	prevBudget := RenderCacheBudget()
+	t.Cleanup(func() {
+		SetRenderCacheBudget(prevBudget)
+		ResetCaches()
+	})
+
+	v := cacheTestVideo(t, "render-hit", 51)
+	m := YOLOv4Sim()
+
+	// Uncached reference.
+	SetRenderCacheBudget(0)
+	var want [][]Detection
+	for i := 0; i < v.NumFrames(); i++ {
+		want = append(want, m.DetectFrameFull(v, i, 160))
+	}
+
+	// Cached: first pass misses, second pass hits, both identical to the
+	// uncached reference.
+	SetRenderCacheBudget(DefaultRenderCacheBudget)
+	resetRenderCache()
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < v.NumFrames(); i++ {
+			got := m.DetectFrameFull(v, i, 160)
+			if len(got) != len(want[i]) {
+				t.Fatalf("pass %d frame %d: %d detections, want %d", pass, i, len(got), len(want[i]))
+			}
+			for j := range got {
+				if got[j] != want[i][j] {
+					t.Fatalf("pass %d frame %d: detection %d = %+v, want %+v",
+						pass, i, j, got[j], want[i][j])
+				}
+			}
+		}
+	}
+	_, _, hits, misses := renderStats()
+	if misses != int64(v.NumFrames()) {
+		t.Fatalf("misses = %d, want %d", misses, v.NumFrames())
+	}
+	if hits != int64(v.NumFrames()) {
+		t.Fatalf("hits = %d, want %d", hits, v.NumFrames())
+	}
+}
+
+// TestRenderCacheBudgetEvicts checks LRU eviction under a budget that fits
+// only a few frames, and that accounting never exceeds the budget.
+func TestRenderCacheBudgetEvicts(t *testing.T) {
+	ResetCaches()
+	prevBudget := RenderCacheBudget()
+	t.Cleanup(func() {
+		SetRenderCacheBudget(prevBudget)
+		ResetCaches()
+	})
+
+	v := cacheTestVideo(t, "render-budget", 52)
+	m := YOLOv4Sim()
+
+	perFrame := int64(160*160)*4 + perEntryOverhead
+	SetRenderCacheBudget(3 * perFrame)
+	for i := 0; i < v.NumFrames(); i++ {
+		m.DetectFrameFull(v, i, 160)
+	}
+	frames, bytes, _, _ := renderStats()
+	if frames != 3 {
+		t.Fatalf("cache holds %d frames, want 3 under budget", frames)
+	}
+	if bytes > 3*perFrame {
+		t.Fatalf("cache bytes %d exceed budget %d", bytes, 3*perFrame)
+	}
+
+	// The retained frames are the most recently used: re-detecting the last
+	// three frames must be all hits.
+	_, _, hits0, _ := renderStats()
+	for i := v.NumFrames() - 3; i < v.NumFrames(); i++ {
+		m.DetectFrameFull(v, i, 160)
+	}
+	_, _, hits1, misses := renderStats()
+	if hits1-hits0 != 3 {
+		t.Fatalf("re-detecting recent frames hit %d times, want 3 (misses %d)", hits1-hits0, misses)
+	}
+
+	// Frame 0 was evicted: detecting it again must miss.
+	_, _, _, missesBefore := renderStats()
+	m.DetectFrameFull(v, 0, 160)
+	_, _, _, missesAfter := renderStats()
+	if missesAfter-missesBefore != 1 {
+		t.Fatalf("evicted frame did not miss (misses delta %d)", missesAfter-missesBefore)
+	}
+}
+
+// TestRenderCacheEvictVideo checks per-corpus eviction leaves other corpora
+// cached.
+func TestRenderCacheEvictVideo(t *testing.T) {
+	ResetCaches()
+	t.Cleanup(ResetCaches)
+
+	a := cacheTestVideo(t, "render-evict-a", 53)
+	b := cacheTestVideo(t, "render-evict-b", 54)
+	m := YOLOv4Sim()
+	m.DetectFrameFull(a, 0, 160)
+	m.DetectFrameFull(b, 0, 160)
+
+	if frames, _, _, _ := renderStats(); frames != 2 {
+		t.Fatalf("cache holds %d frames, want 2", frames)
+	}
+	freed := evictRenders(a)
+	if freed == 0 {
+		t.Fatal("evicting corpus a freed nothing")
+	}
+	frames, _, _, _ := renderStats()
+	if frames != 1 {
+		t.Fatalf("cache holds %d frames after evicting a, want 1", frames)
+	}
+}
+
+// TestRenderCacheDistinguishesNoise pins the cache key: the same frame at
+// the same resolution under a different noise sigma (a noised corpus view
+// from degrade.EffectiveVideo) must not be served from the clean render.
+func TestRenderCacheDistinguishesNoise(t *testing.T) {
+	ResetCaches()
+	t.Cleanup(ResetCaches)
+
+	v := cacheTestVideo(t, "render-noise", 55)
+	noised := v.WithNoise(0.08)
+	m := YOLOv4Sim()
+
+	m.DetectFrameFull(v, 0, 160)
+	m.DetectFrameFull(noised, 0, 160)
+	if frames, _, _, _ := renderStats(); frames != 2 {
+		t.Fatalf("cache holds %d frames, want 2 (clean + noised views)", frames)
+	}
+	_, _, hits, _ := renderStats()
+	if hits != 0 {
+		t.Fatalf("noised view hit the clean render (hits = %d)", hits)
+	}
+}
+
+// TestSetRenderCacheBudgetZeroDisables verifies budget 0 drops entries and
+// bypasses the cache.
+func TestSetRenderCacheBudgetZeroDisables(t *testing.T) {
+	ResetCaches()
+	prevBudget := RenderCacheBudget()
+	t.Cleanup(func() {
+		SetRenderCacheBudget(prevBudget)
+		ResetCaches()
+	})
+
+	v := cacheTestVideo(t, "render-disable", 56)
+	m := YOLOv4Sim()
+	m.DetectFrameFull(v, 0, 160)
+	if frames, _, _, _ := renderStats(); frames != 1 {
+		t.Fatalf("warm-up did not cache (frames = %d)", frames)
+	}
+	SetRenderCacheBudget(0)
+	if frames, bytes, _, _ := renderStats(); frames != 0 || bytes != 0 {
+		t.Fatalf("disabling kept %d frames / %d bytes", frames, bytes)
+	}
+	m.DetectFrameFull(v, 0, 160)
+	if frames, _, _, _ := renderStats(); frames != 0 {
+		t.Fatal("disabled cache still stored a frame")
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"runtime"
 	"testing"
 
+	"smokescreen/internal/detect"
 	"smokescreen/internal/estimate"
+	"smokescreen/internal/raster"
 	"smokescreen/internal/stats"
 )
 
@@ -134,5 +136,42 @@ func TestParallelSweepRespectsEarlyStop(t *testing.T) {
 	}
 	if !reflect.DeepEqual(seq, par) {
 		t.Fatalf("early-stopping sweep changed under Parallelism=8:\n%+v\nvs\n%+v", par, seq)
+	}
+}
+
+// TestSweepBitIdenticalAcrossKernelParallelism pins the cross-layer
+// contract: the raster kernels' row fan-out (raster.SetParallelism) must
+// not perturb a single bit of a generated profile, because kernel row
+// blocks are fixed-size and every output row is a pure function of its
+// inputs. Combined with the worker-count tests above, this makes profile
+// output independent of the entire parallelism configuration.
+func TestSweepBitIdenticalAcrossKernelParallelism(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	prev := raster.Parallelism()
+	t.Cleanup(func() { raster.SetParallelism(prev) })
+
+	s := testSpec(estimate.AVG)
+	root := stats.NewStream(63)
+	opts := SweepOptions{
+		Fractions:   []float64{0.02, 0.1},
+		Parallelism: 2,
+	}
+
+	raster.SetParallelism(1)
+	detect.ResetCaches()
+	seq, err := SweepFractions(s, opts, root.Child(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kernelWorkers := range []int{4, 8} {
+		raster.SetParallelism(kernelWorkers)
+		detect.ResetCaches() // force re-detection through the parallel kernels
+		par, err := SweepFractions(s, opts, root.Child(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("kernel parallelism %d changed the profile:\n%+v\nvs\n%+v", kernelWorkers, par, seq)
+		}
 	}
 }

@@ -10,10 +10,11 @@ import "math"
 // FillRect paints a solid axis-aligned rectangle with intensity v.
 func (m *Image) FillRect(r Rect, v float32) {
 	r = r.Intersect(RectWH(0, 0, m.W, m.H))
+	v = clamp01(v)
 	for y := r.MinY; y < r.MaxY; y++ {
-		row := y * m.W
-		for x := r.MinX; x < r.MaxX; x++ {
-			m.Pix[row+x] = clamp01(v)
+		row := m.Pix[y*m.W+r.MinX : y*m.W+r.MaxX]
+		for i := range row {
+			row[i] = v
 		}
 	}
 }
@@ -22,11 +23,11 @@ func (m *Image) FillRect(r Rect, v float32) {
 // pixels with opacity alpha in [0, 1].
 func (m *Image) BlendRect(r Rect, v, alpha float32) {
 	r = r.Intersect(RectWH(0, 0, m.W, m.H))
+	v = clamp01(v)
 	for y := r.MinY; y < r.MaxY; y++ {
-		row := y * m.W
-		for x := r.MinX; x < r.MaxX; x++ {
-			old := m.Pix[row+x]
-			m.Pix[row+x] = clamp01(old + (clamp01(v)-old)*alpha)
+		row := m.Pix[y*m.W+r.MinX : y*m.W+r.MaxX]
+		for i, old := range row {
+			row[i] = clamp01(old + (v-old)*alpha)
 		}
 	}
 }
@@ -101,15 +102,18 @@ func (m *Image) AddNoise(seed uint64, sigma float32) {
 		return
 	}
 	// Irwin-Hall with k=3 uniforms in [-0.5,0.5] has sd = 0.5; rescale.
+	// Dividing by 2^21 equals multiplying by its exact reciprocal, so the
+	// multiply form below is bit-identical to the historical division.
+	const invU = float32(1) / float32(1<<21)
 	scale := sigma / 0.5
 	for y := 0; y < m.H; y++ {
-		row := y * m.W
-		for x := 0; x < m.W; x++ {
+		row := m.Pix[y*m.W : (y+1)*m.W]
+		for x := range row {
 			h := pixelHash(seed, x, y)
-			u1 := float32(h&0x1fffff)/float32(1<<21) - 0.5
-			u2 := float32((h>>21)&0x1fffff)/float32(1<<21) - 0.5
-			u3 := float32((h>>42)&0x1fffff)/float32(1<<21) - 0.5
-			m.Pix[row+x] = clamp01(m.Pix[row+x] + (u1+u2+u3)*scale)
+			u1 := float32(h&0x1fffff)*invU - 0.5
+			u2 := float32((h>>21)&0x1fffff)*invU - 0.5
+			u3 := float32((h>>42)&0x1fffff)*invU - 0.5
+			row[x] = clamp01(row[x] + (u1+u2+u3)*scale)
 		}
 	}
 }

@@ -1,0 +1,85 @@
+package raster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Kernel micro-benchmarks (the `make bench-kernels` target): fast kernels
+// against their retained naive oracles at a representative full-frame size,
+// so the asymptotic win (sliding window / prefix sum vs window scans) is
+// visible in ns/op and the pooling win in B/op.
+
+func benchImage(w, h int) *Image {
+	rng := rand.New(rand.NewSource(1))
+	img := New(w, h)
+	for i := range img.Pix {
+		img.Pix[i] = rng.Float32()
+	}
+	return img
+}
+
+func BenchmarkKernelBoxBlurFast(b *testing.B) {
+	src := benchImage(608, 608)
+	dst := New(608, 608)
+	b.SetBytes(int64(len(src.Pix)) * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BoxBlurInto(dst, src, 15)
+	}
+}
+
+func BenchmarkKernelBoxBlurNaive(b *testing.B) {
+	src := benchImage(608, 608)
+	dst := New(608, 608)
+	b.SetBytes(int64(len(src.Pix)) * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		boxBlurNaiveInto(dst, src, 15)
+	}
+}
+
+func BenchmarkKernelDownsampleFast(b *testing.B) {
+	src := benchImage(1280, 720)
+	dst := New(320, 320)
+	b.SetBytes(int64(len(src.Pix)) * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DownsampleInto(dst, src)
+	}
+}
+
+func BenchmarkKernelDownsampleNaive(b *testing.B) {
+	src := benchImage(1280, 720)
+	dst := New(320, 320)
+	b.SetBytes(int64(len(src.Pix)) * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		downsampleNaiveInto(dst, src)
+	}
+}
+
+func BenchmarkKernelBilinearUpsample(b *testing.B) {
+	src := benchImage(320, 320)
+	dst := New(608, 608)
+	b.SetBytes(int64(len(dst.Pix)) * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bilinearInto(dst, src)
+	}
+}
+
+func BenchmarkKernelAddNoise(b *testing.B) {
+	img := benchImage(608, 608)
+	b.SetBytes(int64(len(img.Pix)) * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		img.AddNoise(uint64(i), 0.02)
+	}
+}

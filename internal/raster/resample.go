@@ -1,5 +1,7 @@
 package raster
 
+import "sync"
+
 // Downsample resizes the image to (w, h) using box-filter area averaging —
 // the physically correct model of what a lower-resolution sensor (or a
 // standards-compliant video rescaler) does to a frame. Each destination
@@ -23,6 +25,15 @@ func Downsample(src *Image, w, h int) *Image {
 // every destination sample. It is the allocation-free core of Downsample:
 // detection hot paths pair it with GetScratch/PutScratch so per-frame
 // rasters come from a pool instead of the heap. dst and src must not alias.
+//
+// The downsampling path is a separable prefix-sum kernel: each source row
+// is integrated once (a running prefix sum), destination columns read
+// their continuous-box integral from it in O(1), and destination rows
+// reduce the per-row integrals with boundary weights — O(src + dst) total
+// instead of the O(window) scan per destination pixel of the naive form
+// (retained below as downsampleNaiveInto, the test oracle). Rows fan out
+// across internal/parallel; every output row is a pure function of its
+// inputs, so pixels are bit-identical at any Parallelism.
 func DownsampleInto(dst, src *Image) {
 	w, h := dst.W, dst.H
 	if w <= 0 || h <= 0 {
@@ -36,6 +47,141 @@ func DownsampleInto(dst, src *Image) {
 		bilinearInto(dst, src)
 		return
 	}
+	downsampleFastInto(dst, src)
+}
+
+// axisWindow precomputes, for one destination axis index, the continuous
+// source window [lo, hi) in the prefix-sum formulation: the window integral
+// is C(hi) - C(lo) with C(t) = P[i] + f*pix[i], i = min(int(t), n-1),
+// f = t - i, where P is the axis prefix sum. inv is 1/(hi-lo), the
+// normalising width (the naive kernel's accumulated weight along this axis).
+type axisWindow struct {
+	i0, i1 int32
+	f0, f1 float64
+	inv    float64
+}
+
+// makeAxisWindows fills win (length dstN) for a source axis of length srcN.
+func makeAxisWindows(win []axisWindow, srcN, dstN int) {
+	ratio := float64(srcN) / float64(dstN)
+	for d := 0; d < dstN; d++ {
+		lo := float64(d) * ratio
+		hi := float64(d+1) * ratio
+		i0 := int(lo)
+		if i0 > srcN-1 {
+			i0 = srcN - 1
+		}
+		i1 := int(hi)
+		if i1 > srcN-1 {
+			i1 = srcN - 1
+		}
+		win[d] = axisWindow{
+			i0: int32(i0), i1: int32(i1),
+			f0: lo - float64(i0), f1: hi - float64(i1),
+			inv: 1 / (hi - lo),
+		}
+	}
+}
+
+// axisWindowPool recycles the per-call window tables.
+var axisWindowPool sync.Pool
+
+func getAxisWindows(n int) []axisWindow {
+	if v := axisWindowPool.Get(); v != nil {
+		if s := v.([]axisWindow); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]axisWindow, n)
+}
+
+func putAxisWindows(s []axisWindow) {
+	axisWindowPool.Put(s[:cap(s)]) //nolint:staticcheck // slab reuse outweighs the header box
+}
+
+func downsampleFastInto(dst, src *Image) {
+	w, h := dst.W, dst.H
+	sw, sh := src.W, src.H
+
+	xwin := getAxisWindows(w)
+	defer putAxisWindows(xwin)
+	makeAxisWindows(xwin, sw, w)
+
+	// Horizontal pass: rowInt[sy*w+dx] is the continuous integral of source
+	// row sy over destination column dx's window.
+	rowInt := getF64(sh * w)
+	defer putF64(rowInt)
+	forRowBlocks(sh, sh*(sw+w), func(lo, hi int) {
+		prefix := getF64(sw + 1)
+		defer putF64(prefix)
+		for sy := lo; sy < hi; sy++ {
+			row := src.Pix[sy*sw : (sy+1)*sw]
+			prefix[0] = 0
+			var sum float64
+			for x, v := range row {
+				sum += float64(v)
+				prefix[x+1] = sum
+			}
+			out := rowInt[sy*w : (sy+1)*w]
+			for dx := range out {
+				xw := &xwin[dx]
+				c0 := prefix[xw.i0] + xw.f0*float64(row[xw.i0])
+				c1 := prefix[xw.i1] + xw.f1*float64(row[xw.i1])
+				out[dx] = c1 - c0
+			}
+		}
+	})
+
+	// Vertical pass: each destination row reduces its source-row window of
+	// rowInt with the naive kernel's boundary weights, then normalises by
+	// the continuous box area. Destination rows are independent, so this
+	// pass fans out without any cross-row accumulator.
+	forRowBlocks(h, h*(sh/h+2)*w, func(lo, hi int) {
+		acc := getF64(w)
+		defer putF64(acc)
+		yRatio := float64(sh) / float64(h)
+		for dy := lo; dy < hi; dy++ {
+			y0 := float64(dy) * yRatio
+			y1 := float64(dy+1) * yRatio
+			iy0 := int(y0)
+			iy1 := int(y1)
+			if iy1 > sh-1 {
+				iy1 = sh - 1
+			}
+			for i := range acc {
+				acc[i] = 0
+			}
+			for sy := iy0; sy <= iy1; sy++ {
+				wy := 1.0
+				if sy == iy0 {
+					wy -= y0 - float64(iy0)
+				}
+				if sy == iy1 {
+					wy -= float64(iy1) + 1 - y1
+				}
+				if wy <= 0 {
+					continue
+				}
+				ri := rowInt[sy*w : (sy+1)*w]
+				for dx := range acc {
+					acc[dx] += wy * ri[dx]
+				}
+			}
+			invY := 1 / (y1 - y0)
+			out := dst.Pix[dy*w : (dy+1)*w]
+			for dx := range out {
+				out[dx] = float32(acc[dx] * xwin[dx].inv * invY)
+			}
+		}
+	})
+}
+
+// downsampleNaiveInto is the reference box-filter downsampler: every
+// destination pixel scans its full source window via boxAverage. It is the
+// oracle the fast prefix-sum kernel is property-tested against (1e-5 per
+// pixel) and is otherwise unused.
+func downsampleNaiveInto(dst, src *Image) {
+	w, h := dst.W, dst.H
 	xRatio := float64(src.W) / float64(w)
 	yRatio := float64(src.H) / float64(h)
 	for dy := 0; dy < h; dy++ {
@@ -94,38 +240,60 @@ func boxAverage(src *Image, x0, y0, x1, y1 float64) float32 {
 	return float32(sum / weight)
 }
 
-// bilinearInto resizes with bilinear interpolation; only used for the rare
-// upsampling path (e.g. rendering previews).
+// bilinearInto resizes with bilinear interpolation; used for the upsampling
+// path (rendering previews, and model input sizes above the capture
+// resolution along either axis). Sampling coordinates are clamped to the
+// source bounds, so edge pixels replicate the nearest source sample — a
+// 1-pixel-wide or -high source tiles its row/column instead of fading to
+// black as the old out-of-bounds reads (which returned 0) did.
 func bilinearInto(dst, src *Image) {
 	w, h := dst.W, dst.H
-	for dy := 0; dy < h; dy++ {
-		sy := (float64(dy)+0.5)*float64(src.H)/float64(h) - 0.5
-		y0 := int(sy)
-		fy := float32(sy - float64(y0))
-		if sy < 0 {
-			y0, fy = 0, 0
-		}
-		for dx := 0; dx < w; dx++ {
-			sx := (float64(dx)+0.5)*float64(src.W)/float64(w) - 0.5
-			x0 := int(sx)
-			fx := float32(sx - float64(x0))
-			if sx < 0 {
-				x0, fx = 0, 0
+	sw, sh := src.W, src.H
+	forRowBlocks(h, h*w*4, func(lo, hi int) {
+		for dy := lo; dy < hi; dy++ {
+			sy := (float64(dy)+0.5)*float64(sh)/float64(h) - 0.5
+			y0 := int(sy)
+			fy := float32(sy - float64(y0))
+			if sy <= 0 {
+				y0, fy = 0, 0
+			} else if y0 >= sh-1 {
+				y0, fy = sh-1, 0
 			}
-			v00 := src.At(x0, y0)
-			v10 := src.At(x0+1, y0)
-			v01 := src.At(x0, y0+1)
-			v11 := src.At(x0+1, y0+1)
-			top := v00 + (v10-v00)*fx
-			bot := v01 + (v11-v01)*fx
-			dst.Pix[dy*w+dx] = top + (bot-top)*fy
+			y1 := y0 + 1
+			if y1 > sh-1 {
+				y1 = sh - 1
+			}
+			row0 := src.Pix[y0*sw : (y0+1)*sw]
+			row1 := src.Pix[y1*sw : (y1+1)*sw]
+			out := dst.Pix[dy*w : (dy+1)*w]
+			for dx := range out {
+				sx := (float64(dx)+0.5)*float64(sw)/float64(w) - 0.5
+				x0 := int(sx)
+				fx := float32(sx - float64(x0))
+				if sx <= 0 {
+					x0, fx = 0, 0
+				} else if x0 >= sw-1 {
+					x0, fx = sw-1, 0
+				}
+				x1 := x0 + 1
+				if x1 > sw-1 {
+					x1 = sw - 1
+				}
+				v00 := row0[x0]
+				v10 := row0[x1]
+				v01 := row1[x0]
+				v11 := row1[x1]
+				top := v00 + (v10-v00)*fx
+				bot := v01 + (v11-v01)*fx
+				out[dx] = top + (bot-top)*fy
+			}
 		}
-	}
+	})
 }
 
-// BoxBlur applies a (2r+1)x(2r+1) box blur using a summed-area table, the
-// detector's background-estimation primitive. Border pixels average over
-// the in-bounds part of the kernel.
+// BoxBlur applies a (2r+1)x(2r+1) box blur, the detector's
+// background-estimation primitive. Border pixels average over the
+// in-bounds part of the kernel.
 func BoxBlur(src *Image, r int) *Image {
 	dst := New(src.W, src.H)
 	BoxBlurInto(dst, src, r)
@@ -135,6 +303,16 @@ func BoxBlur(src *Image, r int) *Image {
 // BoxBlurInto writes the box blur of src into dst, which must share src's
 // dimensions and not alias it. Every destination sample is overwritten, so
 // dst may come from GetScratch.
+//
+// The kernel is a separable two-pass sliding window with float64 running
+// sums: a horizontal pass turns each row into windowed sums in O(1) per
+// pixel, and a vertical pass slides a row-sum accumulator down fixed
+// 32-row blocks — re-seeded at every block boundary, so the accumulation
+// pattern (and hence every output bit) is a function of the image size
+// alone, not of the worker count. This replaces the summed-area-table
+// formulation, which allocated a (W+1)x(H+1) float64 table per call; the
+// O(r^2)-per-pixel direct scan survives as boxBlurNaiveInto, the oracle
+// the fast kernel is property-tested against.
 func BoxBlurInto(dst, src *Image, r int) {
 	if dst.W != src.W || dst.H != src.H {
 		panic("raster: BoxBlurInto size mismatch")
@@ -143,25 +321,131 @@ func BoxBlurInto(dst, src *Image, r int) {
 		copy(dst.Pix, src.Pix)
 		return
 	}
-	integral := Integral(src)
-	for y := 0; y < src.H; y++ {
+	w, h := src.W, src.H
+
+	// Horizontal pass: hs[y*w+x] = sum of src row y over [x-r, x+r]&bounds.
+	hs := getF64(w * h)
+	defer putF64(hs)
+	forRowBlocks(h, h*w*2, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			row := src.Pix[y*w : (y+1)*w]
+			out := hs[y*w : (y+1)*w]
+			var sum float64
+			for x := 0; x <= r && x < w; x++ {
+				sum += float64(row[x])
+			}
+			for x := 0; x < w; x++ {
+				out[x] = sum
+				if x+r+1 < w {
+					sum += float64(row[x+r+1])
+				}
+				if x-r >= 0 {
+					sum -= float64(row[x-r])
+				}
+			}
+		}
+	})
+
+	// invCntX[x] = 1 / horizontal in-bounds window width.
+	invCntX := getF64(w)
+	defer putF64(invCntX)
+	for x := 0; x < w; x++ {
+		x0, x1 := x-r, x+r+1
+		if x0 < 0 {
+			x0 = 0
+		}
+		if x1 > w {
+			x1 = w
+		}
+		invCntX[x] = 1 / float64(x1-x0)
+	}
+
+	// Vertical pass: slide the row-sum window down each fixed block.
+	forRowBlocks(h, h*w*2+(h/kernelRowBlock+1)*(2*r+1)*w, func(lo, hi int) {
+		vacc := getF64(w)
+		defer putF64(vacc)
+		for i := range vacc {
+			vacc[i] = 0
+		}
+		yw0, yw1 := lo-r, lo+r+1
+		if yw0 < 0 {
+			yw0 = 0
+		}
+		if yw1 > h {
+			yw1 = h
+		}
+		for y := yw0; y < yw1; y++ {
+			row := hs[y*w : (y+1)*w]
+			for x := range vacc {
+				vacc[x] += row[x]
+			}
+		}
+		for y := lo; y < hi; y++ {
+			y0, y1 := y-r, y+r+1
+			if y0 < 0 {
+				y0 = 0
+			}
+			if y1 > h {
+				y1 = h
+			}
+			invCntY := 1 / float64(y1-y0)
+			out := dst.Pix[y*w : (y+1)*w]
+			for x := range out {
+				out[x] = float32(vacc[x] * invCntX[x] * invCntY)
+			}
+			if y+1 < hi {
+				if y+r+1 < h {
+					add := hs[(y+r+1)*w : (y+r+2)*w]
+					for x := range vacc {
+						vacc[x] += add[x]
+					}
+				}
+				if y-r >= 0 {
+					sub := hs[(y-r)*w : (y-r+1)*w]
+					for x := range vacc {
+						vacc[x] -= sub[x]
+					}
+				}
+			}
+		}
+	})
+}
+
+// boxBlurNaiveInto is the O(r^2)-per-pixel reference blur: every output
+// pixel scans its full in-bounds window directly. Oracle only.
+func boxBlurNaiveInto(dst, src *Image, r int) {
+	if dst.W != src.W || dst.H != src.H {
+		panic("raster: boxBlurNaiveInto size mismatch")
+	}
+	if r <= 0 {
+		copy(dst.Pix, src.Pix)
+		return
+	}
+	w, h := src.W, src.H
+	for y := 0; y < h; y++ {
 		y0, y1 := y-r, y+r+1
 		if y0 < 0 {
 			y0 = 0
 		}
-		if y1 > src.H {
-			y1 = src.H
+		if y1 > h {
+			y1 = h
 		}
-		for x := 0; x < src.W; x++ {
+		for x := 0; x < w; x++ {
 			x0, x1 := x-r, x+r+1
 			if x0 < 0 {
 				x0 = 0
 			}
-			if x1 > src.W {
-				x1 = src.W
+			if x1 > w {
+				x1 = w
 			}
-			area := float64((x1 - x0) * (y1 - y0))
-			dst.Pix[y*src.W+x] = float32(integral.SumRect(x0, y0, x1, y1) / area)
+			var sum float64
+			for yy := y0; yy < y1; yy++ {
+				row := yy * w
+				for xx := x0; xx < x1; xx++ {
+					sum += float64(src.Pix[row+xx])
+				}
+			}
+			dst.Pix[y*w+x] = float32(sum / float64((x1-x0)*(y1-y0)))
 		}
 	}
 }

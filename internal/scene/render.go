@@ -34,17 +34,35 @@ func (v *Video) Background() *raster.Image {
 // after downsampling, by the detector, at the effective post-resample
 // amplitude. The region is clipped to the frame bounds.
 func (v *Video) RenderRegion(i int, region raster.Rect) *raster.Image {
+	region = v.clipRegion(region, "RenderRegion")
+	img := raster.New(region.W(), region.H())
+	v.renderRegionInto(img, i, region)
+	return img
+}
+
+// RenderRegionInto renders like RenderRegion but into dst, which must be
+// sized region.W() x region.H() after clipping to the frame bounds. Every
+// destination pixel is overwritten, so dst may come from raster.GetScratch
+// — this is the allocation-free variant the detection hot path uses.
+func (v *Video) RenderRegionInto(dst *raster.Image, i int, region raster.Rect) {
+	region = v.clipRegion(region, "RenderRegionInto")
+	if dst.W != region.W() || dst.H != region.H() {
+		panic("scene: RenderRegionInto size mismatch")
+	}
+	v.renderRegionInto(dst, i, region)
+}
+
+func (v *Video) clipRegion(region raster.Rect, who string) raster.Rect {
 	cfg := &v.Config
 	region = region.Intersect(raster.RectWH(0, 0, cfg.Width, cfg.Height))
 	if region.Empty() {
-		panic("scene: RenderRegion with empty region")
+		panic("scene: " + who + " with empty region")
 	}
-	bg := v.Background()
-	img := raster.New(region.W(), region.H())
-	for y := 0; y < img.H; y++ {
-		srcRow := (region.MinY + y) * bg.W
-		copy(img.Pix[y*img.W:(y+1)*img.W], bg.Pix[srcRow+region.MinX:srcRow+region.MaxX])
-	}
+	return region
+}
+
+func (v *Video) renderRegionInto(img *raster.Image, i int, region raster.Rect) {
+	v.backgroundRegionInto(img, region)
 	frame := v.Frame(i)
 	for idx := range frame.Objects {
 		obj := &frame.Objects[idx]
@@ -53,7 +71,6 @@ func (v *Video) RenderRegion(i int, region raster.Rect) *raster.Image {
 		}
 		drawObject(img, obj, region.MinX, region.MinY)
 	}
-	return img
 }
 
 // BackgroundRegion returns a copy of the static background over the given
@@ -62,18 +79,28 @@ func (v *Video) RenderRegion(i int, region raster.Rect) *raster.Image {
 // texture, lane markings) is constant and cancels exactly, so only real
 // objects and sensor noise survive the difference.
 func (v *Video) BackgroundRegion(region raster.Rect) *raster.Image {
-	cfg := &v.Config
-	region = region.Intersect(raster.RectWH(0, 0, cfg.Width, cfg.Height))
-	if region.Empty() {
-		panic("scene: BackgroundRegion with empty region")
-	}
-	bg := v.Background()
+	region = v.clipRegion(region, "BackgroundRegion")
 	img := raster.New(region.W(), region.H())
+	v.backgroundRegionInto(img, region)
+	return img
+}
+
+// BackgroundRegionInto copies like BackgroundRegion but into dst (sized to
+// the clipped region), overwriting every pixel; dst may be pooled scratch.
+func (v *Video) BackgroundRegionInto(dst *raster.Image, region raster.Rect) {
+	region = v.clipRegion(region, "BackgroundRegionInto")
+	if dst.W != region.W() || dst.H != region.H() {
+		panic("scene: BackgroundRegionInto size mismatch")
+	}
+	v.backgroundRegionInto(dst, region)
+}
+
+func (v *Video) backgroundRegionInto(img *raster.Image, region raster.Rect) {
+	bg := v.Background()
 	for y := 0; y < img.H; y++ {
 		srcRow := (region.MinY + y) * bg.W
 		copy(img.Pix[y*img.W:(y+1)*img.W], bg.Pix[srcRow+region.MinX:srcRow+region.MaxX])
 	}
-	return img
 }
 
 // RenderNative renders the full frame i at native resolution. This is the

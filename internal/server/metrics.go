@@ -32,6 +32,7 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, jobs *jobSet, st
 	queued, running, done, failed := jobs.counts()
 	stats := st.Stats()
 	tr := transport.Totals()
+	dc := detect.Stats()
 
 	samples := map[string]int64{
 		"smokescreend_http_requests_total":               m.httpRequests.Load(),
@@ -54,6 +55,17 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, jobs *jobSet, st
 		"smokescreend_store_cache_bytes":                 stats.CacheBytes,
 		"smokescreend_store_cache_entries":               int64(stats.CacheCount),
 		"smokescreend_detector_invocations_total":        detect.Invocations(),
+		"smokescreend_detect_cache_bytes":                dc.TotalBytes(),
+		"smokescreend_detect_full_series":                int64(dc.FullSeries),
+		"smokescreend_detect_full_bytes":                 dc.FullBytes,
+		"smokescreend_detect_sparse_series":              int64(dc.SparseSeries),
+		"smokescreend_detect_sparse_bytes":               dc.SparseBytes,
+		"smokescreend_detect_background_images":          int64(dc.BackgroundImages),
+		"smokescreend_detect_background_bytes":           dc.BackgroundBytes,
+		"smokescreend_detect_render_frames":              int64(dc.RenderFrames),
+		"smokescreend_detect_render_bytes":               dc.RenderBytes,
+		"smokescreend_detect_render_hits_total":          dc.RenderHits,
+		"smokescreend_detect_render_misses_total":        dc.RenderMisses,
 		"smokescreend_transport_bytes_sent_total":        tr.BytesSent,
 		"smokescreend_transport_bytes_received_total":    tr.BytesReceived,
 		"smokescreend_transport_messages_sent_total":     tr.MessagesSent,

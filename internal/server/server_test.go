@@ -18,6 +18,8 @@ import (
 	"testing"
 	"time"
 
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/detect"
 	"smokescreen/internal/store"
 )
 
@@ -446,6 +448,12 @@ func TestHealthzAndMetrics(t *testing.T) {
 	post := postProfile(t, ts.URL, GenRequest{Query: "SELECT AVG(count(car)) FROM small"})
 	post.Body.Close()
 
+	// Exercise the degraded-frame render cache so its gauges are non-zero
+	// in the scrape: one full-frame detection renders (and caches) frame 0.
+	detect.ResetCaches()
+	t.Cleanup(detect.ResetCaches)
+	detect.YOLOv4Sim().DetectFrameFull(dataset.MustLoad("small"), 0, 160)
+
 	resp, err = http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -460,10 +468,22 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"smokescreend_transport_bytes_sent_total",
 		"smokescreend_detector_invocations_total",
 		"smokescreend_queue_capacity 4",
+		"smokescreend_detect_cache_bytes",
+		"smokescreend_detect_full_series",
+		"smokescreend_detect_sparse_series",
+		"smokescreend_detect_background_images 1",
+		"smokescreend_detect_render_frames 1",
+		"smokescreend_detect_render_misses_total 1",
+		"smokescreend_detect_render_hits_total 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
 		}
+	}
+	// The render cache's accounted bytes must appear in the total gauge:
+	// a 160x160 float32 frame is 102400 bytes plus entry overhead.
+	if !strings.Contains(text, "smokescreend_detect_render_bytes 102496") {
+		t.Errorf("metrics missing exact render bytes:\n%s", text)
 	}
 
 	// Draining flips healthz.
