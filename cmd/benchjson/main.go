@@ -4,6 +4,10 @@
 // JSON document containing every benchmark line's iteration count and
 // metric values (ns/op, B/op, allocs/op, plus custom b.ReportMetric units
 // such as invocations/op), together with the host facts `go test` prints.
+// Benchmarks that report the plan/execute pipeline's per-stage metrics
+// (plan-ns/op, detect-ns/op, estimate-ns/op, invocations/op,
+// dedup-saved-frames/op) additionally get a structured "stages" object so
+// regression tooling can diff the stage split directly.
 //
 // Usage:
 //
@@ -33,6 +37,40 @@ type benchmark struct {
 	Procs      int                `json:"procs"`
 	Iterations int64              `json:"iterations"`
 	Metrics    map[string]float64 `json:"metrics"`
+	// Stages is the plan/execute pipeline breakdown, present when the
+	// benchmark reports per-stage metrics (the Hypercube benches do).
+	Stages *stageBreakdown `json:"stages,omitempty"`
+}
+
+// stageBreakdown lifts the pipeline's stage metrics out of the generic
+// metric map into named fields, so regression tooling can diff the
+// plan/detect/estimate split and the detector-invocation count without
+// matching metric-name strings. Values remain per benchmark op.
+type stageBreakdown struct {
+	PlanNS           float64 `json:"plan_ns"`
+	DetectNS         float64 `json:"detect_ns"`
+	EstimateNS       float64 `json:"estimate_ns"`
+	Invocations      float64 `json:"invocations,omitempty"`
+	DedupSavedFrames float64 `json:"dedup_saved_frames,omitempty"`
+}
+
+// stagesOf builds the stage breakdown when any per-stage timing metric is
+// present. Plain invocation counts without stage timings stay in the
+// generic metric map only.
+func stagesOf(metrics map[string]float64) *stageBreakdown {
+	_, hasPlan := metrics["plan-ns/op"]
+	_, hasDetect := metrics["detect-ns/op"]
+	_, hasEstimate := metrics["estimate-ns/op"]
+	if !hasPlan && !hasDetect && !hasEstimate {
+		return nil
+	}
+	return &stageBreakdown{
+		PlanNS:           metrics["plan-ns/op"],
+		DetectNS:         metrics["detect-ns/op"],
+		EstimateNS:       metrics["estimate-ns/op"],
+		Invocations:      metrics["invocations/op"],
+		DedupSavedFrames: metrics["dedup-saved-frames/op"],
+	}
 }
 
 // report is the JSON document.
@@ -122,6 +160,7 @@ func parseBenchLine(line string) (benchmark, bool) {
 		}
 		b.Metrics[fields[i+1]] = v
 	}
+	b.Stages = stagesOf(b.Metrics)
 	return b, len(b.Metrics) > 0
 }
 

@@ -12,6 +12,7 @@ pkg: smokescreen
 cpu: Some CPU @ 2.40GHz
 BenchmarkEstimateAVG-8         	   10000	     11234 ns/op	    2048 B/op	      12 allocs/op
 BenchmarkHypercubeSequential   	       1	 912345678 ns/op	 5120 invocations/op	 1048576 B/op	    9999 allocs/op
+BenchmarkHypercubeFigure6Dedup 	       1	2282019290 ns/op	       384.0 dedup-saved-frames/op	 874579245 detect-ns/op	    384049 estimate-ns/op	      4444 invocations/op	1403605443 plan-ns/op
 --- BENCH: BenchmarkIgnored
 PASS
 ok  	smokescreen	12.345s
@@ -28,7 +29,7 @@ func TestParse(t *testing.T) {
 	if rep.CPU != "Some CPU @ 2.40GHz" {
 		t.Fatalf("cpu %q", rep.CPU)
 	}
-	if len(rep.Benchmarks) != 2 {
+	if len(rep.Benchmarks) != 3 {
 		t.Fatalf("got %d benchmarks", len(rep.Benchmarks))
 	}
 	avg := rep.Benchmarks[0]
@@ -44,6 +45,26 @@ func TestParse(t *testing.T) {
 	}
 	if cube.Metrics["invocations/op"] != 5120 {
 		t.Fatalf("custom metric lost: %+v", cube.Metrics)
+	}
+	if cube.Stages != nil {
+		t.Fatalf("stage breakdown fabricated without stage timings: %+v", cube.Stages)
+	}
+	fig6 := rep.Benchmarks[2]
+	if fig6.Name != "BenchmarkHypercubeFigure6Dedup" {
+		t.Fatalf("third benchmark: %+v", fig6)
+	}
+	if fig6.Stages == nil {
+		t.Fatalf("stage metrics not lifted: %+v", fig6.Metrics)
+	}
+	want := stageBreakdown{
+		PlanNS:           1403605443,
+		DetectNS:         874579245,
+		EstimateNS:       384049,
+		Invocations:      4444,
+		DedupSavedFrames: 384,
+	}
+	if *fig6.Stages != want {
+		t.Fatalf("stage breakdown %+v, want %+v", *fig6.Stages, want)
 	}
 }
 

@@ -19,8 +19,8 @@ import (
 	"time"
 
 	"smokescreen/internal/dataset"
-	"smokescreen/internal/detect"
 	"smokescreen/internal/experiments"
+	"smokescreen/internal/outputs"
 )
 
 func main() {
@@ -109,7 +109,7 @@ func warmAll(dir string) {
 		if err != nil {
 			fatal(err)
 		}
-		loaded, skipped, err := detect.WarmOutputs(v, dir)
+		loaded, skipped, err := outputs.WarmOutputs(v, dir)
 		if err != nil {
 			fatal(err)
 		}
@@ -127,7 +127,7 @@ func saveAll(dir string) {
 		if err != nil {
 			fatal(err)
 		}
-		n, err := detect.SaveOutputs(v, dir)
+		n, err := outputs.SaveOutputs(v, dir)
 		if err != nil {
 			fatal(err)
 		}

@@ -23,7 +23,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"smokescreen"
@@ -79,6 +81,13 @@ func usage() {
 	os.Exit(2)
 }
 
+// interruptCtx returns a context canceled on SIGINT/SIGTERM: ^C during a
+// long generation stops detector work mid-plan through the pipeline's
+// cancellation path instead of killing the process between frames.
+func interruptCtx() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
 func parseQueryArg(fs *flag.FlagSet, args []string) *smokescreen.Query {
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -102,9 +111,11 @@ func cmdQuery(args []string) {
 	budget := fs.Float64("budget", 0.5, "adaptive mode: largest corpus fraction that may be touched")
 	q := parseQueryArg(fs, args)
 
+	ctx, cancel := interruptCtx()
+	defer cancel()
 	sys := smokescreen.New(smokescreen.WithSeed(*seed))
 	if *until > 0 {
-		res, err := sys.ExecuteUntil(q, *until, *budget)
+		res, err := sys.ExecuteUntilCtx(ctx, q, *until, *budget)
 		if err != nil {
 			fatal(err)
 		}
@@ -114,7 +125,7 @@ func cmdQuery(args []string) {
 		fmt.Printf("frames:     %d of %d (target met: %v)\n", res.FramesUsed, res.Estimate.N, res.Met)
 		return
 	}
-	res, err := sys.Execute(q)
+	res, err := sys.ExecuteCtx(ctx, q)
 	if err != nil {
 		fatal(err)
 	}
@@ -147,8 +158,11 @@ func cmdProfile(args []string) {
 	timeout := fs.Duration("timeout", 5*time.Minute, "remote mode: total request timeout")
 	q := parseQueryArg(fs, args)
 
+	ctx, cancel := interruptCtx()
+	defer cancel()
+
 	if *remote != "" {
-		remoteProfile(*remote, *timeout, server.GenRequest{
+		remoteProfile(ctx, *remote, *timeout, server.GenRequest{
 			Query:       q.String(),
 			Seed:        *seed,
 			Step:        *step,
@@ -163,7 +177,7 @@ func cmdProfile(args []string) {
 		smokescreen.WithFractionCandidates(*step, *maxFraction),
 		smokescreen.WithEarlyStop(*earlyStop),
 	)
-	profiles, err := sys.GenerateProfiles(q)
+	profiles, err := sys.GenerateProfilesCtx(ctx, q)
 	if err != nil {
 		fatal(err)
 	}
@@ -201,7 +215,7 @@ func cmdProfile(args []string) {
 			fatal(err)
 		}
 		fmt.Printf("\nchosen tradeoff for max error %.4g: %s\n", *maxErr, setting)
-		res, err := sys.ExecuteSetting(q, setting)
+		res, err := sys.ExecuteSettingCtx(ctx, q, setting)
 		if err != nil {
 			fatal(err)
 		}
@@ -213,8 +227,8 @@ func cmdProfile(args []string) {
 // smokescreend and renders it like cmdCurve. The daemon serves the
 // artifact from its content-addressed store, generating it (once, however
 // many clients ask) on a miss.
-func remoteProfile(baseURL string, timeout time.Duration, req server.GenRequest) {
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+func remoteProfile(parent context.Context, baseURL string, timeout time.Duration, req server.GenRequest) {
+	ctx, cancel := context.WithTimeout(parent, timeout)
 	defer cancel()
 	client := &server.Client{BaseURL: strings.TrimRight(baseURL, "/")}
 	prof, key, err := client.Generate(ctx, req)
@@ -282,6 +296,8 @@ func cmdCurve(args []string) {
 			restricted = append(restricted, c)
 		}
 	}
+	ctx, cancel := interruptCtx()
+	defer cancel()
 	sys := smokescreen.New(smokescreen.WithSeed(*seed))
 	fractions := make([]float64, 20)
 	for i := range fractions {
@@ -294,13 +310,13 @@ func cmdCurve(args []string) {
 		if err != nil {
 			fatal(err)
 		}
-		corr, err := profile.ConstructCorrection(spec, 0.2, stats.NewStream(*seed))
+		corr, err := profile.ConstructCorrectionCtx(ctx, spec, 0.2, stats.NewStream(*seed))
 		if err != nil {
 			fatal(err)
 		}
 		opts.Correction = corr.Correction
 	}
-	prof, err := sys.SweepProfile(q, opts)
+	prof, err := sys.SweepProfileCtx(ctx, q, opts)
 	if err != nil {
 		fatal(err)
 	}

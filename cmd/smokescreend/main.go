@@ -7,12 +7,13 @@
 //
 //	smokescreend [-addr :8040] [-store DIR] [-workers N] [-parallelism N]
 //	             [-queue N] [-cache-mb N] [-render-cache-mb N]
-//	             [-kernel-parallelism N] [-request-timeout D] [-job-timeout D]
-//	             [-addr-file PATH]
+//	             [-kernel-parallelism N] [-detect-dedup=true|false]
+//	             [-request-timeout D] [-job-timeout D] [-addr-file PATH]
 //
 // Endpoints: POST /v1/profiles, GET /v1/profiles/{key}, GET /v1/jobs/{id},
-// GET /healthz, GET /metrics. SIGINT/SIGTERM drain gracefully: intake
-// stops, in-flight generations finish, the store stays consistent.
+// DELETE /v1/jobs/{id}, GET /healthz, GET /metrics. SIGINT/SIGTERM drain
+// gracefully: intake stops, in-flight generations finish, the store stays
+// consistent.
 package main
 
 import (
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"smokescreen/internal/detect"
+	"smokescreen/internal/outputs"
 	"smokescreen/internal/raster"
 	"smokescreen/internal/server"
 	"smokescreen/internal/store"
@@ -46,6 +48,7 @@ func main() {
 	correctionLimit := flag.Float64("correction-limit", 0.2, "correction-set fraction cap")
 	renderCacheMB := flag.Int64("render-cache-mb", 64, "degraded-frame render cache budget in MiB (0 disables, -1 unbounded)")
 	kernelParallelism := flag.Int("kernel-parallelism", 1, "worker goroutines per raster kernel (1 sequential, 0 = one per CPU)")
+	detectDedup := flag.Bool("detect-dedup", true, "share detector outputs across classes in the column store (false = legacy per-class detection)")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
 	flag.Parse()
 
@@ -55,6 +58,7 @@ func main() {
 		detect.SetRenderCacheBudget(*renderCacheMB << 20)
 	}
 	raster.SetParallelism(*kernelParallelism)
+	outputs.SetSharing(*detectDedup)
 
 	logger := log.New(os.Stderr, "smokescreend: ", log.LstdFlags|log.Lmsgprefix)
 	if err := run(runConfig{

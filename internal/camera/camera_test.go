@@ -1,6 +1,7 @@
 package camera
 
 import (
+	"context"
 	"math"
 	"net"
 	"testing"
@@ -8,6 +9,7 @@ import (
 	"smokescreen/internal/dataset"
 	"smokescreen/internal/degrade"
 	"smokescreen/internal/detect"
+	"smokescreen/internal/outputs"
 	"smokescreen/internal/scene"
 	"smokescreen/internal/stats"
 	"smokescreen/internal/transport"
@@ -110,7 +112,10 @@ func TestDegradationSavesBandwidthAndEnergy(t *testing.T) {
 func TestImageRemovalNeverTransmitsRestricted(t *testing.T) {
 	_, _, counts := runSession(t, degrade.Setting{SampleFraction: 0.03, Resolution: 320, Restricted: []scene.Class{scene.Face}})
 	v := dataset.MustLoad("small")
-	present := detect.Presence(v, scene.Face)
+	present, err := outputs.Presence(context.Background(), v, scene.Face)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for idx := range counts {
 		if present[idx] {
 			t.Fatalf("restricted frame %d left the camera", idx)

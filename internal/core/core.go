@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"smokescreen/internal/degrade"
 	"smokescreen/internal/detect"
 	"smokescreen/internal/estimate"
+	"smokescreen/internal/plan"
 	"smokescreen/internal/profile"
 	"smokescreen/internal/query"
 	"smokescreen/internal/scene"
@@ -175,6 +177,14 @@ type Profiles struct {
 // (Problem 2): construct the correction set by the elbow heuristic, then
 // evaluate the full intervention-candidate hypercube.
 func (s *System) GenerateProfiles(q *query.Query) (*Profiles, error) {
+	return s.GenerateProfilesCtx(context.Background(), q)
+}
+
+// GenerateProfilesCtx is GenerateProfiles with cancellation threaded
+// through the whole pipeline: a done ctx aborts planning, correction
+// construction, and the hypercube's detect and estimate stages, returning
+// the context's error with no partial result.
+func (s *System) GenerateProfilesCtx(ctx context.Context, q *query.Query) (*Profiles, error) {
 	spec, err := s.Resolve(q)
 	if err != nil {
 		return nil, err
@@ -183,12 +193,12 @@ func (s *System) GenerateProfiles(q *query.Query) (*Profiles, error) {
 	invBefore := detect.Invocations()
 	root := stats.NewStream(s.seed)
 
-	corr, err := profile.ConstructCorrection(spec, s.correctionLimit, root.Child(1))
+	corr, err := profile.ConstructCorrectionCtx(ctx, spec, s.correctionLimit, root.Child(1))
 	if err != nil {
 		return nil, fmt.Errorf("core: constructing correction set: %w", err)
 	}
-	fractions := degrade.CandidateFractions(s.fractionStep, s.maxFraction)
-	cube, err := profile.GenerateHypercubeOpts(spec, profile.HypercubeOptions{
+	fractions := plan.CandidateFractions(s.fractionStep, s.maxFraction)
+	cube, err := profile.GenerateHypercubeCtx(ctx, spec, profile.HypercubeOptions{
 		Fractions:      fractions,
 		Correction:     corr.Correction,
 		EarlyStopDelta: s.earlyStopDelta,
@@ -211,6 +221,11 @@ func (s *System) GenerateProfiles(q *query.Query) (*Profiles, error) {
 // starts from. When opts.Parallelism is zero the system's configured
 // parallelism (WithParallelism) applies.
 func (s *System) SweepProfile(q *query.Query, opts profile.SweepOptions) (*profile.Profile, error) {
+	return s.SweepProfileCtx(context.Background(), q, opts)
+}
+
+// SweepProfileCtx is SweepProfile with cancellation.
+func (s *System) SweepProfileCtx(ctx context.Context, q *query.Query, opts profile.SweepOptions) (*profile.Profile, error) {
 	spec, err := s.Resolve(q)
 	if err != nil {
 		return nil, err
@@ -218,7 +233,7 @@ func (s *System) SweepProfile(q *query.Query, opts profile.SweepOptions) (*profi
 	if opts.Parallelism == 0 {
 		opts.Parallelism = s.parallelism
 	}
-	return profile.SweepFractions(spec, opts, stats.NewStream(s.seed).Child(3))
+	return profile.SweepFractionsCtx(ctx, spec, opts, stats.NewStream(s.seed).Child(3))
 }
 
 // Preferences are the public preferences guiding the tradeoff choice.
@@ -252,9 +267,19 @@ func (s *System) Execute(q *query.Query) (*Result, error) {
 	return s.ExecuteSetting(q, q.Setting)
 }
 
+// ExecuteCtx is Execute with cancellation.
+func (s *System) ExecuteCtx(ctx context.Context, q *query.Query) (*Result, error) {
+	return s.ExecuteSettingCtx(ctx, q, q.Setting)
+}
+
 // ExecuteSetting runs the query under an explicit setting (typically one
 // chosen from a profile).
 func (s *System) ExecuteSetting(q *query.Query, setting degrade.Setting) (*Result, error) {
+	return s.ExecuteSettingCtx(context.Background(), q, setting)
+}
+
+// ExecuteSettingCtx is ExecuteSetting with cancellation.
+func (s *System) ExecuteSettingCtx(ctx context.Context, q *query.Query, setting degrade.Setting) (*Result, error) {
 	spec, err := s.Resolve(q)
 	if err != nil {
 		return nil, err
@@ -266,14 +291,14 @@ func (s *System) ExecuteSetting(q *query.Query, setting degrade.Setting) (*Resul
 	var corr *estimate.Correction
 	repaired := false
 	if !setting.IsRandomOnly(spec.Model) {
-		res, err := profile.ConstructCorrection(spec, s.correctionLimit, root.Child(1))
+		res, err := profile.ConstructCorrectionCtx(ctx, spec, s.correctionLimit, root.Child(1))
 		if err != nil {
 			return nil, fmt.Errorf("core: constructing correction set: %w", err)
 		}
 		corr = res.Correction
 		repaired = true
 	}
-	est, err := spec.EstimateSetting(setting, corr, root.Child(4))
+	est, err := spec.EstimateSettingCtx(ctx, setting, corr, root.Child(4))
 	if err != nil {
 		return nil, err
 	}
@@ -291,11 +316,16 @@ type AdaptiveResult = profile.AdaptiveResult
 // under adaptive stopping. Only random-only settings and mean-type
 // aggregates are supported.
 func (s *System) ExecuteUntil(q *query.Query, targetErr, maxFraction float64) (*AdaptiveResult, error) {
+	return s.ExecuteUntilCtx(context.Background(), q, targetErr, maxFraction)
+}
+
+// ExecuteUntilCtx is ExecuteUntil with cancellation.
+func (s *System) ExecuteUntilCtx(ctx context.Context, q *query.Query, targetErr, maxFraction float64) (*AdaptiveResult, error) {
 	spec, err := s.Resolve(q)
 	if err != nil {
 		return nil, err
 	}
-	return profile.RunUntil(spec, q.Setting, targetErr, maxFraction, stats.NewStream(s.seed).Child(5))
+	return profile.RunUntilCtx(ctx, spec, q.Setting, targetErr, maxFraction, stats.NewStream(s.seed).Child(5))
 }
 
 // GroundTruth computes the query's exact answer over the non-degraded

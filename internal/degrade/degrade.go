@@ -14,12 +14,14 @@
 package degrade
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"smokescreen/internal/detect"
+	"smokescreen/internal/outputs"
 	"smokescreen/internal/scene"
 	"smokescreen/internal/stats"
 )
@@ -126,11 +128,21 @@ func (p *Plan) SampleSize() int { return len(p.Sampled) }
 // situation the paper handles by lowering f (Section 5.2.2 uses f = 0.1
 // for UA-DETRAC with restricted class "person").
 func Apply(v *scene.Video, m *detect.Model, s Setting, stream *stats.Stream) (*Plan, error) {
+	return ApplyCtx(context.Background(), v, m, s, stream)
+}
+
+// ApplyCtx is Apply with cancellation: computing the admissible pool runs
+// the paper's presence protocol (a full-corpus detector scan per
+// restricted class the first time), which a cancelled context aborts.
+func ApplyCtx(ctx context.Context, v *scene.Video, m *detect.Model, s Setting, stream *stats.Stream) (*Plan, error) {
 	if err := s.Validate(m); err != nil {
 		return nil, err
 	}
 	n := v.NumFrames()
-	admissible := AdmissibleFrames(v, s.Restricted)
+	admissible, err := AdmissibleFramesCtx(ctx, v, s.Restricted)
+	if err != nil {
+		return nil, err
+	}
 	want := int(float64(n)*s.SampleFraction + 0.5)
 	if want < 1 {
 		want = 1
@@ -157,18 +169,31 @@ func Apply(v *scene.Video, m *detect.Model, s Setting, stream *stats.Stream) (*P
 // AdmissibleFrames returns the indices of frames that contain none of the
 // restricted classes, per the stored prior presence information.
 func AdmissibleFrames(v *scene.Video, restricted []scene.Class) []int {
+	// Presence over a background context cannot fail (the only error an
+	// output read produces is context cancellation).
+	admissible, _ := AdmissibleFramesCtx(context.Background(), v, restricted)
+	return admissible
+}
+
+// AdmissibleFramesCtx is AdmissibleFrames with cancellation; the only
+// error it returns is the context's.
+func AdmissibleFramesCtx(ctx context.Context, v *scene.Video, restricted []scene.Class) ([]int, error) {
 	n := v.NumFrames()
 	if len(restricted) == 0 {
 		all := make([]int, n)
 		for i := range all {
 			all[i] = i
 		}
-		return all
+		return all, nil
 	}
 	blocked := make([]bool, n)
 	for _, c := range restricted {
-		for i, present := range detect.Presence(v, c) {
-			if present {
+		present, err := outputs.Presence(ctx, v, c)
+		if err != nil {
+			return nil, err
+		}
+		for i, p := range present {
+			if p {
 				blocked[i] = true
 			}
 		}
@@ -179,17 +204,24 @@ func AdmissibleFrames(v *scene.Video, restricted []scene.Class) []int {
 			out = append(out, i)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // SampleOutputs gathers the model outputs for the plan's sampled frames at
 // the plan's resolution: the x_1..x_n series the estimators consume. Only
-// the sampled frames are evaluated (lazily, with caching), so the model
-// cost of a degraded query is proportional to n, not N. When the plan's
-// setting adds capture noise, detection runs on the noised view of the
-// corpus.
+// the sampled frames are evaluated (lazily, through the column store), so
+// the model cost of a degraded query is proportional to n, not N. When the
+// plan's setting adds capture noise, detection runs on the noised view of
+// the corpus.
 func SampleOutputs(v *scene.Video, m *detect.Model, class scene.Class, p *Plan) []float64 {
-	return detect.OutputsAt(EffectiveVideo(v, p.Setting), m, class, p.Resolution, p.Sampled)
+	out, _ := SampleOutputsCtx(context.Background(), v, m, class, p)
+	return out
+}
+
+// SampleOutputsCtx is SampleOutputs with cancellation; the only error it
+// returns is the context's.
+func SampleOutputsCtx(ctx context.Context, v *scene.Video, m *detect.Model, class scene.Class, p *Plan) ([]float64, error) {
+	return outputs.At(ctx, EffectiveVideo(v, p.Setting), m, class, p.Resolution, p.Sampled)
 }
 
 // noised views are cached so repeated estimator trials share one detector

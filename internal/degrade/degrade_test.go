@@ -1,12 +1,13 @@
 package degrade
 
 import (
+	"context"
 	"strings"
 	"testing"
-	"testing/quick"
 
 	"smokescreen/internal/dataset"
 	"smokescreen/internal/detect"
+	"smokescreen/internal/outputs"
 	"smokescreen/internal/scene"
 	"smokescreen/internal/stats"
 )
@@ -135,7 +136,10 @@ func TestApplyImageRemoval(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	present := detect.Presence(v, scene.Face)
+	present, err := outputs.Presence(context.Background(), v, scene.Face)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, idx := range plan.Admissible {
 		if present[idx] {
 			t.Fatalf("admissible frame %d contains a restricted object", idx)
@@ -202,70 +206,13 @@ func TestSampleOutputs(t *testing.T) {
 	if len(outs) != plan.SampleSize() {
 		t.Fatalf("outputs length %d, want %d", len(outs), plan.SampleSize())
 	}
-	series := detect.Outputs(v, m, scene.Car, 160)
+	series, err := outputs.Full(context.Background(), v, m, scene.Car, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i, idx := range plan.Sampled {
 		if outs[i] != series[idx] {
 			t.Fatalf("output %d mismatch", i)
-		}
-	}
-}
-
-func TestCandidateFractions(t *testing.T) {
-	fs := CandidateFractions(0.01, 0.1)
-	if len(fs) != 10 {
-		t.Fatalf("got %d fractions: %v", len(fs), fs)
-	}
-	if fs[0] != 0.01 {
-		t.Fatalf("first fraction %v", fs[0])
-	}
-	for i := 1; i < len(fs); i++ {
-		if fs[i] <= fs[i-1] {
-			t.Fatal("fractions not ascending")
-		}
-	}
-	if CandidateFractions(0, 1) != nil || CandidateFractions(0.01, 0) != nil {
-		t.Fatal("degenerate inputs should return nil")
-	}
-}
-
-func TestCandidateFractionsProperty(t *testing.T) {
-	property := func(stepRaw, maxRaw uint8) bool {
-		step := (float64(stepRaw%50) + 1) / 1000
-		max := (float64(maxRaw%100) + 1) / 100
-		fs := CandidateFractions(step, max)
-		for _, f := range fs {
-			if f <= 0 || f > max+1e-9 {
-				return false
-			}
-		}
-		return len(fs) == int(max/step+1e-9)
-	}
-	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
-	}
-}
-
-func TestClassCombos(t *testing.T) {
-	combos := ClassCombos()
-	if len(combos) != 4 {
-		t.Fatalf("got %d combos", len(combos))
-	}
-	if combos[0] != nil {
-		t.Fatal("first combo should be the loosest (no removal)")
-	}
-}
-
-func TestCandidateSettings(t *testing.T) {
-	m := detect.YOLOv4Sim()
-	fractions := []float64{0.05, 0.1}
-	settings := CandidateSettings(m, fractions)
-	want := 4 * 10 * 2
-	if len(settings) != want {
-		t.Fatalf("got %d settings, want %d", len(settings), want)
-	}
-	for _, s := range settings {
-		if err := s.Validate(m); err != nil {
-			t.Fatalf("generated invalid setting %v: %v", s, err)
 		}
 	}
 }
@@ -349,8 +296,12 @@ func TestEvictVideoDropsNoisedViews(t *testing.T) {
 	nv := EffectiveVideo(v, s)
 
 	// Populate detect caches for both the original and the noised view.
-	detect.OutputsAt(v, m, scene.Car, 320, []int{0, 1})
-	detect.OutputsAt(nv, m, scene.Car, 320, []int{0, 1})
+	if _, err := outputs.At(context.Background(), v, m, scene.Car, 320, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := outputs.At(context.Background(), nv, m, scene.Car, 320, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
 
 	freed := EvictVideo(v)
 	if freed == 0 {

@@ -1,0 +1,146 @@
+package detect
+
+import (
+	"sync/atomic"
+
+	"smokescreen/internal/scene"
+)
+
+// This file holds the package's cumulative invocation counter and the
+// registry through which the detector-output column store
+// (internal/outputs) participates in the detect package's cache lifecycle
+// without an import cycle: detect owns the physical caches (rendered
+// degraded frames, downsampled backgrounds) and the counter; outputs owns
+// the per-frame detection columns and registers reset/evict/stats hooks
+// here so the existing ResetCaches/EvictVideo/Stats entry points keep
+// covering every detector-derived artifact.
+
+// invocationCount counts physical model invocations — frame evaluations
+// through DetectFrame (patch path) or DetectPixels (full-frame path) —
+// for the profile-generation time experiment (Section 5.3.1) and the
+// daemon's /metrics. A lock-free atomic keeps the counter off the
+// frame-evaluation hot path: under parallel profile generation every
+// worker pool bumps it, and a mutex here would serialize them.
+var invocationCount atomic.Int64
+
+// Invocations returns the total number of model frame evaluations
+// performed so far. Unlike the pre-column-store accounting, which counted
+// at the cache layer, this counts at the detector itself: every physical
+// evaluation, regardless of which cache (or no cache) requested it.
+func Invocations() int64 {
+	return invocationCount.Load()
+}
+
+func countInvocation() {
+	invocationCount.Add(1)
+}
+
+// cacheHook is the lifecycle interface an external detector-output cache
+// registers. All methods must be safe for concurrent use.
+type cacheHook struct {
+	// reset drops every cached entry.
+	reset func()
+	// evict drops entries derived from v and returns accounted bytes freed.
+	evict func(v *scene.Video) int64
+	// fill populates the output-series fields of a CacheStats report.
+	fill func(s *CacheStats)
+}
+
+var (
+	hooks atomic.Pointer[cacheHook]
+)
+
+// RegisterOutputCache wires an external detector-output cache into
+// ResetCaches, EvictVideo, and Stats. internal/outputs calls this from its
+// package init; at most one cache is supported (later registrations
+// replace earlier ones).
+func RegisterOutputCache(reset func(), evict func(v *scene.Video) int64, fill func(s *CacheStats)) {
+	hooks.Store(&cacheHook{reset: reset, evict: evict, fill: fill})
+}
+
+// ResetCaches clears every detector-derived cache — the output column
+// store (via its registered hook), downsampled backgrounds, the render
+// cache — and the invocation counter. Tests and the
+// profile-generation-time experiment use it to measure cold-cache
+// behaviour; long-running deployments that want to bound memory should
+// prefer the per-corpus EvictVideo hook.
+func ResetCaches() {
+	if h := hooks.Load(); h != nil && h.reset != nil {
+		h.reset()
+	}
+	evictBackgrounds(nil)
+	resetRenderCache()
+	invocationCount.Store(0)
+}
+
+// EvictVideo drops every cached artifact derived from the given corpus —
+// output columns, downsampled backgrounds, rendered degraded frames — and
+// returns the number of accounted bytes freed. It is the memory-bounding
+// hook for long-running fleet workloads: when a camera's corpus rotates
+// out of the query window, evict it instead of resetting every cache.
+// Concurrent output reads for the same corpus simply recompute.
+func EvictVideo(v *scene.Video) int64 {
+	var freed int64
+	if h := hooks.Load(); h != nil && h.evict != nil {
+		freed += h.evict(v)
+	}
+	freed += evictBackgrounds(v)
+	freed += evictRenders(v)
+	return freed
+}
+
+// CacheStats is a byte-accounted size report of the detector-derived
+// in-process caches: the output column store's series plus the detect
+// package's own background and render caches.
+type CacheStats struct {
+	// FullSeries / FullBytes cover fully materialised per-corpus output
+	// columns; SparseSeries / SparseEntries / SparseBytes cover partially
+	// evaluated ones. Both are filled by the registered output cache.
+	FullSeries    int
+	FullBytes     int64
+	SparseSeries  int
+	SparseEntries int
+	SparseBytes   int64
+	// BackgroundImages / BackgroundBytes cover the downsampled static
+	// backgrounds cached by the full-frame path: 4 bytes per pixel.
+	BackgroundImages int
+	BackgroundBytes  int64
+	// RenderFrames / RenderBytes cover the degraded-frame render cache
+	// (4 bytes per pixel plus per-entry overhead); RenderHits/RenderMisses
+	// are its cumulative lookup counters.
+	RenderFrames int
+	RenderBytes  int64
+	RenderHits   int64
+	RenderMisses int64
+}
+
+// perEntryOverhead approximates the fixed cost of one cache entry: the
+// key (pointer + string header + ints) plus map bucket overhead. Shared
+// with the render cache and the outputs column store so byte accounting
+// is uniform across the detector caches.
+const perEntryOverhead = 96
+
+// PerEntryOverhead exposes the accounting constant to the outputs column
+// store (and its tests) so every detector cache reports comparable bytes.
+const PerEntryOverhead = perEntryOverhead
+
+// TotalBytes returns the total accounted size of all detector caches.
+func (s CacheStats) TotalBytes() int64 {
+	return s.FullBytes + s.SparseBytes + s.BackgroundBytes + s.RenderBytes
+}
+
+// Stats reports the current size of the detector caches. Fleet deployments
+// poll it to decide when to evict retired corpora (see EvictVideo); the
+// caches are otherwise unbounded (render cache aside), which is the right
+// default for experiment reruns but not for a long-running service.
+func Stats() CacheStats {
+	var s CacheStats
+	if h := hooks.Load(); h != nil && h.fill != nil {
+		h.fill(&s)
+	}
+	n, bytes := backgroundStats()
+	s.BackgroundImages = n
+	s.BackgroundBytes = bytes
+	s.RenderFrames, s.RenderBytes, s.RenderHits, s.RenderMisses = renderStats()
+	return s
+}

@@ -208,83 +208,6 @@ func TestPatchPathAgreesWithFullFrame(t *testing.T) {
 	}
 }
 
-func TestOutputsCachesAndCounts(t *testing.T) {
-	ResetCaches()
-	v := dataset.MustLoad("small")
-	m := YOLOv4Sim()
-	before := Invocations()
-	a := Outputs(v, m, scene.Car, 160)
-	afterFirst := Invocations()
-	b := Outputs(v, m, scene.Car, 160)
-	afterSecond := Invocations()
-	if len(a) != v.NumFrames() {
-		t.Fatalf("outputs length %d", len(a))
-	}
-	if &a[0] != &b[0] {
-		t.Fatal("Outputs did not return the cached slice")
-	}
-	if afterFirst-before != int64(v.NumFrames()) {
-		t.Fatalf("first call invoked %d times", afterFirst-before)
-	}
-	if afterSecond != afterFirst {
-		t.Fatal("second call re-invoked the model")
-	}
-	for _, x := range a {
-		if x < 0 || x != math.Trunc(x) {
-			t.Fatalf("output %v is not a count", x)
-		}
-	}
-}
-
-func TestOutputsDifferAcrossClassAndResolution(t *testing.T) {
-	v := dataset.MustLoad("small")
-	m := YOLOv4Sim()
-	cars := Outputs(v, m, scene.Car, 320)
-	persons := Outputs(v, m, scene.Person, 320)
-	carsLow := Outputs(v, m, scene.Car, 32)
-	sum := func(xs []float64) (s float64) {
-		for _, x := range xs {
-			s += x
-		}
-		return
-	}
-	if sum(cars) == sum(persons) {
-		t.Fatal("car and person series identical")
-	}
-	if sum(carsLow) >= sum(cars) {
-		t.Fatalf("32px car total %v not below 320px total %v", sum(carsLow), sum(cars))
-	}
-}
-
-func TestPresence(t *testing.T) {
-	v := dataset.MustLoad("small")
-	pres := Presence(v, scene.Person)
-	if len(pres) != v.NumFrames() {
-		t.Fatalf("presence length %d", len(pres))
-	}
-	any, all := false, true
-	for _, p := range pres {
-		any = any || p
-		all = all && p
-	}
-	if !any || all {
-		t.Fatal("person presence should be mixed across frames")
-	}
-	faces := Presence(v, scene.Face)
-	nf, np := 0, 0
-	for i := range faces {
-		if faces[i] {
-			nf++
-		}
-		if pres[i] {
-			np++
-		}
-	}
-	if nf >= np {
-		t.Fatalf("face frames (%d) should be rarer than person frames (%d)", nf, np)
-	}
-}
-
 func TestFalsePositivesBounded(t *testing.T) {
 	// FP counts must be tiny relative to real objects on both corpora.
 	v := dataset.MustLoad("small")

@@ -101,6 +101,7 @@ func (m *Model) DetectPixels(img, bg *raster.Image, nativeNoiseSigma float64, ca
 	if captureWidth <= 0 {
 		panic("detect: DetectPixels requires a positive capture width")
 	}
+	countInvocation()
 	p := img.W
 	scale := float64(p) / float64(captureWidth)
 	if scale > 1 {

@@ -52,6 +52,7 @@ func (m *Model) DetectFrame(v *scene.Video, i, p int) []Detection {
 	if !m.ValidResolution(p) {
 		panic(fmt.Sprintf("detect: %s cannot run at resolution %d", m.Name, p))
 	}
+	countInvocation()
 	cfg := &v.Config
 	sx := float64(p) / float64(cfg.Width)
 	sy := float64(p) / float64(cfg.Height)

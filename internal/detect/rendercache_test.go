@@ -1,6 +1,26 @@
 package detect
 
-import "testing"
+import (
+	"testing"
+
+	"smokescreen/internal/scene"
+)
+
+// cacheTestVideo builds a tiny corpus for cache accounting tests.
+func cacheTestVideo(t *testing.T, name string, seed uint64) *scene.Video {
+	t.Helper()
+	cfg := scene.Config{
+		Name: name, Width: 320, Height: 320, NumFrames: 6, Seed: seed,
+		Lighting: scene.Lighting{BackgroundTop: 0.6, BackgroundBottom: 0.7, NoiseSigma: 0.01},
+		CarRate:  0.5, CarLifetime: 4, CarMinW: 30, CarMaxW: 50, CarContrast: 0.3,
+		PersonLifetime: 4, BusyFactor: 1, RegimeLength: 5, LaneYs: []int{160},
+	}
+	v, err := scene.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
 
 // TestRenderCacheHitsAndIdentity checks that the cached full-frame path is
 // detection-identical to the uncached one, and that hit/miss counters move

@@ -39,6 +39,12 @@ type StreamingEstimator struct {
 	sum   float64
 	min   float64
 	max   float64
+
+	// seen records frame-keyed observations (ObserveFrame), enabling
+	// duplicate suppression and cross-shard Merge. nil until the first
+	// ObserveFrame; plain Observe leaves it nil (untracked observations
+	// cannot be merged or deduplicated).
+	seen map[int]float64
 }
 
 // NewStreamingEstimator builds a streaming estimator over a population of
@@ -81,6 +87,49 @@ func (e *StreamingEstimator) Observe(x float64) Estimate {
 
 // Count returns the number of observations folded in so far.
 func (e *StreamingEstimator) Count() int { return e.count }
+
+// ObserveFrame folds in the sampled output of one identified frame.
+// Unlike Observe it is idempotent per frame: cameras and relays redeliver
+// (at-least-once transports, overlapping shard assignments), and a
+// duplicate frame must not be double-counted — the running estimate is
+// returned unchanged. The estimate itself is order-independent, so
+// out-of-order delivery is harmless. Frames outside [0, N) panic, like
+// over-observing does.
+func (e *StreamingEstimator) ObserveFrame(frame int, x float64) Estimate {
+	if frame < 0 || frame >= e.n {
+		panic("estimate: frame index outside the population")
+	}
+	if e.seen == nil {
+		e.seen = make(map[int]float64)
+	}
+	if _, dup := e.seen[frame]; dup {
+		return e.Current()
+	}
+	e.seen[frame] = x
+	return e.Observe(x)
+}
+
+// Merge folds other's frame-keyed observations into e, skipping frames e
+// has already seen — the shard-combination path for estimators fed from
+// disjoint (or overlapping) partitions of one stream. Both estimators
+// must be configured identically and built exclusively with ObserveFrame;
+// untracked Observe calls on either side make deduplication unsound and
+// are rejected. other is not modified.
+func (e *StreamingEstimator) Merge(other *StreamingEstimator) error {
+	if other == nil {
+		return fmt.Errorf("estimate: merging a nil estimator")
+	}
+	if e.agg != other.agg || e.n != other.n || e.params != other.params || e.anyTime != other.anyTime {
+		return fmt.Errorf("estimate: merging incompatible estimators")
+	}
+	if e.count != len(e.seen) || other.count != len(other.seen) {
+		return fmt.Errorf("estimate: merge requires frame-tracked observations (use ObserveFrame)")
+	}
+	for frame, x := range other.seen {
+		e.ObserveFrame(frame, x)
+	}
+	return nil
+}
 
 // Current returns the running estimate without observing anything new.
 func (e *StreamingEstimator) Current() Estimate {

@@ -146,6 +146,161 @@ func TestStreamingCountKnownRange(t *testing.T) {
 	}
 }
 
+// frameSample draws k distinct frame indices from a population and pairs
+// them with their outputs, the shape ObserveFrame consumes.
+type frameObs struct {
+	frame int
+	x     float64
+}
+
+func frameSample(pop []float64, k int, s *stats.Stream) []frameObs {
+	obs := make([]frameObs, 0, k)
+	for _, idx := range s.SampleWithoutReplacement(len(pop), k) {
+		obs = append(obs, frameObs{frame: idx, x: pop[idx]})
+	}
+	return obs
+}
+
+// estimatesMatch compares two estimates at the package's standard 1e-12
+// tolerance: the estimator state is order-independent up to float addition
+// reassociation, which perturbs the running sum in its last bits.
+func estimatesMatch(a, b Estimate) bool {
+	return math.Abs(a.Value-b.Value) <= 1e-12 &&
+		math.Abs(a.ErrBound-b.ErrBound) <= 1e-12 &&
+		a.Sample == b.Sample && a.N == b.N
+}
+
+// batchOf runs the batch Algorithm 1 estimator over the same sample.
+func batchOf(t *testing.T, obs []frameObs, n int, p Params) Estimate {
+	t.Helper()
+	xs := make([]float64, len(obs))
+	for i, o := range obs {
+		xs[i] = o.x
+	}
+	est, err := Smokescreen(AVG, xs, n, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return est
+}
+
+func TestStreamingFrameDedupOutOfOrderMatchesBatch(t *testing.T) {
+	// Property: a frame-keyed stream with redelivered duplicates in an
+	// arbitrary order matches the batch estimator on the clean sample.
+	// Duplicates are dropped and the state is order-independent, so the
+	// only slack is float summation order.
+	pop := carLikePopulation(2000, 2.5, 221)
+	p := DefaultParams()
+	obs := frameSample(pop, 200, stats.NewStream(223))
+	batch := batchOf(t, obs, len(pop), p)
+
+	// Deliver every observation twice, in a shuffled order.
+	deliveries := append(append([]frameObs(nil), obs...), obs...)
+	shuffled := make([]frameObs, 0, len(deliveries))
+	for _, i := range stats.NewStream(227).SampleWithoutReplacement(len(deliveries), len(deliveries)) {
+		shuffled = append(shuffled, deliveries[i])
+	}
+
+	streaming, err := NewStreamingEstimator(AVG, len(pop), p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last Estimate
+	for _, o := range shuffled {
+		last = streaming.ObserveFrame(o.frame, o.x)
+	}
+	if streaming.Count() != len(obs) {
+		t.Fatalf("Count = %d after duplicate deliveries, want %d", streaming.Count(), len(obs))
+	}
+	if !estimatesMatch(last, batch) {
+		t.Fatalf("deduplicated stream %+v != batch %+v", last, batch)
+	}
+}
+
+func TestStreamingMergeShardsMatchBatch(t *testing.T) {
+	// Property: sharding a frame stream across estimators (with overlap,
+	// as in redundant shard assignment) and merging reproduces the batch
+	// estimate, regardless of shard boundaries.
+	pop := carLikePopulation(1500, 2.0, 229)
+	p := DefaultParams()
+	obs := frameSample(pop, 300, stats.NewStream(231))
+	batch := batchOf(t, obs, len(pop), p)
+
+	const shards = 3
+	ests := make([]*StreamingEstimator, shards)
+	for i := range ests {
+		e, err := NewStreamingEstimator(AVG, len(pop), p, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ests[i] = e
+	}
+	for i, o := range obs {
+		ests[i%shards].ObserveFrame(o.frame, o.x)
+		// Overlap: every fifth observation is also assigned to the next
+		// shard, so merged shards carry cross-shard duplicates.
+		if i%5 == 0 {
+			ests[(i+1)%shards].ObserveFrame(o.frame, o.x)
+		}
+	}
+	merged := ests[0]
+	for _, e := range ests[1:] {
+		if err := merged.Merge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if merged.Count() != len(obs) {
+		t.Fatalf("merged Count = %d, want %d", merged.Count(), len(obs))
+	}
+	got := merged.Current()
+	if !estimatesMatch(got, batch) {
+		t.Fatalf("merged shards %+v != batch %+v", got, batch)
+	}
+}
+
+func TestStreamingMergeValidation(t *testing.T) {
+	p := DefaultParams()
+	base, _ := NewStreamingEstimator(AVG, 100, p, false)
+	base.ObserveFrame(1, 0.5)
+
+	var nilOther *StreamingEstimator
+	if err := base.Merge(nilOther); err == nil {
+		t.Fatal("merged a nil estimator")
+	}
+	otherAgg, _ := NewStreamingEstimator(SUM, 100, p, false)
+	if err := base.Merge(otherAgg); err == nil {
+		t.Fatal("merged across aggregates")
+	}
+	otherN, _ := NewStreamingEstimator(AVG, 200, p, false)
+	if err := base.Merge(otherN); err == nil {
+		t.Fatal("merged across population sizes")
+	}
+	otherMode, _ := NewStreamingEstimator(AVG, 100, p, true)
+	if err := base.Merge(otherMode); err == nil {
+		t.Fatal("merged across guarantee modes")
+	}
+
+	// Untracked observations (plain Observe) cannot be merged soundly.
+	untracked, _ := NewStreamingEstimator(AVG, 100, p, false)
+	untracked.Observe(0.25)
+	if err := base.Merge(untracked); err == nil {
+		t.Fatal("merged an estimator with untracked observations")
+	}
+	if err := untracked.Merge(base); err == nil {
+		t.Fatal("untracked estimator accepted a merge")
+	}
+
+	// Out-of-range frames panic like over-observing does.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("out-of-range frame did not panic")
+			}
+		}()
+		base.ObserveFrame(100, 1.0)
+	}()
+}
+
 func TestStreamingEmptyAndOverflow(t *testing.T) {
 	p := DefaultParams()
 	streaming, _ := NewStreamingEstimator(AVG, 3, p, false)

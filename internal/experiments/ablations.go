@@ -7,6 +7,7 @@ import (
 	"smokescreen/internal/degrade"
 	"smokescreen/internal/detect"
 	"smokescreen/internal/estimate"
+	"smokescreen/internal/plan"
 	"smokescreen/internal/profile"
 	"smokescreen/internal/stats"
 )
@@ -122,9 +123,9 @@ func ablationReuse(cfg Config, report *Report) error {
 	if err != nil {
 		return err
 	}
-	fractions := degrade.CandidateFractions(0.004, 0.04)
+	fractions := plan.CandidateFractions(0.004, 0.04)
 	if cfg.Quick {
-		fractions = degrade.CandidateFractions(0.004, 0.02)
+		fractions = plan.CandidateFractions(0.004, 0.02)
 	}
 	root := stats.NewStream(cfg.Seed).Child(0xab2)
 

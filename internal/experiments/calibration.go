@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"smokescreen/internal/dataset"
 	"smokescreen/internal/detect"
+	"smokescreen/internal/outputs"
 	"smokescreen/internal/scene"
 	"smokescreen/internal/stats"
 )
@@ -78,8 +80,8 @@ func presenceFractions(v *scene.Video, cfg Config) (person, face float64) {
 	}
 	yolo := detect.YOLOv4Sim()
 	mtcnn := detect.MTCNNSim()
-	persons := detect.OutputsAt(v, yolo, scene.Person, yolo.NativeInput, frames)
-	faces := detect.OutputsAt(v, mtcnn, scene.Face, mtcnn.NativeInput, frames)
+	persons, _ := outputs.At(context.Background(), v, yolo, scene.Person, yolo.NativeInput, frames)
+	faces, _ := outputs.At(context.Background(), v, mtcnn, scene.Face, mtcnn.NativeInput, frames)
 	var pc, fc int
 	for i := range frames {
 		if persons[i] > 0 {

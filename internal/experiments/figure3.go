@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"smokescreen/internal/detect"
 	"smokescreen/internal/estimate"
+	"smokescreen/internal/outputs"
 	"smokescreen/internal/profile"
 	"smokescreen/internal/stats"
 )
@@ -60,13 +61,13 @@ func Figure3(cfg Config) (*Report, error) {
 // comparable.
 func resolutionMean(spec *profile.Spec, p int, cfg Config) float64 {
 	if !cfg.Quick {
-		series := detect.Outputs(spec.Video, spec.Model, spec.Class, p)
+		series, _ := outputs.Full(context.Background(), spec.Video, spec.Model, spec.Class, p)
 		return stats.Mean(series)
 	}
 	n := spec.Video.NumFrames()
 	sub := n / 10
 	stream := stats.NewStream(cfg.Seed).Child(0xf13)
 	frames := stream.SampleWithoutReplacement(n, sub)
-	series := detect.OutputsAt(spec.Video, spec.Model, spec.Class, p, frames)
+	series, _ := outputs.At(context.Background(), spec.Video, spec.Model, spec.Class, p, frames)
 	return stats.Mean(series)
 }

@@ -1,11 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"smokescreen/internal/degrade"
-	"smokescreen/internal/detect"
 	"smokescreen/internal/estimate"
+	"smokescreen/internal/outputs"
 	"smokescreen/internal/stats"
 )
 
@@ -97,7 +98,7 @@ func Figure8(cfg Config) (*Report, error) {
 	maxCount := 0
 	for ri, p := range resolutions {
 		hists[ri] = map[int]int{}
-		series := detect.OutputsAt(spec.Video, spec.Model, spec.Class, p, frames)
+		series, _ := outputs.At(context.Background(), spec.Video, spec.Model, spec.Class, p, frames)
 		for _, v := range series {
 			c := int(v)
 			hists[ri][c]++

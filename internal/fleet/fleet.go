@@ -17,6 +17,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 
 	"smokescreen/internal/degrade"
@@ -103,6 +104,13 @@ type Result struct {
 // transforms COUNT outputs exactly as in profile.Spec (nil means
 // "contains at least one object").
 func (f *Fleet) Query(agg estimate.Agg, class scene.Class, predicate func(float64) float64, p estimate.Params, stream *stats.Stream) (*Result, error) {
+	return f.QueryCtx(context.Background(), agg, class, predicate, p, stream)
+}
+
+// QueryCtx is Query under a context: cancellation stops the per-camera
+// estimation pipeline (including its detector work) and returns ctx's
+// error with no partial result.
+func (f *Fleet) QueryCtx(ctx context.Context, agg estimate.Agg, class scene.Class, predicate func(float64) float64, p estimate.Params, stream *stats.Stream) (*Result, error) {
 	if agg.IsExtremum() || agg == estimate.VAR {
 		return nil, fmt.Errorf("fleet: %v does not compose across cameras (rank and variance errors are corpus-local)", agg)
 	}
@@ -139,7 +147,7 @@ func (f *Fleet) Query(agg estimate.Agg, class scene.Class, predicate func(float6
 		if !c.Model.CanDetect(class) {
 			return nil, fmt.Errorf("fleet: camera %q model %s cannot detect %v", c.Name, c.Model.Name, class)
 		}
-		est, err := spec.EstimateSetting(c.Setting, c.Correction, stream.Child(uint64(i)))
+		est, err := spec.EstimateSettingCtx(ctx, c.Setting, c.Correction, stream.Child(uint64(i)))
 		if err != nil {
 			return nil, fmt.Errorf("fleet: camera %q: %w", c.Name, err)
 		}

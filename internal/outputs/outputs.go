@@ -1,0 +1,416 @@
+// Package outputs is the detector-output column store: the single place
+// detector results are cached, keyed by the *physical* unit of work —
+// (corpus view, model, input resolution, frame). One DetectFrame call
+// reports detections for every class the model can see, so the store keeps
+// a per-frame vector of per-class counts ("columns") and serves any class
+// projection from the same row. Estimators — fraction sweeps, hypercube
+// cells, Algorithm 3 correction sets, presence scans — read columns
+// instead of re-invoking the detector, which is what makes a multi-class
+// profile batch cost one detection pass per (frame, resolution) rather
+// than one per (frame, resolution, class).
+//
+// Degraded corpus views (noise addition) are distinct *scene.Video values
+// (see degrade.EffectiveVideo), so the (video, model, p) key covers the
+// paper's (corpus, frame, resolution, noise) unit exactly.
+//
+// Every read is context-aware: detection work stops promptly on
+// cancellation and partially computed batches are discarded, never stored.
+// The store registers reset/evict/stats hooks with internal/detect so the
+// established detect.ResetCaches / detect.EvictVideo / detect.Stats entry
+// points keep covering it.
+package outputs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"smokescreen/internal/detect"
+	"smokescreen/internal/parallel"
+	"smokescreen/internal/scene"
+)
+
+// vec is one stored row: the model's object count for every class on one
+// frame. scene.NumClasses is tiny, so rows are flat arrays, not maps.
+type vec [scene.NumClasses]float64
+
+// colKey identifies one column table. class is classShared (-1) when
+// cross-class sharing is on — the physical unit — and the concrete class
+// in legacy per-class mode (see SetSharing), which reproduces the
+// pre-column-store cache behaviour for A/B benchmarking.
+type colKey struct {
+	video *scene.Video
+	model string
+	p     int
+	class int
+}
+
+const classShared = -1
+
+// table holds the rows of one column key. full is materialised once every
+// frame of the corpus has a row; proj caches per-class []float64
+// projections of a full table (the series shape estimators consume).
+type table struct {
+	mu    sync.Mutex
+	n     int // corpus frame count
+	rows  map[int]vec
+	claim map[int]chan struct{} // frames being detected right now
+	full  []vec
+	proj  map[scene.Class][]float64
+}
+
+var (
+	storeMu sync.Mutex
+	tables  = map[colKey]*table{}
+	sharing atomic.Bool
+
+	// frameHits counts frame-values served without detector work;
+	// framesDetected counts frames this store computed (and kept).
+	frameHits      atomic.Int64
+	framesDetected atomic.Int64
+)
+
+func init() {
+	sharing.Store(true)
+	detect.RegisterOutputCache(Reset, EvictVideo, fillCacheStats)
+}
+
+// SetSharing toggles cross-class column sharing. On (the default), tables
+// key on the physical (view, model, resolution) unit and one detection
+// pass serves every class. Off, tables key per class — the legacy cache
+// layout, kept so benchmarks can measure the dedup win (-detect-dedup on
+// the daemon). Call it only around a Reset: flipping modes mid-flight
+// leaves both keyspaces populated and wastes memory (results stay correct;
+// rows in either layout come from the same deterministic detector).
+func SetSharing(on bool) {
+	sharing.Store(on)
+}
+
+// Sharing reports whether cross-class column sharing is enabled.
+func Sharing() bool { return sharing.Load() }
+
+func keyFor(v *scene.Video, model string, class scene.Class, p int) colKey {
+	k := colKey{video: v, model: model, p: p, class: classShared}
+	if !sharing.Load() {
+		k.class = int(class)
+	}
+	return k
+}
+
+func getTable(v *scene.Video, model string, class scene.Class, p int) *table {
+	key := keyFor(v, model, class, p)
+	storeMu.Lock()
+	defer storeMu.Unlock()
+	t, ok := tables[key]
+	if !ok {
+		t = &table{
+			n:     v.NumFrames(),
+			rows:  make(map[int]vec),
+			claim: make(map[int]chan struct{}),
+			proj:  make(map[scene.Class][]float64),
+		}
+		tables[key] = t
+	}
+	return t
+}
+
+// ensure guarantees rows exist for every frame in frames, detecting the
+// missing ones. Frames already claimed by a concurrent caller are waited
+// on rather than recomputed, so racing sweeps never duplicate detector
+// work — each physical frame is detected at most once per table (absent
+// cancellation). On ctx cancellation claimed-but-uncomputed frames are
+// released and nothing partial is stored.
+func (t *table) ensure(ctx context.Context, v *scene.Video, m *detect.Model, p int, frames []int) error {
+	for first := true; ; first = false {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var mine []int
+		var waits []chan struct{}
+		hits := 0
+		t.mu.Lock()
+		if t.full != nil {
+			t.mu.Unlock()
+			if first {
+				frameHits.Add(int64(len(frames)))
+			}
+			return nil
+		}
+		for _, f := range frames {
+			if _, ok := t.rows[f]; ok {
+				hits++
+				continue
+			}
+			if ch, ok := t.claim[f]; ok {
+				waits = append(waits, ch)
+				continue
+			}
+			ch := make(chan struct{})
+			t.claim[f] = ch
+			mine = append(mine, f)
+		}
+		t.mu.Unlock()
+		if first {
+			// Count hits once per request; re-check iterations would
+			// recount frames this very call just computed or waited for.
+			frameHits.Add(int64(hits))
+		}
+
+		if len(mine) > 0 {
+			if err := t.compute(ctx, v, m, p, mine); err != nil {
+				return err
+			}
+		}
+		if len(waits) == 0 {
+			return nil
+		}
+		for _, ch := range waits {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		// A claimant may have aborted (cancelled) without storing its
+		// frames; re-check and claim whatever is still missing. Only the
+		// waited-on frames can be missing now, so the loop converges.
+	}
+}
+
+// compute detects the claimed frames in parallel and stores their rows.
+// Claims are always released — on failure without storing, so waiters
+// re-check and recover the work.
+func (t *table) compute(ctx context.Context, v *scene.Video, m *detect.Model, p int, frames []int) error {
+	// Background is rendered lazily behind a sync.Once; touch it before
+	// fanning out so workers share one render.
+	v.Background()
+	results := make([]vec, len(frames))
+	err := parallel.ForCtx(ctx, len(frames), 0, func(i int) error {
+		dets := m.DetectFrame(v, frames[i], p)
+		var r vec
+		for c := scene.Class(0); c < scene.NumClasses; c++ {
+			r[c] = float64(detect.CountClass(dets, c))
+		}
+		results[i] = r
+		return nil
+	})
+	t.mu.Lock()
+	if err == nil {
+		for i, f := range frames {
+			t.rows[f] = results[i]
+		}
+	}
+	for _, f := range frames {
+		if ch, ok := t.claim[f]; ok {
+			close(ch)
+			delete(t.claim, f)
+		}
+	}
+	t.mu.Unlock()
+	if err == nil {
+		framesDetected.Add(int64(len(frames)))
+	}
+	return err
+}
+
+// Ensure materialises rows for the given frames of (v, m, p) without
+// reading them — the executor's detect stage, run once over deduplicated
+// plan units before estimation fans out. class matters only in legacy
+// per-class mode, where it selects the table to fill.
+func Ensure(ctx context.Context, v *scene.Video, m *detect.Model, class scene.Class, p int, frames []int) error {
+	if len(frames) == 0 {
+		return ctx.Err()
+	}
+	return getTable(v, m.Name, class, p).ensure(ctx, v, m, p, frames)
+}
+
+// At returns the per-frame counts of class objects for just the requested
+// frames, detecting only frames with no stored row. The result is ordered
+// like frames. Callers own the returned slice.
+func At(ctx context.Context, v *scene.Video, m *detect.Model, class scene.Class, p int, frames []int) ([]float64, error) {
+	t := getTable(v, m.Name, class, p)
+	if err := t.ensure(ctx, v, m, p, frames); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(frames))
+	t.mu.Lock()
+	switch {
+	case t.proj[class] != nil:
+		s := t.proj[class]
+		t.mu.Unlock()
+		for i, f := range frames {
+			out[i] = s[f]
+		}
+		return out, nil
+	case t.full != nil:
+		for i, f := range frames {
+			out[i] = t.full[f][class]
+		}
+	default:
+		for i, f := range frames {
+			out[i] = t.rows[f][class]
+		}
+	}
+	t.mu.Unlock()
+	return out, nil
+}
+
+// Full returns the complete per-frame series of class counts over every
+// frame of v — the F_model(frame_i) series the aggregate estimators
+// consume — computing whatever is missing. The returned slice is the
+// cached projection; callers must not mutate it.
+func Full(ctx context.Context, v *scene.Video, m *detect.Model, class scene.Class, p int) ([]float64, error) {
+	t := getTable(v, m.Name, class, p)
+	t.mu.Lock()
+	if s, ok := t.proj[class]; ok {
+		t.mu.Unlock()
+		frameHits.Add(int64(len(s)))
+		return s, nil
+	}
+	n := t.n
+	t.mu.Unlock()
+
+	frames := make([]int, n)
+	for i := range frames {
+		frames[i] = i
+	}
+	if err := t.ensure(ctx, v, m, p, frames); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.proj[class]; ok {
+		return s, nil
+	}
+	if t.full == nil {
+		full := make([]vec, n)
+		for f, r := range t.rows {
+			full[f] = r
+		}
+		t.full = full
+		// The row map is now redundant; free it (ensure/At read t.full).
+		t.rows = make(map[int]vec)
+	}
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = t.full[i][class]
+	}
+	t.proj[class] = s
+	return s, nil
+}
+
+// Presence returns, for every frame, whether the restricted class c is
+// present according to the paper's prior-information protocol: persons are
+// detected by YOLOv4 at threshold 0.7 and faces by MTCNN at threshold 0.8,
+// both at the detector's native resolution (Section 5.1). The scan shares
+// columns with ordinary queries against the same (model, resolution).
+func Presence(ctx context.Context, v *scene.Video, c scene.Class) ([]bool, error) {
+	var model *detect.Model
+	switch c {
+	case scene.Face:
+		model = detect.MTCNNSim()
+	default:
+		model = detect.YOLOv4Sim()
+	}
+	series, err := Full(ctx, v, model, c, model.NativeInput)
+	if err != nil {
+		return nil, err
+	}
+	present := make([]bool, len(series))
+	for i, count := range series {
+		present[i] = count > 0
+	}
+	return present, nil
+}
+
+// Stats is a byte-accounted and hit-accounted report of the column store.
+type Stats struct {
+	// Tables is the number of column tables; FullSeries of them are fully
+	// materialised, SparseSeries partially.
+	Tables       int
+	FullSeries   int
+	FullBytes    int64
+	SparseSeries int
+	// SparseEntries counts cached frame rows in sparse tables.
+	SparseEntries int
+	SparseBytes   int64
+	// FrameHits counts frame-values served without detector work;
+	// FramesDetected counts frames detected (and stored) by this store.
+	// Their ratio is the dedup win the plan/execute pipeline banks on.
+	FrameHits      int64
+	FramesDetected int64
+}
+
+// rowBytes is the accounted payload of one stored row.
+const rowBytes = int64(scene.NumClasses) * 8
+
+// ReadStats snapshots the store's counters and sizes.
+func ReadStats() Stats {
+	s := Stats{
+		FrameHits:      frameHits.Load(),
+		FramesDetected: framesDetected.Load(),
+	}
+	storeMu.Lock()
+	snapshot := make([]*table, 0, len(tables))
+	for _, t := range tables {
+		snapshot = append(snapshot, t)
+	}
+	storeMu.Unlock()
+	for _, t := range snapshot {
+		t.mu.Lock()
+		s.Tables++
+		if t.full != nil {
+			s.FullSeries++
+			s.FullBytes += int64(t.n)*rowBytes + detect.PerEntryOverhead
+		} else {
+			s.SparseSeries++
+			s.SparseEntries += len(t.rows)
+			s.SparseBytes += int64(len(t.rows))*(rowBytes+8) + detect.PerEntryOverhead
+		}
+		t.mu.Unlock()
+	}
+	return s
+}
+
+// fillCacheStats populates the output-series fields of detect.CacheStats,
+// keeping detect.Stats() a one-stop report across all detector caches.
+func fillCacheStats(dst *detect.CacheStats) {
+	s := ReadStats()
+	dst.FullSeries = s.FullSeries
+	dst.FullBytes = s.FullBytes
+	dst.SparseSeries = s.SparseSeries
+	dst.SparseEntries = s.SparseEntries
+	dst.SparseBytes = s.SparseBytes
+}
+
+// Reset drops every column table and zeroes the store's counters. It is
+// registered with detect.ResetCaches, which tests use for cold-cache runs.
+func Reset() {
+	storeMu.Lock()
+	tables = map[colKey]*table{}
+	storeMu.Unlock()
+	frameHits.Store(0)
+	framesDetected.Store(0)
+}
+
+// EvictVideo drops every column derived from the given corpus view and
+// returns the accounted bytes freed. Registered with detect.EvictVideo.
+func EvictVideo(v *scene.Video) int64 {
+	var freed int64
+	storeMu.Lock()
+	for key, t := range tables {
+		if key.video != v {
+			continue
+		}
+		t.mu.Lock()
+		if t.full != nil {
+			freed += int64(t.n)*rowBytes + detect.PerEntryOverhead
+		} else {
+			freed += int64(len(t.rows))*(rowBytes+8) + detect.PerEntryOverhead
+		}
+		t.mu.Unlock()
+		delete(tables, key)
+	}
+	storeMu.Unlock()
+	return freed
+}

@@ -1,31 +1,38 @@
-package detect
+package outputs
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"smokescreen/internal/dataset"
+	"smokescreen/internal/detect"
 	"smokescreen/internal/scene"
 )
 
 func TestSaveAndWarmOutputs(t *testing.T) {
 	dir := t.TempDir()
+	ctx := context.Background()
 	v := dataset.MustLoad("small")
-	m := YOLOv4Sim()
+	m := detect.YOLOv4Sim()
 
-	ResetCaches()
-	original := Outputs(v, m, scene.Car, 160)
+	detect.ResetCaches()
+	original, err := Full(ctx, v, m, scene.Car, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
 	written, err := SaveOutputs(v, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if written < 1 {
-		t.Fatalf("wrote %d series", written)
+		t.Fatalf("wrote %d tables", written)
 	}
 
-	// Cold cache, warm from disk: no model invocations needed.
-	ResetCaches()
+	// Cold cache, warm from disk: no model invocations needed — for ANY
+	// class, since the persisted table carries full rows.
+	detect.ResetCaches()
 	loaded, skipped, err := WarmOutputs(v, dir)
 	if err != nil {
 		t.Fatal(err)
@@ -33,9 +40,15 @@ func TestSaveAndWarmOutputs(t *testing.T) {
 	if loaded < 1 || skipped != 0 {
 		t.Fatalf("loaded %d skipped %d", loaded, skipped)
 	}
-	before := Invocations()
-	warmed := Outputs(v, m, scene.Car, 160)
-	if Invocations() != before {
+	before := detect.Invocations()
+	warmed, err := Full(ctx, v, m, scene.Car, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Full(ctx, v, m, scene.Person, 160); err != nil {
+		t.Fatal(err)
+	}
+	if detect.Invocations() != before {
 		t.Fatal("warm cache still invoked the model")
 	}
 	if len(warmed) != len(original) {
@@ -46,19 +59,22 @@ func TestSaveAndWarmOutputs(t *testing.T) {
 			t.Fatalf("series differs at %d: %v vs %v", i, warmed[i], original[i])
 		}
 	}
-	ResetCaches()
+	detect.ResetCaches()
 }
 
 func TestWarmOutputsRejectsMismatchedCorpus(t *testing.T) {
 	dir := t.TempDir()
+	ctx := context.Background()
 	small := dataset.MustLoad("small")
-	m := YOLOv4Sim()
-	ResetCaches()
-	Outputs(small, m, scene.Car, 160)
+	m := detect.YOLOv4Sim()
+	detect.ResetCaches()
+	if _, err := Full(ctx, small, m, scene.Car, 160); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := SaveOutputs(small, dir); err != nil {
 		t.Fatal(err)
 	}
-	ResetCaches()
+	detect.ResetCaches()
 
 	other := dataset.MustLoad("mvi-40775")
 	loaded, skipped, err := WarmOutputs(other, dir)
@@ -68,24 +84,27 @@ func TestWarmOutputsRejectsMismatchedCorpus(t *testing.T) {
 	if loaded != 0 || skipped == 0 {
 		t.Fatalf("mismatched corpus loaded %d, skipped %d", loaded, skipped)
 	}
-	ResetCaches()
+	detect.ResetCaches()
 }
 
 func TestWarmOutputsSkipsCorruptFiles(t *testing.T) {
 	dir := t.TempDir()
+	ctx := context.Background()
 	v := dataset.MustLoad("small")
 	// Garbage and truncated files must be skipped, never poison the cache.
 	if err := os.WriteFile(filepath.Join(dir, "junk.sout"), []byte("not a store"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	m := YOLOv4Sim()
-	ResetCaches()
-	Outputs(v, m, scene.Car, 96)
+	m := detect.YOLOv4Sim()
+	detect.ResetCaches()
+	if _, err := Full(ctx, v, m, scene.Car, 96); err != nil {
+		t.Fatal(err)
+	}
 	if _, err := SaveOutputs(v, dir); err != nil {
 		t.Fatal(err)
 	}
 	// Truncate a real file.
-	name := storeFileName(v, m.Name, scene.Car, 96)
+	name := storeFileName(v, m.Name, 96)
 	data, err := os.ReadFile(filepath.Join(dir, name))
 	if err != nil {
 		t.Fatal(err)
@@ -93,7 +112,7 @@ func TestWarmOutputsSkipsCorruptFiles(t *testing.T) {
 	if err := os.WriteFile(filepath.Join(dir, name), data[:len(data)/2], 0o644); err != nil {
 		t.Fatal(err)
 	}
-	ResetCaches()
+	detect.ResetCaches()
 	loaded, skipped, err := WarmOutputs(v, dir)
 	if err != nil {
 		t.Fatal(err)
@@ -101,7 +120,7 @@ func TestWarmOutputsSkipsCorruptFiles(t *testing.T) {
 	if loaded != 0 || skipped != 2 {
 		t.Fatalf("loaded %d skipped %d, want 0/2", loaded, skipped)
 	}
-	ResetCaches()
+	detect.ResetCaches()
 }
 
 func TestWarmOutputsMissingDir(t *testing.T) {
@@ -114,21 +133,25 @@ func TestWarmOutputsMissingDir(t *testing.T) {
 
 func TestSaveAndWarmSparseOutputs(t *testing.T) {
 	dir := t.TempDir()
+	ctx := context.Background()
 	v := dataset.MustLoad("small")
-	m := YOLOv4Sim()
+	m := detect.YOLOv4Sim()
 	frames := []int{3, 17, 42, 99, 100}
 
-	ResetCaches()
-	original := OutputsAt(v, m, scene.Car, 192, frames)
+	detect.ResetCaches()
+	original, err := At(ctx, v, m, scene.Car, 192, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
 	written, err := SaveOutputs(v, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if written < 1 {
-		t.Fatalf("wrote %d series", written)
+		t.Fatalf("wrote %d tables", written)
 	}
 
-	ResetCaches()
+	detect.ResetCaches()
 	loaded, skipped, err := WarmOutputs(v, dir)
 	if err != nil {
 		t.Fatal(err)
@@ -136,9 +159,12 @@ func TestSaveAndWarmSparseOutputs(t *testing.T) {
 	if loaded < 1 || skipped != 0 {
 		t.Fatalf("loaded %d skipped %d", loaded, skipped)
 	}
-	before := Invocations()
-	warmed := OutputsAt(v, m, scene.Car, 192, frames)
-	if Invocations() != before {
+	before := detect.Invocations()
+	warmed, err := At(ctx, v, m, scene.Car, 192, frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if detect.Invocations() != before {
 		t.Fatal("warm sparse cache still invoked the model")
 	}
 	for i := range original {
@@ -146,5 +172,5 @@ func TestSaveAndWarmSparseOutputs(t *testing.T) {
 			t.Fatalf("sparse series differs at %d", i)
 		}
 	}
-	ResetCaches()
+	detect.ResetCaches()
 }

@@ -20,6 +20,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -108,4 +109,47 @@ func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 		}
 	}
 	return out, nil
+}
+
+// ForCtx is For with cooperative cancellation and per-task errors: workers
+// stop claiming new indices once ctx is done, then drain. Started tasks
+// always run to completion — a per-index slot is either fully written or
+// untouched, never half-done — and, like Map, a task error does not stop
+// the remaining tasks, so the surfaced error is deterministic under any
+// completion order: the lowest-index task error wins; if no task failed
+// but ctx was cancelled, ctx.Err() is returned. Panic propagation matches
+// For.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	errs := make([]error, n)
+	For(n, workers, func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		errs[i] = fn(i)
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MapCtx is Map with cooperative cancellation: the context-aware analogue
+// for stages that produce per-index results. On error or cancellation the
+// partial result slice is returned alongside the (deterministic) error.
+func MapCtx[T any](ctx context.Context, n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForCtx(ctx, n, workers, func(i int) error {
+		var taskErr error
+		out[i], taskErr = fn(i)
+		return taskErr
+	})
+	return out, err
 }

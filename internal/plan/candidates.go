@@ -1,6 +1,7 @@
-package degrade
+package plan
 
 import (
+	"smokescreen/internal/degrade"
 	"smokescreen/internal/detect"
 	"smokescreen/internal/scene"
 )
@@ -8,6 +9,9 @@ import (
 // This file implements the paper's intervention-candidate design
 // (Section 3.3.2): sample fractions at 1% intervals, ten uniformly spaced
 // frame resolutions, and every combination of possibly sensitive classes.
+// It moved here from internal/degrade because candidate enumeration is
+// planning — the settings grid is the raw material every plan is built
+// from — while degrade keeps the intervention semantics (Setting, Apply).
 
 // CandidateFractions returns sample fractions from step to maxFraction at
 // the given interval (the paper uses 1% steps). The result is ascending so
@@ -47,12 +51,12 @@ func ClassCombos() [][]scene.Class {
 // CandidateSettings enumerates the full intervention-candidate hypercube
 // for a model: fractions x resolutions x class combinations. The order is
 // row-major with the loosest values first along every axis.
-func CandidateSettings(m *detect.Model, fractions []float64) []Setting {
-	var out []Setting
+func CandidateSettings(m *detect.Model, fractions []float64) []degrade.Setting {
+	var out []degrade.Setting
 	for _, combo := range ClassCombos() {
 		for _, p := range CandidateResolutions(m) {
 			for _, f := range fractions {
-				out = append(out, Setting{SampleFraction: f, Resolution: p, Restricted: combo})
+				out = append(out, degrade.Setting{SampleFraction: f, Resolution: p, Restricted: combo})
 			}
 		}
 	}

@@ -1,0 +1,219 @@
+// Package plan is the planning stage of the profile-generation pipeline:
+// it enumerates, up front, every (setting, frame-set, estimator) task a
+// fraction sweep, degradation hypercube, or correction curve will execute,
+// and dedups the physical detector work the tasks share. The executor (in
+// internal/profile) then runs two further stages over the plan: a detect
+// stage that materialises the deduplicated work units in the
+// detector-output column store (internal/outputs), and an estimate stage
+// that computes every task's bound from stored columns.
+//
+// Planning is deterministic: a sweep's nested sample comes from one
+// stream permutation (each fraction takes a prefix), and hypercube cells
+// derive their streams from their grid coordinates, so the same seed
+// always produces the same plan — and therefore bit-identical profiles —
+// at any worker count.
+package plan
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+)
+
+// SweepSpec fixes the swept axis and the frozen axes of one fraction
+// sweep. Fractions must be validated (non-empty, ascending) by the caller;
+// BuildSweep materialises plans only for feasible fractions.
+type SweepSpec struct {
+	Fractions  []float64
+	Resolution int // 0 means the model's native input
+	Restricted []scene.Class
+}
+
+// Task is one planned profile-point evaluation: the estimator input is
+// the degradation plan; Index is the task's position in the sweep (and
+// its fraction's index in SweepSpec.Fractions).
+type Task struct {
+	Index int
+	Plan  *degrade.Plan
+}
+
+// Sweep is the execution plan of one fraction sweep. Tasks are ordered by
+// ascending fraction; each task's sampled frames are a prefix-superset of
+// the previous task's (nested sampling), so the sweep's total detector
+// work unit is exactly the last task's frame set.
+type Sweep struct {
+	Resolution int // resolved model input resolution
+	RandomOnly bool
+	Admissible []int
+	Tasks      []Task
+}
+
+// Frames returns the union of frames the sweep's tasks touch. Nested
+// sampling makes this the last task's sample.
+func (s *Sweep) Frames() []int {
+	if len(s.Tasks) == 0 {
+		return nil
+	}
+	return s.Tasks[len(s.Tasks)-1].Plan.Sampled
+}
+
+// BuildSweep enumerates the sweep's tasks: compute the admissible pool
+// (running the presence protocol under ctx), draw one permutation from
+// stream, and materialise the nested degradation plan of every feasible
+// fraction. Fractions whose sample would exceed the admissible pool are
+// dropped (image removal shrinks the pool); a sweep with zero tasks means
+// no fraction is feasible, which the caller reports.
+func BuildSweep(ctx context.Context, v *scene.Video, m *detect.Model, spec SweepSpec, stream *stats.Stream) (*Sweep, error) {
+	start := time.Now()
+	defer func() { addPlanTime(time.Since(start)) }()
+
+	admissible, err := degrade.AdmissibleFramesCtx(ctx, v, spec.Restricted)
+	if err != nil {
+		return nil, err
+	}
+	perm := stream.Perm(len(admissible))
+	base := degrade.Setting{
+		SampleFraction: spec.Fractions[0],
+		Resolution:     spec.Resolution,
+		Restricted:     spec.Restricted,
+	}
+	resolution := base.ResolveResolution(m)
+	n := v.NumFrames()
+
+	sw := &Sweep{
+		Resolution: resolution,
+		RandomOnly: base.IsRandomOnly(m),
+		Admissible: admissible,
+	}
+	for fi, f := range spec.Fractions {
+		want := int(float64(n)*f + 0.5)
+		if want < 1 {
+			want = 1
+		}
+		if want > len(admissible) {
+			break // remaining (larger) fractions are infeasible too
+		}
+		p := &degrade.Plan{
+			Setting:    degrade.Setting{SampleFraction: f, Resolution: spec.Resolution, Restricted: spec.Restricted},
+			Resolution: resolution,
+			Admissible: admissible,
+			Total:      n,
+		}
+		p.Sampled = make([]int, want)
+		for i := 0; i < want; i++ {
+			p.Sampled[i] = admissible[perm[i]]
+		}
+		sw.Tasks = append(sw.Tasks, Task{Index: fi, Plan: p})
+	}
+	tasksPlanned.Add(int64(len(sw.Tasks)))
+	return sw, nil
+}
+
+// Cell is one (class-combo, resolution) cell of a hypercube plan. Sweep
+// is nil for infeasible cells (every fraction exceeds the admissible
+// pool) — the executor renders those as NaN rows, like the legacy path.
+type Cell struct {
+	CI, RI int
+	Sweep  *Sweep
+}
+
+// Hypercube is the execution plan of a full degradation hypercube: one
+// planned sweep per (combo, resolution) cell over the candidate grid.
+type Hypercube struct {
+	Fractions   []float64
+	Resolutions []int           // loosest (native) first
+	Combos      [][]scene.Class // loosest (none) first
+	Cells       []Cell          // row-major: ci*len(Resolutions)+ri
+}
+
+// BuildHypercube plans the full candidate grid. Each cell's randomness is
+// a stream child keyed by its grid coordinates — the same derivation the
+// executor has always used — so planning does not perturb results.
+// Presence scans for the restricted-class combos run here, under ctx: the
+// prior-information protocol is part of planning, not execution.
+func BuildHypercube(ctx context.Context, v *scene.Video, m *detect.Model, fractions []float64, stream *stats.Stream) (*Hypercube, error) {
+	h := &Hypercube{
+		Fractions:   fractions,
+		Resolutions: CandidateResolutions(m),
+		Combos:      ClassCombos(),
+	}
+	for ci := range h.Combos {
+		for ri := range h.Resolutions {
+			sw, err := BuildSweep(ctx, v, m, SweepSpec{
+				Fractions:  fractions,
+				Resolution: h.Resolutions[ri],
+				Restricted: h.Combos[ci],
+			}, stream.ChildN(uint64(ci), uint64(ri)))
+			if err != nil {
+				return nil, err
+			}
+			if len(sw.Tasks) == 0 {
+				sw = nil
+			}
+			h.Cells = append(h.Cells, Cell{CI: ci, RI: ri, Sweep: sw})
+		}
+	}
+	return h, nil
+}
+
+// Cell returns the planned cell at grid coordinates (ci, ri).
+func (h *Hypercube) CellAt(ci, ri int) *Cell {
+	return &h.Cells[ci*len(h.Resolutions)+ri]
+}
+
+// Unit is one deduplicated physical work unit: the frames to detect at
+// one input resolution (over one corpus view and model, implicit from the
+// generation the plan belongs to).
+type Unit struct {
+	Resolution int
+	Frames     []int
+}
+
+// Units dedups the hypercube's detector work across cells: every cell at
+// the same resolution contributes its frame set to one unit, and shared
+// frames — the same physical (frame, resolution) touched by several class
+// combos' sweeps — are counted once. The per-generation saving this
+// produces is tracked in the package stage counters and is the pipeline's
+// first dedup win (the column store's cross-class sharing is the second).
+func (h *Hypercube) Units() []Unit {
+	perRes := make(map[int]map[int]struct{})
+	order := []int{}
+	var requested int64
+	for i := range h.Cells {
+		sw := h.Cells[i].Sweep
+		if sw == nil {
+			continue
+		}
+		frames := sw.Frames()
+		requested += int64(len(frames))
+		set, ok := perRes[sw.Resolution]
+		if !ok {
+			set = make(map[int]struct{})
+			perRes[sw.Resolution] = set
+			order = append(order, sw.Resolution)
+		}
+		for _, f := range frames {
+			set[f] = struct{}{}
+		}
+	}
+	units := make([]Unit, 0, len(order))
+	var unique int64
+	for _, res := range order {
+		set := perRes[res]
+		frames := make([]int, 0, len(set))
+		for f := range set {
+			frames = append(frames, f)
+		}
+		sort.Ints(frames)
+		unique += int64(len(frames))
+		units = append(units, Unit{Resolution: res, Frames: frames})
+	}
+	unitsPlanned.Add(int64(len(units)))
+	dedupSavedFrames.Add(requested - unique)
+	return units
+}

@@ -1,0 +1,69 @@
+package plan
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Cumulative per-stage accounting for the plan/execute pipeline. The
+// executor (internal/profile) attributes wall time to the three stages —
+// planning (enumeration, permutations, presence scans), detection
+// (materialising deduplicated units in the column store), and estimation
+// (computing bounds from stored columns) — and the daemon's /metrics and
+// the benchmarks read the totals. Everything is atomic: stages run inside
+// worker pools.
+var (
+	planNS     atomic.Int64
+	detectNS   atomic.Int64
+	estimateNS atomic.Int64
+
+	tasksPlanned     atomic.Int64
+	unitsPlanned     atomic.Int64
+	dedupSavedFrames atomic.Int64
+)
+
+func addPlanTime(d time.Duration) { planNS.Add(int64(d)) }
+
+// AddDetectTime attributes wall time to the pipeline's detect stage.
+func AddDetectTime(d time.Duration) { detectNS.Add(int64(d)) }
+
+// AddEstimateTime attributes wall time to the pipeline's estimate stage.
+func AddEstimateTime(d time.Duration) { estimateNS.Add(int64(d)) }
+
+// StageStats is a snapshot of the pipeline's cumulative stage accounting.
+type StageStats struct {
+	// PlanNS/DetectNS/EstimateNS are cumulative wall nanoseconds spent in
+	// each stage. Stages inside concurrent cells overlap, so these measure
+	// attributed work, not elapsed time.
+	PlanNS     int64
+	DetectNS   int64
+	EstimateNS int64
+	// Tasks counts planned profile-point evaluations; Units counts
+	// deduplicated physical work units; DedupSavedFrames counts frame
+	// evaluations the plan-level dedup avoided (requested minus unique).
+	Tasks            int64
+	Units            int64
+	DedupSavedFrames int64
+}
+
+// Stages snapshots the cumulative stage counters.
+func Stages() StageStats {
+	return StageStats{
+		PlanNS:           planNS.Load(),
+		DetectNS:         detectNS.Load(),
+		EstimateNS:       estimateNS.Load(),
+		Tasks:            tasksPlanned.Load(),
+		Units:            unitsPlanned.Load(),
+		DedupSavedFrames: dedupSavedFrames.Load(),
+	}
+}
+
+// ResetStages zeroes the stage counters (benchmarks isolate runs with it).
+func ResetStages() {
+	planNS.Store(0)
+	detectNS.Store(0)
+	estimateNS.Store(0)
+	tasksPlanned.Store(0)
+	unitsPlanned.Store(0)
+	dedupSavedFrames.Store(0)
+}

@@ -1,6 +1,7 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 
 	"smokescreen/internal/degrade"
@@ -33,6 +34,12 @@ type AdaptiveResult struct {
 // are rejected because an adaptively-stopped biased sample cannot be
 // repaired soundly mid-stream.
 func RunUntil(spec *Spec, setting degrade.Setting, targetErr, maxFraction float64, stream *stats.Stream) (*AdaptiveResult, error) {
+	return RunUntilCtx(context.Background(), spec, setting, targetErr, maxFraction, stream)
+}
+
+// RunUntilCtx is RunUntil with cancellation: the per-batch detector work
+// aborts when ctx is done, and no partial result is returned.
+func RunUntilCtx(ctx context.Context, spec *Spec, setting degrade.Setting, targetErr, maxFraction float64, stream *stats.Stream) (*AdaptiveResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -59,7 +66,10 @@ func RunUntil(spec *Spec, setting degrade.Setting, targetErr, maxFraction float6
 		return nil, err
 	}
 
-	admissible := degrade.AdmissibleFrames(spec.Video, setting.Restricted)
+	admissible, err := degrade.AdmissibleFramesCtx(ctx, spec.Video, setting.Restricted)
+	if err != nil {
+		return nil, err
+	}
 	if budget > len(admissible) {
 		budget = len(admissible)
 	}
@@ -79,7 +89,10 @@ func RunUntil(spec *Spec, setting degrade.Setting, targetErr, maxFraction float6
 		for i := start; i < end; i++ {
 			frames = append(frames, admissible[perm[i]])
 		}
-		values := spec.outputsAtResolution(resolution, frames)
+		values, err := spec.outputsAtResolution(ctx, resolution, frames)
+		if err != nil {
+			return nil, err
+		}
 		for _, x := range values {
 			out.Estimate = est.Observe(spec.transform(x))
 			out.FramesUsed++
@@ -95,7 +108,7 @@ func RunUntil(spec *Spec, setting degrade.Setting, targetErr, maxFraction float6
 // outputsAtResolution evaluates raw outputs for explicit frames at an
 // explicit resolution (RunUntil streams at the setting's resolution, which
 // for random-only settings is the model's native input).
-func (s *Spec) outputsAtResolution(p int, frames []int) []float64 {
+func (s *Spec) outputsAtResolution(ctx context.Context, p int, frames []int) ([]float64, error) {
 	plan := &degrade.Plan{Resolution: p, Sampled: frames, Total: s.Video.NumFrames()}
-	return degrade.SampleOutputs(s.Video, s.Model, s.Class, plan)
+	return degrade.SampleOutputsCtx(ctx, s.Video, s.Model, s.Class, plan)
 }

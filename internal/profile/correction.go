@@ -1,10 +1,14 @@
 package profile
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"smokescreen/internal/estimate"
+	"smokescreen/internal/outputs"
 	"smokescreen/internal/parallel"
+	"smokescreen/internal/plan"
 	"smokescreen/internal/stats"
 )
 
@@ -47,11 +51,18 @@ const (
 // already-sampled frames: each step extends the previous sample, so model
 // outputs are computed once per frame.
 //
-// Construction is deliberately sequential: the elbow rule decides whether
-// to grow the set from the previous step's bound, so each step is gated on
-// its predecessor and there is no independent work to fan out. (The
-// unstopped sweep, CorrectionCurve, does parallelise.)
+// Construction is deliberately sequential and lazy: the elbow rule decides
+// whether to grow the set from the previous step's bound, so each step is
+// gated on its predecessor and there is no independent work to fan out.
+// (The unstopped sweep, CorrectionCurve, does parallelise.)
 func ConstructCorrection(spec *Spec, sizeLimit float64, stream *stats.Stream) (*ConstructionResult, error) {
+	return ConstructCorrectionCtx(context.Background(), spec, sizeLimit, stream)
+}
+
+// ConstructCorrectionCtx is ConstructCorrection with cancellation: each
+// growth step checks ctx before triggering detector work, so cancelling a
+// daemon job aborts construction mid-elbow.
+func ConstructCorrectionCtx(ctx context.Context, spec *Spec, sizeLimit float64, stream *stats.Stream) (*ConstructionResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -77,7 +88,12 @@ func ConstructCorrection(spec *Spec, sizeLimit float64, stream *stats.Stream) (*
 		if m > n {
 			m = n
 		}
-		sample := spec.outputsAt(perm[:m])
+		t0 := time.Now()
+		sample, err := spec.outputsAtCtx(ctx, perm[:m])
+		plan.AddEstimateTime(time.Since(t0))
+		if err != nil {
+			return nil, err
+		}
 		corr, err := estimate.NewCorrection(spec.Agg, sample, n, spec.Params)
 		if err != nil {
 			return nil, err
@@ -113,12 +129,44 @@ func CorrectionCurve(spec *Spec, fractions []float64, stream *stats.Stream) ([]C
 // every fraction's nested sample — and therefore the curve — is identical
 // at any worker count.
 func CorrectionCurveOpts(spec *Spec, fractions []float64, parallelism int, stream *stats.Stream) ([]CorrectionStep, error) {
+	return CorrectionCurveCtx(context.Background(), spec, fractions, parallelism, stream)
+}
+
+// CorrectionCurveCtx runs the curve as a pipelined plan: nested sampling
+// makes the largest fraction's frame set the curve's one deduplicated work
+// unit, which the detect stage materialises in the column store before the
+// fraction evaluations fan out reading columns.
+func CorrectionCurveCtx(ctx context.Context, spec *Spec, fractions []float64, parallelism int, stream *stats.Stream) ([]CorrectionStep, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	n := spec.Video.NumFrames()
 	perm := stream.Perm(n)
-	return parallel.Map(len(fractions), parallelism, func(i int) (CorrectionStep, error) {
+
+	maxM := 0
+	for _, fraction := range fractions {
+		if fraction <= 0 || fraction > 1 {
+			continue // the per-fraction task reports the error
+		}
+		m := int(float64(n)*fraction + 0.5)
+		if m < 1 {
+			m = 1
+		}
+		if m > maxM {
+			maxM = m
+		}
+	}
+	if maxM > 0 {
+		t0 := time.Now()
+		err := outputs.Ensure(ctx, spec.Video, spec.Model, spec.Class, spec.Model.NativeInput, perm[:maxM])
+		plan.AddDetectTime(time.Since(t0))
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	t1 := time.Now()
+	steps, err := parallel.MapCtx(ctx, len(fractions), parallelism, func(i int) (CorrectionStep, error) {
 		fraction := fractions[i]
 		if fraction <= 0 || fraction > 1 {
 			return CorrectionStep{}, fmt.Errorf("profile: correction fraction %v out of (0,1]", fraction)
@@ -127,13 +175,18 @@ func CorrectionCurveOpts(spec *Spec, fractions []float64, parallelism int, strea
 		if m < 1 {
 			m = 1
 		}
-		sample := spec.outputsAt(perm[:m])
+		sample, err := spec.outputsAtCtx(ctx, perm[:m])
+		if err != nil {
+			return CorrectionStep{}, err
+		}
 		corr, err := estimate.NewCorrection(spec.Agg, sample, n, spec.Params)
 		if err != nil {
 			return CorrectionStep{}, err
 		}
 		return CorrectionStep{Fraction: fraction, Size: m, ErrBound: corr.Estimate.ErrBound}, nil
 	})
+	plan.AddEstimateTime(time.Since(t1))
+	return steps, err
 }
 
 // BuildCorrectionAt builds a correction set of an explicit size (used by
@@ -147,5 +200,9 @@ func BuildCorrectionAt(spec *Spec, m int, stream *stats.Stream) (*estimate.Corre
 		return nil, fmt.Errorf("profile: correction size %d out of [1,%d]", m, n)
 	}
 	idx := stream.SampleWithoutReplacement(n, m)
-	return estimate.NewCorrection(spec.Agg, spec.outputsAt(idx), n, spec.Params)
+	sample, err := spec.outputsAtCtx(context.Background(), idx)
+	if err != nil {
+		return nil, err
+	}
+	return estimate.NewCorrection(spec.Agg, sample, n, spec.Params)
 }

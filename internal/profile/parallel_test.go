@@ -49,7 +49,7 @@ func TestParallelHypercubeBitIdentical(t *testing.T) {
 	}
 	want := hypercubeBytes(t, seq)
 
-	for _, workers := range []int{2, 8} {
+	for _, workers := range []int{2, 4, 8} {
 		for rep := 0; rep < 2; rep++ {
 			opts.Parallelism = workers
 			cube, err := GenerateHypercubeOpts(s, opts, root.Child(2))
@@ -78,7 +78,7 @@ func TestParallelSweepBitIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	for _, workers := range []int{2, 8} {
+	for _, workers := range []int{2, 4, 8} {
 		for rep := 0; rep < 2; rep++ {
 			opts.Parallelism = workers
 			par, err := SweepFractions(s, opts, root.Child(7))
@@ -104,7 +104,7 @@ func TestParallelCorrectionCurveBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{2, 8} {
+	for _, workers := range []int{2, 4, 8} {
 		par, err := CorrectionCurveOpts(s, fractions, workers, root.Child(3))
 		if err != nil {
 			t.Fatal(err)

@@ -7,6 +7,8 @@
 package profile
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -14,6 +16,7 @@ import (
 	"smokescreen/internal/degrade"
 	"smokescreen/internal/detect"
 	"smokescreen/internal/estimate"
+	"smokescreen/internal/outputs"
 	"smokescreen/internal/scene"
 	"smokescreen/internal/stats"
 )
@@ -63,7 +66,8 @@ func (s *Spec) transform(x float64) float64 {
 // non-degraded video: the X_1..X_N series whose aggregate is the paper's
 // ground truth.
 func (s *Spec) TruePopulation() []float64 {
-	raw := detect.Outputs(s.Video, s.Model, s.Class, s.Model.NativeInput)
+	// A full-column read over a background context cannot fail.
+	raw, _ := outputs.Full(context.Background(), s.Video, s.Model, s.Class, s.Model.NativeInput)
 	out := make([]float64, len(raw))
 	for i, x := range raw {
 		out[i] = s.transform(x)
@@ -82,26 +86,33 @@ func (s *Spec) TrueErrorOf(approx float64) (float64, error) {
 	return estimate.TrueError(s.Agg, approx, s.TruePopulation(), s.Params)
 }
 
-// sampleValues materialises the transformed outputs for a degradation plan.
-func (s *Spec) sampleValues(plan *degrade.Plan) []float64 {
-	raw := degrade.SampleOutputs(s.Video, s.Model, s.Class, plan)
+// sampleValuesCtx materialises the transformed outputs for a degradation
+// plan, reading (and lazily filling) the detector-output column store.
+func (s *Spec) sampleValuesCtx(ctx context.Context, plan *degrade.Plan) ([]float64, error) {
+	raw, err := degrade.SampleOutputsCtx(ctx, s.Video, s.Model, s.Class, plan)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(raw))
 	for i, x := range raw {
 		out[i] = s.transform(x)
 	}
-	return out
+	return out, nil
 }
 
-// outputsAt returns the transformed outputs for specific frames at the
+// outputsAtCtx returns the transformed outputs for specific frames at the
 // model's native resolution, evaluating the detector lazily — correction
 // sets only ever touch the frames they sample.
-func (s *Spec) outputsAt(frames []int) []float64 {
-	raw := detect.OutputsAt(s.Video, s.Model, s.Class, s.Model.NativeInput, frames)
+func (s *Spec) outputsAtCtx(ctx context.Context, frames []int) ([]float64, error) {
+	raw, err := outputs.At(ctx, s.Video, s.Model, s.Class, s.Model.NativeInput, frames)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(raw))
 	for i, x := range raw {
 		out[i] = s.transform(x)
 	}
-	return out
+	return out, nil
 }
 
 // EstimateSetting computes the approximate answer and error bound under
@@ -110,18 +121,27 @@ func (s *Spec) outputsAt(frames []int) []float64 {
 // the uncorrected bound would be unsound. For random-only settings with a
 // correction set, the tighter of the two bounds is used (Section 5.2.2).
 func (s *Spec) EstimateSetting(setting degrade.Setting, corr *estimate.Correction, stream *stats.Stream) (estimate.Estimate, error) {
+	return s.EstimateSettingCtx(context.Background(), setting, corr, stream)
+}
+
+// EstimateSettingCtx is EstimateSetting with cancellation: detector work
+// the estimate triggers aborts when ctx is done.
+func (s *Spec) EstimateSettingCtx(ctx context.Context, setting degrade.Setting, corr *estimate.Correction, stream *stats.Stream) (estimate.Estimate, error) {
 	if err := s.Validate(); err != nil {
 		return estimate.Estimate{}, err
 	}
-	plan, err := degrade.Apply(s.Video, s.Model, setting, stream)
+	plan, err := degrade.ApplyCtx(ctx, s.Video, s.Model, setting, stream)
 	if err != nil {
 		return estimate.Estimate{}, err
 	}
-	return s.estimatePlan(plan, corr)
+	return s.estimatePlan(ctx, plan, corr)
 }
 
-func (s *Spec) estimatePlan(plan *degrade.Plan, corr *estimate.Correction) (estimate.Estimate, error) {
-	values := s.sampleValues(plan)
+func (s *Spec) estimatePlan(ctx context.Context, plan *degrade.Plan, corr *estimate.Correction) (estimate.Estimate, error) {
+	values, err := s.sampleValuesCtx(ctx, plan)
+	if err != nil {
+		return estimate.Estimate{}, err
+	}
 	est, err := estimate.Smokescreen(s.Agg, values, plan.Total, s.Params)
 	if err != nil {
 		return estimate.Estimate{}, err
@@ -149,7 +169,10 @@ func (s *Spec) UncorrectedEstimate(setting degrade.Setting, stream *stats.Stream
 	if err != nil {
 		return estimate.Estimate{}, err
 	}
-	values := s.sampleValues(plan)
+	values, err := s.sampleValuesCtx(context.Background(), plan)
+	if err != nil {
+		return estimate.Estimate{}, err
+	}
 	return estimate.Smokescreen(s.Agg, values, plan.Total, s.Params)
 }
 
@@ -171,12 +194,23 @@ type Profile struct {
 	Points    []Point
 }
 
+// ErrOutOfRange reports a BoundAtFraction query the profile cannot
+// answer: a fraction outside (0, 1] (or NaN), or an empty profile with no
+// points to interpolate between. Callers distinguish it from other errors
+// with errors.Is.
+var ErrOutOfRange = errors.New("profile: fraction out of range")
+
 // BoundAtFraction linearly interpolates the error bound at sample
-// fraction f along a fraction-axis profile. Outside the profiled range the
-// nearest endpoint is returned. It returns an error for an empty profile.
+// fraction f along a fraction-axis profile. Within (0, 1] but outside the
+// profiled range the nearest endpoint is returned (the profile's own
+// endpoints clamp); a fraction no Setting could carry — f <= 0, f > 1, or
+// NaN — and an empty profile return an error wrapping ErrOutOfRange.
 func (p *Profile) BoundAtFraction(f float64) (float64, error) {
+	if math.IsNaN(f) || f <= 0 || f > 1 {
+		return 0, fmt.Errorf("%w: f=%v not in (0,1]", ErrOutOfRange, f)
+	}
 	if len(p.Points) == 0 {
-		return 0, fmt.Errorf("profile: empty profile")
+		return 0, fmt.Errorf("%w: empty profile", ErrOutOfRange)
 	}
 	pts := append([]Point(nil), p.Points...)
 	sort.Slice(pts, func(a, b int) bool {

@@ -1,6 +1,8 @@
 package profile
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -8,6 +10,7 @@ import (
 	"smokescreen/internal/degrade"
 	"smokescreen/internal/detect"
 	"smokescreen/internal/estimate"
+	"smokescreen/internal/outputs"
 	"smokescreen/internal/scene"
 	"smokescreen/internal/stats"
 )
@@ -63,7 +66,10 @@ func TestSpecCustomPredicate(t *testing.T) {
 		return 0
 	}
 	pop := s.TruePopulation()
-	raw := detect.Outputs(s.Video, s.Model, s.Class, s.Model.NativeInput)
+	raw, err := outputs.Full(context.Background(), s.Video, s.Model, s.Class, s.Model.NativeInput)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range pop {
 		want := 0.0
 		if raw[i] >= 3 {
@@ -374,6 +380,67 @@ func TestBoundAtFractionInterpolation(t *testing.T) {
 	}
 	if _, err := (&Profile{}).BoundAtFraction(0.1); err == nil {
 		t.Fatal("empty profile accepted")
+	}
+}
+
+func TestBoundAtFractionOutOfRange(t *testing.T) {
+	prof := &Profile{Points: []Point{
+		{Setting: degrade.Setting{SampleFraction: 0.1}, Estimate: estimate.Estimate{ErrBound: 0.5}},
+		{Setting: degrade.Setting{SampleFraction: 0.3}, Estimate: estimate.Estimate{ErrBound: 0.1}},
+	}}
+	// Fractions no Setting could carry are typed errors, so callers can
+	// branch on them without string matching.
+	for _, f := range []float64{0, -0.1, 1.0001, 2, math.NaN()} {
+		_, err := prof.BoundAtFraction(f)
+		if !errors.Is(err, ErrOutOfRange) {
+			t.Fatalf("BoundAtFraction(%v) error = %v, want ErrOutOfRange", f, err)
+		}
+	}
+	_, err := (&Profile{}).BoundAtFraction(0.1)
+	if !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("empty profile error = %v, want ErrOutOfRange", err)
+	}
+	// f = 1 is always answerable (nearest-endpoint clamp), never an error.
+	if _, err := prof.BoundAtFraction(1); err != nil {
+		t.Fatalf("BoundAtFraction(1) = %v", err)
+	}
+}
+
+func TestBoundAtFractionExactEndpoints(t *testing.T) {
+	prof := &Profile{Points: []Point{
+		{Setting: degrade.Setting{SampleFraction: 0.1}, Estimate: estimate.Estimate{ErrBound: 0.5}},
+		{Setting: degrade.Setting{SampleFraction: 0.2}, Estimate: estimate.Estimate{ErrBound: 0.3}},
+		{Setting: degrade.Setting{SampleFraction: 0.3}, Estimate: estimate.Estimate{ErrBound: 0.1}},
+	}}
+	// Queries landing exactly on profiled fractions return those points'
+	// bounds with no interpolation drift.
+	for _, c := range []struct{ f, want float64 }{{0.1, 0.5}, {0.2, 0.3}, {0.3, 0.1}} {
+		got, err := prof.BoundAtFraction(c.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Fatalf("BoundAtFraction(%v) = %v, want exactly %v", c.f, got, c.want)
+		}
+	}
+}
+
+func TestBoundAtFractionSinglePoint(t *testing.T) {
+	prof := &Profile{Points: []Point{
+		{Setting: degrade.Setting{SampleFraction: 0.25}, Estimate: estimate.Estimate{ErrBound: 0.4}},
+	}}
+	// A single-point profile clamps every valid fraction to its one bound.
+	for _, f := range []float64{0.01, 0.25, 0.9, 1} {
+		got, err := prof.BoundAtFraction(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 0.4 {
+			t.Fatalf("single-point BoundAtFraction(%v) = %v, want 0.4", f, got)
+		}
+	}
+	if _, err := prof.BoundAtFraction(0); !errors.Is(err, ErrOutOfRange) {
+		t.Fatal("single-point profile accepted f=0")
 	}
 }
 

@@ -1,12 +1,16 @@
 package profile
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"smokescreen/internal/degrade"
 	"smokescreen/internal/estimate"
+	"smokescreen/internal/outputs"
 	"smokescreen/internal/parallel"
+	"smokescreen/internal/plan"
 	"smokescreen/internal/scene"
 	"smokescreen/internal/stats"
 )
@@ -30,8 +34,8 @@ type SweepOptions struct {
 	// inherently sequential) evaluates points in order on the calling
 	// goroutine; 0 or negative means one worker per CPU. The sample is
 	// drawn once up front and every point's estimate is a pure function of
-	// its plan and the (deterministic) detector caches, so the profile is
-	// bit-for-bit identical at any worker count.
+	// its plan and the (deterministic) detector-output columns, so the
+	// profile is bit-for-bit identical at any worker count.
 	Parallelism int
 }
 
@@ -42,6 +46,15 @@ type SweepOptions struct {
 // permutation is itself a uniform without-replacement sample, so the
 // estimator assumptions hold at every step.
 func SweepFractions(spec *Spec, opts SweepOptions, stream *stats.Stream) (*Profile, error) {
+	return SweepFractionsCtx(context.Background(), spec, opts, stream)
+}
+
+// SweepFractionsCtx is SweepFractions with cancellation, running the
+// three-stage pipeline: plan the sweep's tasks (internal/plan), materialise
+// the deduplicated detector work unit in the column store, then estimate
+// every task from stored columns. A done ctx aborts between (and inside)
+// stages; no partial profile is returned.
+func SweepFractionsCtx(ctx context.Context, spec *Spec, opts SweepOptions, stream *stats.Stream) (*Profile, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -61,65 +74,58 @@ func SweepFractions(spec *Spec, opts SweepOptions, stream *stats.Stream) (*Profi
 	if err := base.Validate(spec.Model); err != nil {
 		return nil, err
 	}
-	randomOnly := base.IsRandomOnly(spec.Model)
-	if !randomOnly && opts.Correction == nil {
+	if !base.IsRandomOnly(spec.Model) && opts.Correction == nil {
 		return nil, fmt.Errorf("profile: sweep over non-random setting %v requires a correction set", base)
 	}
 
-	admissible := degrade.AdmissibleFrames(spec.Video, opts.Restricted)
-	perm := stream.Perm(len(admissible))
-	resolution := base.ResolveResolution(spec.Model)
-	n := spec.Video.NumFrames()
-
-	prof := &Profile{
-		VideoName: spec.Video.Config.Name,
-		ModelName: spec.Model.Name,
-		Class:     spec.Class,
-		Agg:       spec.Agg,
+	sw, err := plan.BuildSweep(ctx, spec.Video, spec.Model, plan.SweepSpec{
+		Fractions:  opts.Fractions,
+		Resolution: opts.Resolution,
+		Restricted: opts.Restricted,
+	}, stream)
+	if err != nil {
+		return nil, err
 	}
-
-	// Materialise the nested plan for every feasible fraction up front; the
-	// estimate of each point is then a pure function of its plan.
-	var plans []*degrade.Plan
-	for _, f := range opts.Fractions {
-		want := int(float64(n)*f + 0.5)
-		if want < 1 {
-			want = 1
-		}
-		if want > len(admissible) {
-			break // remaining fractions are infeasible under image removal
-		}
-		setting := degrade.Setting{SampleFraction: f, Resolution: opts.Resolution, Restricted: opts.Restricted}
-		plan := &degrade.Plan{
-			Setting:    setting,
-			Resolution: resolution,
-			Admissible: admissible,
-			Total:      n,
-		}
-		plan.Sampled = make([]int, want)
-		for i := 0; i < want; i++ {
-			plan.Sampled[i] = admissible[perm[i]]
-		}
-		plans = append(plans, plan)
-	}
-	if len(plans) == 0 {
+	if len(sw.Tasks) == 0 {
 		return nil, fmt.Errorf("profile: no feasible fraction under %v (admissible pool %d of %d)",
-			base, len(admissible), n)
+			base, len(sw.Admissible), spec.Video.NumFrames())
 	}
-	repaired := opts.Correction != nil && !randomOnly
+	return spec.execSweep(ctx, sw, opts)
+}
 
-	if workers := parallel.Workers(opts.Parallelism); workers > 1 && opts.EarlyStopDelta <= 0 {
-		// Early stopping decides each point from its predecessor's bound,
-		// so only non-stopping sweeps fan out. Points land in their
-		// per-index slots; the assembled profile is identical to the
-		// sequential order.
-		points, err := parallel.Map(len(plans), workers, func(i int) (Point, error) {
-			est, err := spec.estimatePlan(plans[i], opts.Correction)
+// execSweep is the executor for one planned sweep: the detect and estimate
+// stages of the pipeline. Without early stopping the stages are distinct —
+// one Ensure call materialises the sweep's single deduplicated work unit
+// (the largest task's frame set; nesting makes every smaller task a
+// prefix), then tasks fan out over the worker pool reading stored columns.
+// Early stopping is inherently sequential and lazy: each point's detector
+// work happens on demand so stopping actually saves invocations, and the
+// interleaved detection is attributed to the estimate stage.
+func (s *Spec) execSweep(ctx context.Context, sw *plan.Sweep, opts SweepOptions) (*Profile, error) {
+	prof := &Profile{
+		VideoName: s.Video.Config.Name,
+		ModelName: s.Model.Name,
+		Class:     s.Class,
+		Agg:       s.Agg,
+	}
+	repaired := opts.Correction != nil && !sw.RandomOnly
+
+	if opts.EarlyStopDelta <= 0 {
+		t0 := time.Now()
+		if err := outputs.Ensure(ctx, s.Video, s.Model, s.Class, sw.Resolution, sw.Frames()); err != nil {
+			return nil, err
+		}
+		plan.AddDetectTime(time.Since(t0))
+
+		t1 := time.Now()
+		points, err := parallel.MapCtx(ctx, len(sw.Tasks), parallel.Workers(opts.Parallelism), func(i int) (Point, error) {
+			est, err := s.estimatePlan(ctx, sw.Tasks[i].Plan, opts.Correction)
 			if err != nil {
 				return Point{}, err
 			}
-			return Point{Setting: plans[i].Setting, Estimate: est, Repaired: repaired}, nil
+			return Point{Setting: sw.Tasks[i].Plan.Setting, Estimate: est, Repaired: repaired}, nil
 		})
+		plan.AddEstimateTime(time.Since(t1))
 		if err != nil {
 			return nil, err
 		}
@@ -128,17 +134,22 @@ func SweepFractions(spec *Spec, opts SweepOptions, stream *stats.Stream) (*Profi
 	}
 
 	prevBound := math.Inf(1)
-	for _, plan := range plans {
-		est, err := spec.estimatePlan(plan, opts.Correction)
+	for _, task := range sw.Tasks {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		est, err := s.estimatePlan(ctx, task.Plan, opts.Correction)
+		plan.AddEstimateTime(time.Since(t0))
 		if err != nil {
 			return nil, err
 		}
 		prof.Points = append(prof.Points, Point{
-			Setting:  plan.Setting,
+			Setting:  task.Plan.Setting,
 			Estimate: est,
 			Repaired: repaired,
 		})
-		if opts.EarlyStopDelta > 0 && prevBound-est.ErrBound < opts.EarlyStopDelta && est.ErrBound < 1 {
+		if prevBound-est.ErrBound < opts.EarlyStopDelta && est.ErrBound < 1 {
 			break
 		}
 		prevBound = est.ErrBound
@@ -172,12 +183,12 @@ type HypercubeOptions struct {
 	// EarlyStopDelta applies the paper's early stopping to every fraction
 	// sweep (unevaluated cells stay NaN). Zero disables it.
 	EarlyStopDelta float64
-	// Parallelism bounds the worker goroutines that evaluate (combo,
-	// resolution) cells concurrently: 1 is sequential, 0 or negative means
-	// one worker per CPU. Every cell derives its randomness from a
-	// stats.Stream child keyed by its grid coordinates and writes bounds
-	// into its own row, so the hypercube is bit-for-bit identical at any
-	// worker count and under any worker completion order.
+	// Parallelism bounds the worker goroutines that materialise work units
+	// and evaluate (combo, resolution) cells concurrently: 1 is sequential,
+	// 0 or negative means one worker per CPU. Every cell derives its
+	// randomness from a stats.Stream child keyed by its grid coordinates
+	// and writes bounds into its own row, so the hypercube is bit-for-bit
+	// identical at any worker count and under any worker completion order.
 	Parallelism int
 }
 
@@ -196,70 +207,100 @@ func GenerateHypercube(spec *Spec, fractions []float64, corr *estimate.Correctio
 
 // GenerateHypercubeOpts evaluates the full candidate grid (Problem 2). A
 // correction set is required because the grid includes non-random
-// interventions. Cells fan out across opts.Parallelism workers; the model
-// output caches in internal/detect dedupe the underlying detector work, so
-// the dominant cost parallelises across the degradation settings while the
-// profile itself stays deterministic.
+// interventions.
 func GenerateHypercubeOpts(spec *Spec, opts HypercubeOptions, stream *stats.Stream) (*Hypercube, error) {
+	return GenerateHypercubeCtx(context.Background(), spec, opts, stream)
+}
+
+// GenerateHypercubeCtx runs the full plan/execute pipeline over the grid.
+// Planning enumerates every cell's sweep up front (one presence protocol
+// per restricted class, one nested sample per cell); the detect stage
+// dedups the cells' detector work into per-resolution units — the frames
+// several class combos share are evaluated once — and materialises them in
+// the column store; the estimate stage then computes every cell's row from
+// stored columns. Cells whose estimates fail render as NaN rows (matching
+// the legacy behaviour for infeasible cells), but a cancelled ctx aborts
+// the whole generation: detector work stops and an error is returned so
+// callers never persist a partial hypercube.
+func GenerateHypercubeCtx(ctx context.Context, spec *Spec, opts HypercubeOptions, stream *stats.Stream) (*Hypercube, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
 	if opts.Correction == nil {
 		return nil, fmt.Errorf("profile: hypercube generation requires a correction set")
 	}
-	combos := degrade.ClassCombos()
-	resolutions := degrade.CandidateResolutions(spec.Model)
+	hp, err := plan.BuildHypercube(ctx, spec.Video, spec.Model, opts.Fractions, stream)
+	if err != nil {
+		return nil, err
+	}
 	cube := &Hypercube{
 		VideoName:   spec.Video.Config.Name,
 		ModelName:   spec.Model.Name,
 		Class:       spec.Class,
 		Agg:         spec.Agg,
 		Fractions:   opts.Fractions,
-		Resolutions: resolutions,
-		Combos:      combos,
+		Resolutions: hp.Resolutions,
+		Combos:      hp.Combos,
 	}
-	for range combos {
-		cube.Bounds = append(cube.Bounds, make([][]float64, len(resolutions)))
+	for range hp.Combos {
+		cube.Bounds = append(cube.Bounds, make([][]float64, len(hp.Resolutions)))
 	}
 
-	// One task per (combo, resolution) cell. Each task owns its row and its
-	// stream child, so tasks share no mutable state; image-removal combos
-	// additionally share the detect caches, which are safe and
-	// deterministic under concurrency.
-	type cell struct{ ci, ri int }
-	cells := make([]cell, 0, len(combos)*len(resolutions))
-	for ci := range combos {
-		for ri := range resolutions {
-			cells = append(cells, cell{ci, ri})
+	if opts.EarlyStopDelta <= 0 {
+		// Detect stage: materialise the deduplicated per-resolution work
+		// units. Early-stopping sweeps skip this — they must detect lazily,
+		// point by point, or stopping would save nothing.
+		units := hp.Units()
+		t0 := time.Now()
+		err := parallel.ForCtx(ctx, len(units), opts.Parallelism, func(i int) error {
+			return outputs.Ensure(ctx, spec.Video, spec.Model, spec.Class, units[i].Resolution, units[i].Frames)
+		})
+		plan.AddDetectTime(time.Since(t0))
+		if err != nil {
+			return nil, err
 		}
 	}
-	parallel.For(len(cells), opts.Parallelism, func(k int) {
-		ci, ri := cells[k].ci, cells[k].ri
+
+	// Estimate stage: one task per planned cell, each owning its row.
+	err = parallel.ForCtx(ctx, len(hp.Cells), opts.Parallelism, func(k int) error {
+		cell := &hp.Cells[k]
 		row := make([]float64, len(opts.Fractions))
 		for fi := range row {
 			row[fi] = math.NaN()
 		}
-		prof, err := SweepFractions(spec, SweepOptions{
-			Fractions:      opts.Fractions,
-			Resolution:     resolutions[ri],
-			Restricted:     combos[ci],
-			Correction:     opts.Correction,
-			EarlyStopDelta: opts.EarlyStopDelta,
-			// The grid is the outer fan-out; keep each sweep sequential so
-			// concurrency stays bounded by opts.Parallelism.
-			Parallelism: 1,
-		}, stream.ChildN(uint64(ci), uint64(ri)))
-		if err == nil {
-			for _, pt := range prof.Points {
-				for fi, f := range opts.Fractions {
-					if f == pt.Setting.SampleFraction {
-						row[fi] = pt.Estimate.ErrBound
+		if cell.Sweep != nil {
+			prof, err := spec.execSweep(ctx, cell.Sweep, SweepOptions{
+				Fractions:      opts.Fractions,
+				Resolution:     hp.Resolutions[cell.RI],
+				Restricted:     hp.Combos[cell.CI],
+				Correction:     opts.Correction,
+				EarlyStopDelta: opts.EarlyStopDelta,
+				// The grid is the outer fan-out; keep each sweep sequential
+				// so concurrency stays bounded by opts.Parallelism.
+				Parallelism: 1,
+			})
+			if err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				// Estimator failures render as a NaN row, like the legacy
+				// per-cell sweep failures.
+			} else {
+				for _, pt := range prof.Points {
+					for fi, f := range opts.Fractions {
+						if f == pt.Setting.SampleFraction {
+							row[fi] = pt.Estimate.ErrBound
+						}
 					}
 				}
 			}
 		}
-		cube.Bounds[ci][ri] = row
+		cube.Bounds[cell.CI][cell.RI] = row
+		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	return cube, nil
 }
 

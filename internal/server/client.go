@@ -132,6 +132,30 @@ func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 	return &status, nil
 }
 
+// CancelJob asks the daemon to cancel a job (DELETE /v1/jobs/{id}) and
+// returns the job's status after the request. Canceling a terminal job is
+// a no-op; a running job may still report "running" until its pipeline
+// unwinds — poll Job to observe the canceled state.
+func (c *Client) CancelJob(ctx context.Context, id string) (*JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/jobs/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var status JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
 // awaitJob polls a job until it reaches a terminal state.
 func (c *Client) awaitJob(ctx context.Context, id string) error {
 	interval := c.PollInterval
@@ -150,6 +174,8 @@ func (c *Client) awaitJob(ctx context.Context, id string) error {
 			return nil
 		case JobFailed:
 			return fmt.Errorf("server: job %s failed: %s", id, status.Error)
+		case JobCanceled:
+			return fmt.Errorf("server: job %s canceled: %s", id, status.Error)
 		}
 		select {
 		case <-ctx.Done():

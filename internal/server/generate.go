@@ -8,6 +8,7 @@ import (
 
 	"smokescreen/internal/core"
 	"smokescreen/internal/degrade"
+	"smokescreen/internal/plan"
 	"smokescreen/internal/profile"
 	"smokescreen/internal/query"
 	"smokescreen/internal/stats"
@@ -98,7 +99,7 @@ func (g *SystemGenerator) resolve(req GenRequest) (*query.Query, *profile.Spec, 
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	return q, spec, degrade.CandidateFractions(req.Step, req.MaxFraction), nil
+	return q, spec, plan.CandidateFractions(req.Step, req.MaxFraction), nil
 }
 
 // Key implements Generator.
@@ -153,19 +154,25 @@ func (g *SystemGenerator) Generate(ctx context.Context, req GenRequest) ([]byte,
 	}
 	if !base.IsRandomOnly(spec.Model) {
 		// Non-random axes need a correction set for sound bounds.
-		corr, err := profile.ConstructCorrection(spec, limit, stats.NewStream(req.Seed).Child(1))
+		corr, err := profile.ConstructCorrectionCtx(ctx, spec, limit, stats.NewStream(req.Seed).Child(1))
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("server: constructing correction set: %w", err)
 		}
 		opts.Correction = corr.Correction
 	}
-	prof, err := sys.SweepProfile(q, opts)
+	// ctx is threaded through the whole plan/execute pipeline: a canceled
+	// job stops detector work mid-sweep and returns the context error, so
+	// no partial profile is ever serialized or stored.
+	prof, err := sys.SweepProfileCtx(ctx, q, opts)
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		// The sweep is not cancellable mid-flight; drop the result rather
-		// than publish after the caller's deadline.
+		// Cancel raced the sweep's completion; drop the result rather than
+		// publish after the caller's deadline.
 		return nil, err
 	}
 	var buf bytes.Buffer

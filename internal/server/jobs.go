@@ -1,13 +1,16 @@
 package server
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"time"
 )
 
 // JobState is a generation job's lifecycle position. The state machine is
-// linear: queued -> running -> {done | failed}. Jobs never retry in place;
-// a failed key is retried by the next POST that misses the store.
+// linear: queued -> running -> {done | failed | canceled}. Jobs never
+// retry in place; a failed or canceled key is retried by the next POST
+// that misses the store.
 type JobState string
 
 const (
@@ -15,7 +18,16 @@ const (
 	JobRunning JobState = "running"
 	JobDone    JobState = "done"
 	JobFailed  JobState = "failed"
+	// JobCanceled marks a job stopped before producing its artifact: a
+	// client DELETEd it, or the job deadline fired. Distinct from failed —
+	// nothing went wrong with the generation itself.
+	JobCanceled JobState = "canceled"
 )
+
+// terminal reports whether a state is final.
+func terminal(s JobState) bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
 
 // Job is one asynchronous profile generation. All mutable fields are
 // guarded by the owning jobSet's mutex; done is closed exactly once on
@@ -35,6 +47,10 @@ type Job struct {
 	started   time.Time
 	finished  time.Time
 	coalesced int // requests that attached to this job beyond the first
+
+	// cancel stops the running generation's context; set by start, nil
+	// while queued (a queued job cancels by state transition alone).
+	cancel context.CancelFunc
 
 	done chan struct{}
 }
@@ -125,7 +141,7 @@ func (js *jobSet) evictLocked() {
 				evicted = true
 				break
 			}
-			if job.state == JobDone || job.state == JobFailed {
+			if terminal(job.state) {
 				delete(js.byID, id)
 				js.history = append(js.history[:i], js.history[i+1:]...)
 				evicted = true
@@ -153,23 +169,66 @@ func (js *jobSet) abandon(job *Job) {
 	}
 }
 
-// start transitions a job to running.
-func (js *jobSet) start(job *Job, now time.Time) {
+// start transitions a job to running and arms its cancel func. It
+// returns false when the job was canceled while still queued — the worker
+// must skip it without running the generation (the cancel path already
+// finalized the job).
+func (js *jobSet) start(job *Job, now time.Time, cancel context.CancelFunc) bool {
 	js.mu.Lock()
 	defer js.mu.Unlock()
+	if job.state != JobQueued {
+		return false
+	}
 	job.state = JobRunning
 	job.started = now
+	job.cancel = cancel
+	return true
+}
+
+// cancel stops a job: a queued job transitions straight to canceled, a
+// running one has its context canceled (the worker's finish maps the
+// resulting context error to canceled). Terminal jobs are left alone, so
+// DELETE is idempotent. It reports whether this call initiated a
+// cancellation.
+func (js *jobSet) cancel(job *Job, now time.Time) bool {
+	js.mu.Lock()
+	switch job.state {
+	case JobQueued:
+		job.state = JobCanceled
+		job.err = context.Canceled.Error()
+		job.finished = now
+		delete(js.active, job.Key)
+		js.mu.Unlock()
+		close(job.done)
+		return true
+	case JobRunning:
+		cancel := job.cancel
+		js.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return true
+	default:
+		js.mu.Unlock()
+		return false
+	}
 }
 
 // finish transitions a job to its terminal state, releases the key for
-// future requests, and wakes every waiter.
+// future requests, and wakes every waiter. Context cancellation and
+// deadline expiry finish as canceled, not failed: the generation itself
+// did nothing wrong, and operators alert on failure counts.
 func (js *jobSet) finish(job *Job, genErr error, now time.Time) {
 	js.mu.Lock()
-	if genErr != nil {
+	switch {
+	case genErr == nil:
+		job.state = JobDone
+	case errors.Is(genErr, context.Canceled) || errors.Is(genErr, context.DeadlineExceeded):
+		job.state = JobCanceled
+		job.err = genErr.Error()
+	default:
 		job.state = JobFailed
 		job.err = genErr.Error()
-	} else {
-		job.state = JobDone
 	}
 	job.finished = now
 	delete(js.active, job.Key)
@@ -203,7 +262,7 @@ func (js *jobSet) status(job *Job) JobStatus {
 }
 
 // counts reports how many tracked jobs are in each state.
-func (js *jobSet) counts() (queued, running, done, failed int) {
+func (js *jobSet) counts() (queued, running, done, failed, canceled int) {
 	js.mu.Lock()
 	defer js.mu.Unlock()
 	for _, job := range js.byID {
@@ -216,6 +275,8 @@ func (js *jobSet) counts() (queued, running, done, failed int) {
 			done++
 		case JobFailed:
 			failed++
+		case JobCanceled:
+			canceled++
 		}
 	}
 	return

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 
 	"smokescreen/internal/detect"
+	"smokescreen/internal/outputs"
+	"smokescreen/internal/plan"
 	"smokescreen/internal/store"
 	"smokescreen/internal/transport"
 )
@@ -15,13 +17,15 @@ import (
 // the hot paths never contend on a metrics lock; gauges (queue depth, job
 // states) are sampled at render time instead of tracked.
 type metrics struct {
-	httpRequests       atomic.Int64
-	profilesServed     atomic.Int64 // 200 responses carrying profile JSON
-	generations        atomic.Int64 // Generate calls started
-	generationFailures atomic.Int64
-	coalesced          atomic.Int64 // requests attached to an in-flight job
-	rejectedQueueFull  atomic.Int64 // 429s
-	rejectedDraining   atomic.Int64 // 503s
+	httpRequests        atomic.Int64
+	profilesServed      atomic.Int64 // 200 responses carrying profile JSON
+	generations         atomic.Int64 // Generate calls started
+	generationFailures  atomic.Int64
+	generationsCanceled atomic.Int64 // generations stopped by cancel/deadline
+	cancellations       atomic.Int64 // DELETE /v1/jobs cancel requests honored
+	coalesced           atomic.Int64 // requests attached to an in-flight job
+	rejectedQueueFull   atomic.Int64 // 429s
+	rejectedDraining    atomic.Int64 // 503s
 }
 
 // render writes the metrics in the Prometheus text exposition format
@@ -29,16 +33,24 @@ type metrics struct {
 // store, detector, and transport layers contribute their own counters so
 // one scrape covers the whole daemon.
 func (m *metrics) render(w io.Writer, queueDepth, queueCap int, jobs *jobSet, st *store.Store) {
-	queued, running, done, failed := jobs.counts()
+	queued, running, done, failed, canceled := jobs.counts()
 	stats := st.Stats()
 	tr := transport.Totals()
 	dc := detect.Stats()
+	oc := outputs.ReadStats()
+	sg := plan.Stages()
 
+	var dedup int64
+	if outputs.Sharing() {
+		dedup = 1
+	}
 	samples := map[string]int64{
 		"smokescreend_http_requests_total":               m.httpRequests.Load(),
 		"smokescreend_profiles_served_total":             m.profilesServed.Load(),
 		"smokescreend_generations_total":                 m.generations.Load(),
 		"smokescreend_generation_failures_total":         m.generationFailures.Load(),
+		"smokescreend_generations_canceled_total":        m.generationsCanceled.Load(),
+		"smokescreend_job_cancellations_total":           m.cancellations.Load(),
 		"smokescreend_requests_coalesced_total":          m.coalesced.Load(),
 		"smokescreend_rejected_queue_full_total":         m.rejectedQueueFull.Load(),
 		"smokescreend_rejected_draining_total":           m.rejectedDraining.Load(),
@@ -48,6 +60,17 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, jobs *jobSet, st
 		"smokescreend_jobs_running":                      int64(running),
 		"smokescreend_jobs_done":                         int64(done),
 		"smokescreend_jobs_failed":                       int64(failed),
+		"smokescreend_jobs_canceled":                     int64(canceled),
+		"smokescreend_detect_dedup_enabled":              dedup,
+		"smokescreend_outputs_tables":                    int64(oc.Tables),
+		"smokescreend_outputs_frames_detected_total":     oc.FramesDetected,
+		"smokescreend_outputs_frame_hits_total":          oc.FrameHits,
+		"smokescreend_stage_plan_ns_total":               sg.PlanNS,
+		"smokescreend_stage_detect_ns_total":             sg.DetectNS,
+		"smokescreend_stage_estimate_ns_total":           sg.EstimateNS,
+		"smokescreend_stage_tasks_planned_total":         sg.Tasks,
+		"smokescreend_stage_units_planned_total":         sg.Units,
+		"smokescreend_stage_dedup_saved_frames_total":    sg.DedupSavedFrames,
 		"smokescreend_store_cache_hits_total":            stats.Hits,
 		"smokescreend_store_disk_hits_total":             stats.DiskHits,
 		"smokescreend_store_misses_total":                stats.Misses,

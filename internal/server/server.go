@@ -12,6 +12,7 @@
 //	POST /v1/profiles        request generation (sync by default;
 //	                         "async": true returns 202 + job id)
 //	GET  /v1/jobs/{id}       job lifecycle status
+//	DELETE /v1/jobs/{id}     cancel a queued or running job
 //	GET  /healthz            liveness (reports draining)
 //	GET  /metrics            Prometheus-style counters
 //
@@ -177,22 +178,32 @@ func (s *Server) enqueue(key, canonical string, req GenRequest) (*Job, error) {
 	}
 }
 
-// run executes one generation job.
+// run executes one generation job. The job's context is cancellable two
+// ways — the job deadline and DELETE /v1/jobs/{id} — and the generator
+// threads it through the plan/execute pipeline, so cancellation stops
+// detector work promptly and nothing partial reaches the store.
 func (s *Server) run(job *Job) {
-	s.jobs.start(job, time.Now())
-	s.metrics.generations.Add(1)
-	s.cfg.Logf("job %s: generating key %s (%s)", job.ID, job.Key, job.Query)
 	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
 	defer cancel()
+	if !s.jobs.start(job, time.Now(), cancel) {
+		// Canceled while queued; the cancel path already finalized it.
+		return
+	}
+	s.metrics.generations.Add(1)
+	s.cfg.Logf("job %s: generating key %s (%s)", job.ID, job.Key, job.Query)
 	payload, err := s.gen.Generate(ctx, job.req)
 	if err == nil {
 		err = s.store.Put(job.Key, payload)
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+		s.cfg.Logf("job %s: done (%d bytes)", job.ID, len(payload))
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.metrics.generationsCanceled.Add(1)
+		s.cfg.Logf("job %s: canceled: %v", job.ID, err)
+	default:
 		s.metrics.generationFailures.Add(1)
 		s.cfg.Logf("job %s: failed: %v", job.ID, err)
-	} else {
-		s.cfg.Logf("job %s: done (%d bytes)", job.ID, len(payload))
 	}
 	s.jobs.finish(job, err, time.Now())
 }
@@ -222,6 +233,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/profiles/{key}", s.handleGetProfile)
 	mux.HandleFunc("POST /v1/profiles", s.handlePostProfile)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -334,8 +346,12 @@ func (s *Server) handlePostProfile(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	status := s.jobs.status(job)
-	if status.State == JobFailed {
+	switch status.State {
+	case JobFailed:
 		writeError(w, http.StatusBadGateway, fmt.Errorf("server: generation failed: %s", status.Error))
+		return
+	case JobCanceled:
+		writeError(w, http.StatusBadGateway, fmt.Errorf("server: generation canceled: %s", status.Error))
 		return
 	}
 	payload, err := s.store.Get(key)
@@ -351,6 +367,25 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("server: unknown job"))
 		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.status(job))
+}
+
+// handleDeleteJob cancels a job. Queued jobs finish immediately as
+// canceled; running ones have their generation context canceled and reach
+// the canceled state when the pipeline unwinds (the response reports the
+// state at return time, so a still-unwinding job may read "running").
+// Deleting a terminal job is a no-op, and the job stays queryable until
+// history evicts it — DELETE is safe to retry.
+func (s *Server) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown job"))
+		return
+	}
+	if s.jobs.cancel(job, time.Now()) {
+		s.metrics.cancellations.Add(1)
+		s.cfg.Logf("job %s: cancel requested", job.ID)
 	}
 	writeJSON(w, http.StatusOK, s.jobs.status(job))
 }
