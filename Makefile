@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-race bench bench-kernels bench-json figures figures-quick examples serve-smoke clean
+.PHONY: build lint test test-race fuzz-smoke ci bench bench-kernels bench-json figures figures-quick examples serve-smoke clean
 
 # Pinned staticcheck version: `make lint` refuses other versions rather
 # than drift between hosts. staticcheck is optional — hermetic builders
@@ -12,8 +12,14 @@ STATICCHECK_VERSION ?= 2025.1
 build:
 	$(GO) build ./...
 
+# lint layers three gates: go vet, the repo's own smokevet analyzer suite
+# (determinism, poolhygiene, ctxflow, atomiccounter — see DESIGN.md §10),
+# and optionally a version-pinned staticcheck. smokevet is built from this
+# repo, so it always runs; a finding fails the build with
+# `file:line: [analyzer] message`.
 lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/smokevet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		got=$$(staticcheck -version 2>/dev/null | head -n1); \
 		case "$$got" in \
@@ -38,8 +44,21 @@ test-race:
 	$(GO) test -race ./internal/parallel/ ./internal/detect/ ./internal/raster/ \
 		./internal/profile/ ./internal/core/ ./internal/scene/ \
 		./internal/transport/ ./internal/camera/ ./internal/degrade/ \
-		./internal/store/ ./internal/server/ ./internal/outputs/ ./internal/plan/
+		./internal/store/ ./internal/server/ ./internal/outputs/ ./internal/plan/ \
+		./internal/estimate/ ./internal/fleet/ ./internal/query/ ./internal/stats/
 	$(GO) test -race -run 'Parallel' ./internal/experiments/
+
+# Short fuzz pass over the two on-disk decoders whose inputs can be torn
+# or tampered: the store's JSON envelope and the SOUT v2 column tables.
+# ~10s per target keeps it cheap enough to ride in CI; longer local runs:
+#   go test -run '^$$' -fuzz FuzzEnvelopeDecode ./internal/store/
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzEnvelopeDecode -fuzztime 10s ./internal/store/
+	$(GO) test -run '^$$' -fuzz FuzzOutputsDecode -fuzztime 10s ./internal/outputs/
+
+# The full CI gate with per-stage timing (scripts/ci.sh).
+ci:
+	sh ./scripts/ci.sh
 
 # One testing.B benchmark per paper figure/claim plus micro-benchmarks.
 bench:

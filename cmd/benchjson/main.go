@@ -110,6 +110,12 @@ func main() {
 func parse(sc *bufio.Scanner) (*report, error) {
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	rep := &report{}
+	// A duplicate (pkg, name, procs) result means two runs were piped into
+	// one artifact (e.g. a re-run appended to a stale bench.tmp); the JSON
+	// would silently carry both and regression diffs would pick one at
+	// random, so reject the input instead.
+	pkg := ""
+	seen := map[string]bool{}
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
@@ -119,11 +125,17 @@ func parse(sc *bufio.Scanner) (*report, error) {
 			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
 		case strings.HasPrefix(line, "pkg:"):
 			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			pkg = rep.Pkg
 		case strings.HasPrefix(line, "cpu:"):
 			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
 			b, ok := parseBenchLine(line)
 			if ok {
+				key := fmt.Sprintf("%s\x00%s\x00%d", pkg, b.Name, b.Procs)
+				if seen[key] {
+					return nil, fmt.Errorf("duplicate benchmark %s-%d in pkg %q: input mixes two runs, regenerate it from one `go test -bench` pass", b.Name, b.Procs, pkg)
+				}
+				seen[key] = true
 				rep.Benchmarks = append(rep.Benchmarks, b)
 			}
 		}

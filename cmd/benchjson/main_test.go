@@ -68,6 +68,39 @@ func TestParse(t *testing.T) {
 	}
 }
 
+func TestParseRejectsDuplicateBenchmarks(t *testing.T) {
+	// The same (pkg, name, procs) twice means two runs were piped into one
+	// artifact; regression diffs would pick one at random.
+	dup := `pkg: smokescreen
+BenchmarkEstimateAVG-8   	   10000	     11234 ns/op
+BenchmarkEstimateAVG-8   	   10000	     99999 ns/op
+`
+	if _, err := parse(bufio.NewScanner(strings.NewReader(dup))); err == nil {
+		t.Fatal("duplicate benchmark accepted")
+	} else if !strings.Contains(err.Error(), "duplicate benchmark BenchmarkEstimateAVG-8") {
+		t.Fatalf("unhelpful duplicate error: %v", err)
+	}
+
+	// Same name at different GOMAXPROCS is a legitimate -cpu sweep.
+	procs := `pkg: smokescreen
+BenchmarkEstimateAVG-4   	   10000	     11234 ns/op
+BenchmarkEstimateAVG-8   	   10000	      9876 ns/op
+`
+	if _, err := parse(bufio.NewScanner(strings.NewReader(procs))); err != nil {
+		t.Fatalf("-cpu sweep rejected: %v", err)
+	}
+
+	// Same name in different packages is a legitimate multi-package run.
+	pkgs := `pkg: smokescreen/internal/raster
+BenchmarkKernel-8   	   10000	     11234 ns/op
+pkg: smokescreen/internal/detect
+BenchmarkKernel-8   	   10000	      9876 ns/op
+`
+	if _, err := parse(bufio.NewScanner(strings.NewReader(pkgs))); err != nil {
+		t.Fatalf("multi-package run rejected: %v", err)
+	}
+}
+
 func TestParseEmptyFails(t *testing.T) {
 	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok\n"))); err == nil {
 		t.Fatal("empty input accepted")

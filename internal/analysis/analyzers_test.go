@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// One loader shared across the fixture tests: the source importer caches
+// type-checked dependencies, so the stdlib is checked once, not per test.
+var fixtureLoader = NewLoader()
+
+func runFixtureTest(t *testing.T, a *Analyzer) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", a.Name)
+	res, err := RunFixture(fixtureLoader, a, dir)
+	if err != nil {
+		t.Fatalf("RunFixture(%s): %v", a.Name, err)
+	}
+	if res.Failed() {
+		t.Fatalf("fixture mismatches for %s:\n%s", a.Name, res)
+	}
+}
+
+func TestDeterminismFixture(t *testing.T)   { runFixtureTest(t, Determinism) }
+func TestPoolhygieneFixture(t *testing.T)   { runFixtureTest(t, Poolhygiene) }
+func TestCtxflowFixture(t *testing.T)       { runFixtureTest(t, Ctxflow) }
+func TestAtomiccounterFixture(t *testing.T) { runFixtureTest(t, Atomiccounter) }
+
+// TestFixturesDetectDisabledCheck pins the property the acceptance bar
+// depends on: a neutered analyzer (Run reports nothing) must FAIL its
+// fixture — the want comments go unmatched. Without this, a regression
+// that silently disables a check would sail through the fixture tests.
+func TestFixturesDetectDisabledCheck(t *testing.T) {
+	for _, a := range Analyzers() {
+		neutered := &Analyzer{Name: a.Name, Doc: a.Doc, Run: func(*Pass) error { return nil }}
+		res, err := RunFixture(fixtureLoader, neutered, filepath.Join("testdata", "src", a.Name))
+		if err != nil {
+			t.Fatalf("RunFixture(neutered %s): %v", a.Name, err)
+		}
+		if !res.Failed() {
+			t.Errorf("%s fixture passes with the check disabled; fixtures must pin behaviour", a.Name)
+		}
+	}
+}
+
+// TestAnalyzersRegistered pins the suite roster: dropping an analyzer from
+// the registry would silently stop enforcing its invariant repo-wide.
+func TestAnalyzersRegistered(t *testing.T) {
+	want := map[string]bool{"determinism": true, "poolhygiene": true, "ctxflow": true, "atomiccounter": true}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for _, a := range got {
+		if !want[a.Name] {
+			t.Errorf("unexpected analyzer %q in registry", a.Name)
+		}
+		if !knownAnalyzers[a.Name] {
+			t.Errorf("analyzer %q is not in knownAnalyzers: scoped suppressions for it would not parse", a.Name)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the repo's reproducibility contract: profile,
+// estimate, plan, and output generation must be a pure function of
+// (corpus seed, model, setting, stats.Stream) — the property the
+// parallel-determinism tests pin (bit-identical profiles at any worker
+// count) and the content-addressed store depends on (equal requests must
+// produce equal bytes).
+//
+// Three sources of silent nondeterminism are flagged inside the
+// generation-path packages:
+//
+//  1. Wall-clock reads: time.Now and time.Since. Stage accounting that
+//     genuinely needs wall time lives behind the suppressed timers in
+//     internal/plan/stages.go; anything else is a determinism bug.
+//  2. The global math/rand (and math/rand/v2) source. All generation
+//     randomness must come from a seeded stats.Stream.
+//  3. Slice appends ordered by map iteration: `for k := range m` feeding
+//     an append to a slice declared outside the loop bakes Go's random
+//     map order into the output, unless the function visibly sorts the
+//     slice afterwards.
+//
+// Benchmarks, servers, CLIs, and _test.go files are exempt: the analyzer
+// only matches the generation-path packages and the loader never parses
+// test files.
+
+// determinismPackages is the generation-path surface: every package whose
+// computation flows into profile bytes.
+var determinismPackages = map[string]bool{
+	"smokescreen/internal/profile":  true,
+	"smokescreen/internal/estimate": true,
+	"smokescreen/internal/plan":     true,
+	"smokescreen/internal/outputs":  true,
+	"smokescreen/internal/degrade":  true,
+	"smokescreen/internal/detect":   true,
+	"smokescreen/internal/raster":   true,
+	"smokescreen/internal/scene":    true,
+	"smokescreen/internal/stats":    true,
+	"smokescreen/internal/evaluate": true,
+	"smokescreen/internal/parallel": true,
+	"smokescreen/internal/query":    true,
+}
+
+// Determinism is the determinism analyzer.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc: "flag wall-clock reads, global math/rand, and map-iteration-ordered " +
+		"slice writes in the profile/estimate/plan/outputs generation paths",
+	Match: func(path string) bool { return determinismPackages[path] },
+	Run:   runDeterminism,
+}
+
+func runDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDeterminismCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapOrderedAppends(pass, n.Body)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkDeterminismCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	pkg, name := fn.Pkg().Path(), fn.Name()
+	switch {
+	case pkg == "time" && (name == "Now" || name == "Since"):
+		pass.Report(call.Pos(),
+			"time.%s in a deterministic generation path: profile bytes must not depend on the wall clock (use a stats.Stream for randomness, plan stage timers for accounting)", name)
+	case pkg == "math/rand" || pkg == "math/rand/v2":
+		// Only the package-level convenience functions use the global
+		// source; *rand.Rand methods carry their own explicit seed
+		// (though generation code should prefer stats.Stream anyway).
+		if isPkgFunc(pass.Info, call, pkg, name) {
+			pass.Report(call.Pos(),
+				"global %s.%s draws from the process-wide random source: generation paths must use a seeded stats.Stream", pkg, name)
+		}
+	}
+}
+
+// checkMapOrderedAppends flags `x = append(x, ...)` under `for ... range
+// <map>` when x is declared outside the loop and never sorted later in
+// the same function.
+func checkMapOrderedAppends(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			assign, ok := m.(*ast.AssignStmt)
+			if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+				return true
+			}
+			call, ok := assign.Rhs[0].(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) {
+				return true
+			}
+			lhs, ok := ast.Unparen(assign.Lhs[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.ObjectOf(lhs)
+			if obj == nil {
+				return true
+			}
+			// Declared inside the loop: each iteration owns its slice,
+			// so iteration order cannot leak out through it alone.
+			if rng.Pos() <= obj.Pos() && obj.Pos() <= rng.End() {
+				return true
+			}
+			if sortedAfter(pass, body, rng, obj) {
+				return true
+			}
+			pass.Report(assign.Pos(),
+				"append to %s is ordered by map iteration: sort %s after the loop (or iterate sorted keys) so output does not inherit Go's random map order", obj.Name(), obj.Name())
+			return true
+		})
+		return true
+	})
+}
+
+// isBuiltinAppend reports whether the call invokes the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether, somewhere after the range statement in the
+// same function body, obj is passed to a sort.* or slices.Sort* call, or
+// to a local sorting helper (a callee whose name contains "sort") — the
+// visible "collect then sort" idiom that restores determinism.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sorts := false
+		if fn := calleeFunc(pass.Info, call); fn != nil && fn.Pkg() != nil {
+			p := fn.Pkg().Path()
+			sorts = p == "sort" || p == "slices" ||
+				strings.Contains(strings.ToLower(fn.Name()), "sort")
+		}
+		if !sorts {
+			return true
+		}
+		for _, arg := range call.Args {
+			if objectOf(pass.Info, arg) == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,311 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Poolhygiene guards the pooled-scratch discipline of the detection hot
+// path (internal/raster, internal/detect): every sync.Pool.Get must be
+// paired with a Put, and pooled objects must not leak into long-lived
+// state. A leaked buffer silently regrows the allocation traffic the
+// pools were built to remove; a double-retained one corrupts a later
+// frame evaluation.
+//
+// The codebase uses two sanctioned shapes, both accepted:
+//
+//   - Accessor pairs: get*/put* wrappers where Get's result escapes via
+//     return and the package pairs the pool with a releaser calling Put
+//     (raster.GetScratch/PutScratch, detect.getPlane/putPlane, ...).
+//   - Scoped use: Get with a deferred or explicit Put on the same pool
+//     in the same function (detect.connectedComponents).
+//
+// Everything else is flagged:
+//
+//   - a Get whose result is neither released with a Put on the same pool
+//     in the function nor returned to the caller (a leak);
+//   - a Get whose result escapes via return while the package defines no
+//     Put for that pool (an accessor with no releaser);
+//   - a Get result assigned to a struct field, map/slice element, or
+//     package variable (retention beyond the frame evaluation).
+//
+// The check is per-function and syntactic about paths: it does not prove
+// a Put on *every* return path. That approximation is deliberate — the
+// repo's pools all use defer or straight-line release — and the analyzer
+// errs toward silence rather than noise.
+
+// Poolhygiene is the pool-hygiene analyzer.
+var Poolhygiene = &Analyzer{
+	Name: "poolhygiene",
+	Doc: "flag sync.Pool.Get results that leak (no Put on the same pool, " +
+		"escape into long-lived state, or escape via return with no releaser in the package)",
+	Run: runPoolhygiene,
+}
+
+// poolCall is one Get or Put call site.
+type poolCall struct {
+	call *ast.CallExpr
+	pool types.Object // the sync.Pool variable, if resolvable
+	fn   *ast.FuncDecl
+}
+
+func runPoolhygiene(pass *Pass) error {
+	// Pass 1: locate every Get/Put call and the pool object it targets.
+	var gets, puts []poolCall
+	poolsWithPut := map[types.Object]bool{}
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || !isSyncPoolMethod(pass, sel) {
+					return true
+				}
+				pc := poolCall{call: call, pool: objectOf(pass.Info, sel.X), fn: fd}
+				switch sel.Sel.Name {
+				case "Get":
+					gets = append(gets, pc)
+				case "Put":
+					puts = append(puts, pc)
+					if pc.pool != nil {
+						poolsWithPut[pc.pool] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Pass 2: judge each Get in its enclosing function.
+	for _, g := range gets {
+		tracked := trackedIdents(pass, g.fn.Body, g.call)
+
+		if obj := escapesToState(pass, g.fn.Body, tracked); obj != nil {
+			pass.Report(g.call.Pos(),
+				"sync.Pool.Get result is stored in long-lived state through %q: pooled scratch must not outlive the call that drew it", obj.Name())
+			continue
+		}
+		if returnsTracked(pass, g.fn.Body, tracked) || returnsCall(g.fn.Body, g.call) {
+			// Accessor shape: escaping via return is the sanctioned way to
+			// hand scratch to a caller, but only if the package pairs the
+			// pool with a releaser the caller can use.
+			if g.pool != nil && !poolsWithPut[g.pool] {
+				pass.Report(g.call.Pos(),
+					"sync.Pool.Get result escapes via return but package %s defines no Put for pool %q: callers cannot release it", pass.Pkg.Name(), g.pool.Name())
+			}
+			continue
+		}
+		if !putsSamePool(puts, g) {
+			name := "the pool"
+			if g.pool != nil {
+				name = g.pool.Name()
+			}
+			pass.Report(g.call.Pos(),
+				"sync.Pool.Get result is neither released with %s.Put in this function nor returned to a caller: the buffer leaks from the pool", name)
+		}
+	}
+	return nil
+}
+
+// isSyncPoolMethod reports whether sel selects a method on sync.Pool.
+func isSyncPoolMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	tv, ok := pass.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// trackedIdents collects the local variables that carry the Get result:
+// direct assignment (with or without a type assertion) plus one level of
+// derivation through a type assertion or slice expression of a tracked
+// variable (`v := pool.Get(); s := v.([]T); return s[:n]`).
+func trackedIdents(pass *Pass, body *ast.BlockStmt, get *ast.CallExpr) map[types.Object]bool {
+	tracked := map[types.Object]bool{}
+	var carries func(e ast.Expr) bool
+	carries = func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			return e == get
+		case *ast.TypeAssertExpr:
+			return carries(e.X)
+		case *ast.SliceExpr:
+			return carries(e.X)
+		case *ast.Ident:
+			obj := pass.Info.ObjectOf(e)
+			return obj != nil && tracked[obj]
+		}
+		return false
+	}
+	// Two sweeps so a derivation assigned before its source is still
+	// chained (assignments are in source order in practice; the second
+	// sweep is cheap insurance).
+	for i := 0; i < 2; i++ {
+		ast.Inspect(body, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for j, rhs := range assign.Rhs {
+				if j >= len(assign.Lhs) || !carries(rhs) {
+					continue
+				}
+				if id, ok := ast.Unparen(assign.Lhs[j]).(*ast.Ident); ok {
+					if obj := pass.Info.ObjectOf(id); obj != nil {
+						tracked[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tracked
+}
+
+// mentionsTracked reports whether the expression tree references any
+// tracked object.
+func mentionsTracked(pass *Pass, e ast.Expr, tracked map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.Info.ObjectOf(id); obj != nil && tracked[obj] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// returnsTracked reports whether any return statement references a
+// tracked variable (including inside slice or index expressions).
+func returnsTracked(pass *Pass, body *ast.BlockStmt, tracked map[types.Object]bool) bool {
+	if len(tracked) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if mentionsTracked(pass, res, tracked) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// returnsCall reports whether the Get call itself appears inside a return
+// statement's results — the assignment-free accessor shape
+// `return pool.Get().(T)`.
+func returnsCall(body *ast.BlockStmt, get *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			ast.Inspect(res, func(m ast.Node) bool {
+				if m == ast.Node(get) {
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return found
+}
+
+// escapesToState returns the tracked object assigned to a struct field,
+// index expression, or package-level variable, or nil.
+func escapesToState(pass *Pass, body *ast.BlockStmt, tracked map[types.Object]bool) types.Object {
+	if len(tracked) == 0 {
+		return nil
+	}
+	var escaped types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaped != nil {
+			return false
+		}
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if i >= len(assign.Lhs) {
+				break
+			}
+			rid, ok := ast.Unparen(rhs).(*ast.Ident)
+			if !ok {
+				continue
+			}
+			robj := pass.Info.ObjectOf(rid)
+			if robj == nil || !tracked[robj] {
+				continue
+			}
+			switch lhs := ast.Unparen(assign.Lhs[i]).(type) {
+			case *ast.SelectorExpr, *ast.IndexExpr:
+				escaped = robj
+			case *ast.Ident:
+				if lobj := pass.Info.ObjectOf(lhs); lobj != nil && isPackageLevel(lobj) {
+					escaped = robj
+				}
+			}
+		}
+		return true
+	})
+	return escaped
+}
+
+// isPackageLevel reports whether obj is a package-scope variable.
+func isPackageLevel(obj types.Object) bool {
+	return obj.Parent() != nil && obj.Parent().Parent() == types.Universe
+}
+
+// putsSamePool reports whether any Put call in the Get's function targets
+// the same pool object (or any pool, when either side is unresolvable).
+func putsSamePool(puts []poolCall, g poolCall) bool {
+	for _, p := range puts {
+		if p.fn != g.fn {
+			continue
+		}
+		if g.pool == nil || p.pool == nil || p.pool == g.pool {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,6 @@
+package analysis
+
+// Analyzers returns the full smokevet suite in report order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Determinism, Poolhygiene, Ctxflow, Atomiccounter}
+}

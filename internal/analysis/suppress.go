@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression syntax:
+//
+//	//smokevet:ignore <reason>
+//	//smokevet:ignore <analyzer>: <reason>
+//
+// A suppression silences findings reported on the comment's own line or
+// on the line directly below it — so it works both as a trailing comment
+// and as a full-line comment above the offending statement. The reason is
+// mandatory: a bare `//smokevet:ignore` is itself reported, which is what
+// keeps the acceptance bar of "zero unexplained suppressions" mechanical.
+// Naming an analyzer scopes the suppression to it; otherwise it applies
+// to every analyzer.
+
+const suppressPrefix = "smokevet:ignore"
+
+type suppression struct {
+	analyzer string // "" = all analyzers
+	reason   string
+	pos      token.Pos
+}
+
+// suppressionIndex maps file line -> suppressions effective on that line.
+type suppressionIndex struct {
+	byLine map[int][]suppression
+	// malformed are suppressions with no reason, reported by the runner.
+	malformed []token.Pos
+}
+
+// knownAnalyzers lets the parser distinguish an analyzer-scoped
+// suppression from a reason that happens to contain a colon.
+var knownAnalyzers = map[string]bool{
+	"determinism":   true,
+	"poolhygiene":   true,
+	"ctxflow":       true,
+	"atomiccounter": true,
+}
+
+func indexSuppressions(fset *token.FileSet, files []*ast.File) *suppressionIndex {
+	idx := &suppressionIndex{byLine: map[int][]suppression{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // block comments don't carry suppressions
+				}
+				text, ok = strings.CutPrefix(strings.TrimSpace(text), suppressPrefix)
+				if !ok {
+					continue
+				}
+				s := suppression{reason: strings.TrimSpace(text), pos: c.Pos()}
+				if name, rest, found := strings.Cut(s.reason, ":"); found && knownAnalyzers[strings.TrimSpace(name)] {
+					s.analyzer = strings.TrimSpace(name)
+					s.reason = strings.TrimSpace(rest)
+				}
+				if s.reason == "" {
+					idx.malformed = append(idx.malformed, c.Pos())
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				idx.byLine[line] = append(idx.byLine[line], s)
+				idx.byLine[line+1] = append(idx.byLine[line+1], s)
+			}
+		}
+	}
+	return idx
+}
+
+// suppressed reports whether a finding by analyzer on line is silenced.
+func (idx *suppressionIndex) suppressed(analyzer string, line int) bool {
+	for _, s := range idx.byLine[line] {
+		if s.analyzer == "" || s.analyzer == analyzer {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseForSuppress(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return fset, f
+}
+
+func TestBareSuppressionIsMalformed(t *testing.T) {
+	fset, f := parseForSuppress(t, `package p
+
+func f() int {
+	//smokevet:ignore
+	return 1
+}
+`)
+	idx := indexSuppressions(fset, []*ast.File{f})
+	if len(idx.malformed) != 1 {
+		t.Fatalf("malformed = %d, want 1", len(idx.malformed))
+	}
+	// A reason-less suppression must not silence anything: the "zero
+	// unexplained suppressions" bar is mechanical only if bare ignores
+	// are reports, not silencers.
+	if idx.suppressed("determinism", 4) || idx.suppressed("determinism", 5) {
+		t.Error("reason-less suppression silenced a finding")
+	}
+}
+
+func TestSuppressionScopes(t *testing.T) {
+	fset, f := parseForSuppress(t, `package p
+
+func f() int {
+	//smokevet:ignore determinism: scoped to one analyzer
+	a := 1
+	//smokevet:ignore applies to every analyzer
+	b := 2
+	return a + b
+}
+`)
+	idx := indexSuppressions(fset, []*ast.File{f})
+	if len(idx.malformed) != 0 {
+		t.Fatalf("malformed = %d, want 0", len(idx.malformed))
+	}
+	// Scoped: silences its analyzer on the comment line and the line
+	// below, nothing else.
+	if !idx.suppressed("determinism", 4) || !idx.suppressed("determinism", 5) {
+		t.Error("scoped suppression did not cover its own line and the line below")
+	}
+	if idx.suppressed("ctxflow", 5) {
+		t.Error("determinism-scoped suppression silenced ctxflow")
+	}
+	if idx.suppressed("determinism", 8) {
+		t.Error("suppression leaked beyond the line below the comment")
+	}
+	// Unscoped: silences every analyzer.
+	if !idx.suppressed("determinism", 7) || !idx.suppressed("poolhygiene", 7) {
+		t.Error("unscoped suppression did not apply to every analyzer")
+	}
+}
+
+// TestRunReportsMalformedSuppression pins that the runner surfaces bare
+// ignores as findings, so `make lint` fails on an unexplained suppression.
+func TestRunReportsMalformedSuppression(t *testing.T) {
+	fset, f := parseForSuppress(t, `package p
+
+var x = 1 //smokevet:ignore
+`)
+	pkg := &Package{
+		Path:         "fixture/malformed",
+		Fset:         fset,
+		Files:        []*ast.File{f},
+		Suppressions: indexSuppressions(fset, []*ast.File{f}),
+	}
+	diags, err := Run([]*Package{pkg}, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("diags = %d, want 1", len(diags))
+	}
+	if diags[0].Analyzer != "smokevet" || !strings.Contains(diags[0].Message, "without a reason") {
+		t.Errorf("unexpected diagnostic: %s", diags[0])
+	}
+	if diags[0].Pos.Line != 3 {
+		t.Errorf("diagnostic at line %d, want 3", diags[0].Pos.Line)
+	}
+}

@@ -1,0 +1,47 @@
+// Package fixture exercises the atomiccounter analyzer: once a variable
+// or field is reached through the sync/atomic function API, every other
+// access to it must be atomic too.
+package fixture
+
+import "sync/atomic"
+
+var hits int64
+
+// bump and read use the sanctioned function API.
+func bump()       { atomic.AddInt64(&hits, 1) }
+func read() int64 { return atomic.LoadInt64(&hits) }
+
+// plainRead races with bump.
+func plainRead() int64 {
+	return hits // want `plain access to hits`
+}
+
+// plainWrite can tear on 32-bit platforms and races with read.
+func plainWrite() {
+	hits = 0 // want `plain access to hits`
+}
+
+// suppressedRead shows a reasoned suppression.
+func suppressedRead() int64 {
+	return hits //smokevet:ignore atomiccounter: fixture exercises suppression of an intentionally racy read
+}
+
+type stats struct{ frames int64 }
+
+// add reaches the field atomically...
+func (s *stats) add(n int64) { atomic.AddInt64(&s.frames, n) }
+
+// ...so a plain field read elsewhere is mixed access.
+func (s *stats) snapshot() int64 {
+	return s.frames // want `plain access to frames`
+}
+
+// clean is only ever accessed atomically: no findings.
+var clean int64
+
+func bumpClean() { atomic.AddInt64(&clean, 1) }
+
+// local is never accessed atomically: plain accesses are fine.
+var local int64
+
+func inc() { local++ }

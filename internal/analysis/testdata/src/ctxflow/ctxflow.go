@@ -1,0 +1,57 @@
+// Package fixture exercises the ctxflow analyzer: no fresh context roots
+// inside ctx-holding functions, no context.TODO anywhere, and ctx-taking
+// exported functions must forward their context to *Ctx callees.
+package fixture
+
+import "context"
+
+// DoCtx is the fixture's context-aware callee.
+func DoCtx(ctx context.Context, n int) int { return n }
+
+// dropCtx is *Ctx-suffixed but context-free; rule 2 keys on the name.
+func dropCtx(n int) int { return n }
+
+// Do is a compatibility root: it holds no context, so minting Background
+// to forward it directly into a context-aware call is the sanctioned shape.
+func Do(n int) int { return DoCtx(context.Background(), n) }
+
+// Detached mints a fresh root while holding a context.
+func Detached(ctx context.Context, n int) int {
+	return DoCtx(context.Background(), n) // want `severs cancellation`
+}
+
+// Todo is never acceptable: the pipeline is fully threaded.
+func Todo(n int) int {
+	return DoCtx(context.TODO(), n) // want `context\.TODO\(\) in library code`
+}
+
+// Stray mints a Background that feeds nothing context-aware.
+func Stray() context.Context {
+	return context.Background() // want `compatibility roots may only mint a context to forward it`
+}
+
+// ClosureHolds shows that a closure nested in a ctx-holding function
+// inherits the context: minting a root inside it still severs.
+func ClosureHolds(ctx context.Context) int {
+	f := func() int {
+		return DoCtx(context.Background(), 1) // want `severs cancellation`
+	}
+	return f()
+}
+
+// Forwards passes its context along: the *Ctx call is satisfied.
+func Forwards(ctx context.Context, n int) int { return DoCtx(ctx, n) }
+
+// Drops holds a context but calls the *Ctx callee without one.
+func Drops(ctx context.Context, n int) int {
+	return dropCtx(n) // want `Drops holds a context but calls dropCtx without passing one`
+}
+
+// unexportedDrop is unexported: rule 2 is scoped to exported APIs, where
+// the suffix convention is load-bearing for callers.
+func unexportedDrop(ctx context.Context, n int) int { return dropCtx(n) }
+
+// Suppressed shows a reasoned escape hatch for an intentional detach.
+func Suppressed(ctx context.Context, n int) int {
+	return DoCtx(context.Background(), n) //smokevet:ignore ctxflow: fixture exercises suppression of an intentional detach
+}

@@ -1,0 +1,96 @@
+// Package fixture exercises the determinism analyzer: wall-clock reads,
+// the global math/rand source, and map-iteration-ordered slice writes.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock reads the wall clock twice; both reads are flagged.
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `time\.Now in a deterministic generation path`
+	return time.Since(t0) // want `time\.Since in a deterministic generation path`
+}
+
+// suppressedTrailing shows the trailing suppression form.
+func suppressedTrailing() time.Time {
+	return time.Now() //smokevet:ignore determinism: fixture exercises the trailing suppression form
+}
+
+// suppressedAbove shows the full-line suppression form on the line above.
+func suppressedAbove() time.Time {
+	//smokevet:ignore determinism: fixture exercises the full-line suppression form
+	return time.Now()
+}
+
+// wrongScope carries a suppression scoped to a different analyzer, so the
+// determinism finding still fires.
+func wrongScope() time.Time {
+	return time.Now() //smokevet:ignore ctxflow: scoped elsewhere, determinism still fires // want `time\.Now in a deterministic generation path`
+}
+
+// globalRand draws from the process-wide source.
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn draws from the process-wide random source`
+}
+
+// seededRand draws from an explicit source: methods carry their own seed,
+// so only the package-level convenience functions are flagged.
+func seededRand(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// mapOrdered bakes Go's random map order into the returned slice.
+func mapOrdered(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys is ordered by map iteration`
+	}
+	return keys
+}
+
+// mapSorted restores determinism with a visible sort after the loop.
+func mapSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapLocalSortHelper sorts through a local helper; the collect-then-sort
+// idiom is recognised by callee name too.
+func mapLocalSortHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(s []string) { sort.Strings(s) }
+
+// perIteration appends to a slice declared inside the loop: each iteration
+// owns its slice, so map order cannot leak through it.
+func perIteration(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// sliceOrdered ranges over a slice, not a map: iteration order is defined.
+func sliceOrdered(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+// Package fixture exercises the poolhygiene analyzer: every sync.Pool.Get
+// must be released with a Put or handed to the caller through an accessor
+// whose package defines a releaser.
+package fixture
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+// scoped pairs Get with a deferred Put in the same function.
+func scoped() {
+	b := bufPool.Get().([]byte)
+	defer bufPool.Put(b)
+	b = append(b[:0], 1)
+	_ = b
+}
+
+// getBuf/putBuf are a sanctioned accessor pair: the Get escapes via
+// return, and the package pairs the pool with a releaser.
+func getBuf() []byte {
+	b := bufPool.Get().([]byte)
+	return b[:0]
+}
+
+func putBuf(b []byte) { bufPool.Put(b) }
+
+// getDirect is the assignment-free accessor shape.
+func getDirect() any { return bufPool.Get() }
+
+var leakPool = sync.Pool{New: func() any { return new(int) }}
+
+// leak draws from the pool and never releases or returns the result.
+func leak() {
+	v := leakPool.Get() // want `neither released with leakPool\.Put in this function nor returned`
+	_ = v
+}
+
+// suppressedLeak shows an analyzer-scoped suppression.
+func suppressedLeak() {
+	v := leakPool.Get() //smokevet:ignore poolhygiene: fixture exercises analyzer-scoped suppression
+	_ = v
+}
+
+var statePool = sync.Pool{New: func() any { return make([]byte, 64) }}
+
+type holder struct{ buf any }
+
+// retain stores pooled scratch in long-lived state.
+func (h *holder) retain() {
+	b := statePool.Get() // want `stored in long-lived state through "b"`
+	h.buf = b
+}
+
+var orphanPool = sync.Pool{New: func() any { return make([]byte, 64) }}
+
+// getOrphan escapes via return, but no Put for orphanPool exists anywhere
+// in the package: callers cannot release what they were handed.
+func getOrphan() []byte {
+	b := orphanPool.Get().([]byte) // want `escapes via return but package fixture defines no Put for pool "orphanPool"`
+	return b
+}

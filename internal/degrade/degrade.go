@@ -266,6 +266,7 @@ func EvictVideo(v *scene.Video) int64 {
 	var views []*scene.Video
 	for key, nv := range noisedCache {
 		if key.video == v {
+			//smokevet:ignore determinism: eviction order only affects the order bytes are freed; the returned sum is order-independent and no profile bytes flow from it
 			views = append(views, nv)
 			delete(noisedCache, key)
 		}

@@ -353,6 +353,7 @@ func ReadStats() Stats {
 	storeMu.Lock()
 	snapshot := make([]*table, 0, len(tables))
 	for _, t := range tables {
+		//smokevet:ignore determinism: snapshot feeds a commutative sum (counts and byte totals); visit order cannot change the Stats values
 		snapshot = append(snapshot, t)
 	}
 	storeMu.Unlock()

@@ -59,6 +59,14 @@ func SaveOutputs(v *scene.Video, dir string) (int, error) {
 		}
 	}
 	storeMu.Unlock()
+	// Write order must not inherit map-iteration order: persisted artifact
+	// sets should be enumerable in a stable order across runs.
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].key.model != entries[j].key.model {
+			return entries[i].key.model < entries[j].key.model
+		}
+		return entries[i].key.p < entries[j].key.p
+	})
 
 	written := 0
 	for _, e := range entries {
@@ -209,14 +217,22 @@ func writeTable(path string, v *scene.Video, key colKey, full []vec, rows map[in
 }
 
 func readTable(path string, v *scene.Video) (colKey, []vec, map[int]vec, error) {
-	var key colKey
 	f, err := os.Open(path)
 	if err != nil {
-		return key, nil, nil, err
+		return colKey{}, nil, nil, err
 	}
 	defer f.Close()
-	r := bufio.NewReader(f)
+	return decodeTable(bufio.NewReader(f), v)
+}
 
+// decodeTable parses one SOUT v2 column table from r and validates it
+// against the corpus. It is the pure decode half of readTable: the input
+// may be a torn write or arbitrary garbage (WarmOutputs skips bad files
+// rather than failing the warm), so every malformation must surface as an
+// error, never a panic or an unbounded allocation. The fuzz target pins
+// that property.
+func decodeTable(r *bufio.Reader, v *scene.Video) (colKey, []vec, map[int]vec, error) {
+	var key colKey
 	head := make([]byte, len(storeMagic)+2)
 	if _, err := io.ReadFull(r, head); err != nil {
 		return key, nil, nil, err

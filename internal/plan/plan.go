@@ -17,7 +17,6 @@ package plan
 import (
 	"context"
 	"sort"
-	"time"
 
 	"smokescreen/internal/degrade"
 	"smokescreen/internal/detect"
@@ -69,8 +68,7 @@ func (s *Sweep) Frames() []int {
 // dropped (image removal shrinks the pool); a sweep with zero tasks means
 // no fraction is feasible, which the caller reports.
 func BuildSweep(ctx context.Context, v *scene.Video, m *detect.Model, spec SweepSpec, stream *stats.Stream) (*Sweep, error) {
-	start := time.Now()
-	defer func() { addPlanTime(time.Since(start)) }()
+	defer PlanTimer()()
 
 	admissible, err := degrade.AdmissibleFramesCtx(ctx, v, spec.Restricted)
 	if err != nil {

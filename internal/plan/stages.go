@@ -22,13 +22,29 @@ var (
 	dedupSavedFrames atomic.Int64
 )
 
-func addPlanTime(d time.Duration) { planNS.Add(int64(d)) }
+// stageTimer starts a wall-clock span and returns the stop function that
+// credits the elapsed nanoseconds to c. These two reads are the
+// generation pipeline's only sanctioned wall-clock access: stage
+// accounting feeds /metrics and the BENCH_*.json artifacts, never
+// profile bytes, which is what makes the determinism suppressions below
+// sound. Everything else in the generation paths is flagged by the
+// smokevet determinism analyzer.
+func stageTimer(c *atomic.Int64) func() {
+	t0 := time.Now() //smokevet:ignore determinism: stage accounting only; durations feed /metrics and BENCH artifacts, never profile bytes
+	return func() {
+		c.Add(int64(time.Since(t0))) //smokevet:ignore determinism: duration accounting only, never profile bytes
+	}
+}
 
-// AddDetectTime attributes wall time to the pipeline's detect stage.
-func AddDetectTime(d time.Duration) { detectNS.Add(int64(d)) }
+// PlanTimer starts a span attributed to the plan stage; call the returned
+// stop function when the span ends (or defer it).
+func PlanTimer() func() { return stageTimer(&planNS) }
 
-// AddEstimateTime attributes wall time to the pipeline's estimate stage.
-func AddEstimateTime(d time.Duration) { estimateNS.Add(int64(d)) }
+// DetectTimer starts a span attributed to the detect stage.
+func DetectTimer() func() { return stageTimer(&detectNS) }
+
+// EstimateTimer starts a span attributed to the estimate stage.
+func EstimateTimer() func() { return stageTimer(&estimateNS) }
 
 // StageStats is a snapshot of the pipeline's cumulative stage accounting.
 type StageStats struct {

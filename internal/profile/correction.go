@@ -3,7 +3,6 @@ package profile
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"smokescreen/internal/estimate"
 	"smokescreen/internal/outputs"
@@ -88,9 +87,9 @@ func ConstructCorrectionCtx(ctx context.Context, spec *Spec, sizeLimit float64, 
 		if m > n {
 			m = n
 		}
-		t0 := time.Now()
+		stopEstimate := plan.EstimateTimer()
 		sample, err := spec.outputsAtCtx(ctx, perm[:m])
-		plan.AddEstimateTime(time.Since(t0))
+		stopEstimate()
 		if err != nil {
 			return nil, err
 		}
@@ -157,15 +156,15 @@ func CorrectionCurveCtx(ctx context.Context, spec *Spec, fractions []float64, pa
 		}
 	}
 	if maxM > 0 {
-		t0 := time.Now()
+		stopDetect := plan.DetectTimer()
 		err := outputs.Ensure(ctx, spec.Video, spec.Model, spec.Class, spec.Model.NativeInput, perm[:maxM])
-		plan.AddDetectTime(time.Since(t0))
+		stopDetect()
 		if err != nil {
 			return nil, err
 		}
 	}
 
-	t1 := time.Now()
+	stopEstimate := plan.EstimateTimer()
 	steps, err := parallel.MapCtx(ctx, len(fractions), parallelism, func(i int) (CorrectionStep, error) {
 		fraction := fractions[i]
 		if fraction <= 0 || fraction > 1 {
@@ -185,7 +184,7 @@ func CorrectionCurveCtx(ctx context.Context, spec *Spec, fractions []float64, pa
 		}
 		return CorrectionStep{Fraction: fraction, Size: m, ErrBound: corr.Estimate.ErrBound}, nil
 	})
-	plan.AddEstimateTime(time.Since(t1))
+	stopEstimate()
 	return steps, err
 }
 

@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"time"
 
 	"smokescreen/internal/degrade"
 	"smokescreen/internal/estimate"
@@ -111,13 +110,14 @@ func (s *Spec) execSweep(ctx context.Context, sw *plan.Sweep, opts SweepOptions)
 	repaired := opts.Correction != nil && !sw.RandomOnly
 
 	if opts.EarlyStopDelta <= 0 {
-		t0 := time.Now()
-		if err := outputs.Ensure(ctx, s.Video, s.Model, s.Class, sw.Resolution, sw.Frames()); err != nil {
+		stopDetect := plan.DetectTimer()
+		err := outputs.Ensure(ctx, s.Video, s.Model, s.Class, sw.Resolution, sw.Frames())
+		stopDetect()
+		if err != nil {
 			return nil, err
 		}
-		plan.AddDetectTime(time.Since(t0))
 
-		t1 := time.Now()
+		stopEstimate := plan.EstimateTimer()
 		points, err := parallel.MapCtx(ctx, len(sw.Tasks), parallel.Workers(opts.Parallelism), func(i int) (Point, error) {
 			est, err := s.estimatePlan(ctx, sw.Tasks[i].Plan, opts.Correction)
 			if err != nil {
@@ -125,7 +125,7 @@ func (s *Spec) execSweep(ctx context.Context, sw *plan.Sweep, opts SweepOptions)
 			}
 			return Point{Setting: sw.Tasks[i].Plan.Setting, Estimate: est, Repaired: repaired}, nil
 		})
-		plan.AddEstimateTime(time.Since(t1))
+		stopEstimate()
 		if err != nil {
 			return nil, err
 		}
@@ -138,9 +138,9 @@ func (s *Spec) execSweep(ctx context.Context, sw *plan.Sweep, opts SweepOptions)
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		t0 := time.Now()
+		stopEstimate := plan.EstimateTimer()
 		est, err := s.estimatePlan(ctx, task.Plan, opts.Correction)
-		plan.AddEstimateTime(time.Since(t0))
+		stopEstimate()
 		if err != nil {
 			return nil, err
 		}
@@ -251,11 +251,11 @@ func GenerateHypercubeCtx(ctx context.Context, spec *Spec, opts HypercubeOptions
 		// units. Early-stopping sweeps skip this — they must detect lazily,
 		// point by point, or stopping would save nothing.
 		units := hp.Units()
-		t0 := time.Now()
+		stopDetect := plan.DetectTimer()
 		err := parallel.ForCtx(ctx, len(units), opts.Parallelism, func(i int) error {
 			return outputs.Ensure(ctx, spec.Video, spec.Model, spec.Class, units[i].Resolution, units[i].Frames)
 		})
-		plan.AddDetectTime(time.Since(t0))
+		stopDetect()
 		if err != nil {
 			return nil, err
 		}

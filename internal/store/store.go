@@ -246,6 +246,16 @@ func (s *Store) readDisk(key string) ([]byte, error) {
 		}
 		return nil, fmt.Errorf("store: reading %s: %w", key, err)
 	}
+	return decodeEnvelope(key, path, data)
+}
+
+// decodeEnvelope validates raw envelope bytes claimed to hold the artifact
+// at key and returns the verified payload. It is the pure decode half of
+// readDisk — every byte of input is attacker-controlled from the decoder's
+// point of view (the file may be torn, rotted, or tampered), so failures
+// must always surface as *CorruptError, never panic. The fuzz target pins
+// that property.
+func decodeEnvelope(key, path string, data []byte) ([]byte, error) {
 	var env envelope
 	if err := json.Unmarshal(data, &env); err != nil {
 		return nil, &CorruptError{Key: key, Path: path, Reason: "undecodable envelope: " + err.Error()}

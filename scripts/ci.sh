@@ -1,0 +1,30 @@
+#!/bin/sh
+# ci.sh — the full CI gate: build, lint (go vet + smokevet + optional
+# staticcheck), tests, race coverage, and the fuzz smoke pass, with
+# per-stage wall-clock timing so regressions in gate latency are visible
+# in the CI log. Fails fast on the first broken stage.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+total_start=$(date +%s)
+
+run_stage() {
+    name=$1
+    shift
+    echo "==> $name"
+    start=$(date +%s)
+    "$@"
+    end=$(date +%s)
+    echo "==> $name: ok ($((end - start))s)"
+    echo
+}
+
+run_stage build      make build
+run_stage lint       make lint
+run_stage test       make test
+run_stage test-race  make test-race
+run_stage fuzz-smoke make fuzz-smoke
+
+total_end=$(date +%s)
+echo "ci: all stages passed in $((total_end - total_start))s"
