@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-race fuzz-smoke ci bench bench-kernels bench-json figures figures-quick examples serve-smoke clean
+.PHONY: build lint test test-race fuzz-smoke ci bench bench-kernels bench-json bench-diff figures figures-quick examples serve-smoke clean
 
 # Pinned staticcheck version: `make lint` refuses other versions rather
 # than drift between hosts. staticcheck is optional — hermetic builders
@@ -55,6 +55,7 @@ test-race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEnvelopeDecode -fuzztime 10s ./internal/store/
 	$(GO) test -run '^$$' -fuzz FuzzOutputsDecode -fuzztime 10s ./internal/outputs/
+	$(GO) test -run '^$$' -fuzz FuzzTileDelta -fuzztime 10s ./internal/detect/
 
 # The full CI gate with per-stage timing (scripts/ci.sh).
 ci:
@@ -76,8 +77,15 @@ bench-kernels:
 # BENCH_<pr>.json.
 bench-json:
 	$(GO) test -bench=. -benchmem -benchtime=1x > bench.tmp
-	$(GO) run ./cmd/benchjson -out BENCH_PR4.json < bench.tmp
+	$(GO) run ./cmd/benchjson -out BENCH_PR6.json < bench.tmp
 	rm -f bench.tmp
+
+# Benchmark regression gate: compare the previous PR's committed artifact
+# against this PR's. Fails (non-zero exit) when any benchmark's ns/op
+# regresses by more than -max-regress (default 25%); benchmarks present
+# in only one artifact are listed but never fail the gate.
+bench-diff:
+	$(GO) run ./cmd/benchjson -diff BENCH_PR4.json BENCH_PR6.json
 
 # Full-scale evaluation reports (the EXPERIMENTS.md numbers). Detector
 # outputs are cached under .cache so reruns are fast.

@@ -12,11 +12,22 @@
 // Usage:
 //
 //	go test -bench=. -benchmem -benchtime=1x | benchjson -out BENCH_PR1.json
+//	benchjson -diff BENCH_PR4.json BENCH_PR6.json [-max-regress 0.25]
 //
 // Lines that are not benchmark results or host facts are ignored, so the
 // full `go test` output can be piped through unfiltered. The tool exits
 // non-zero if no benchmark lines are found (a guard against piping in a
 // failed run).
+//
+// Diff mode compares two artifacts benchmark by benchmark, printing the
+// old and new ns/op, B/op and allocs/op with relative deltas, and exits
+// non-zero when any benchmark's ns/op regressed by more than -max-regress
+// (a fraction; 0.25 means 25% slower). Benchmarks present in only one
+// artifact are listed but never fail the gate, so adding or retiring a
+// bench does not break regression CI; benchmarks under -min-ns in both
+// artifacts (default 1ms) are likewise listed but not gated, because a
+// single -benchtime=1x sample of a microsecond-scale benchmark measures
+// scheduler jitter, not the code.
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -84,7 +96,26 @@ type report struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	diff := flag.Bool("diff", false, "compare two BENCH_*.json artifacts: benchjson -diff old.json new.json")
+	maxRegress := flag.Float64("max-regress", 0.25, "diff mode: fail when any ns/op regresses by more than this fraction")
+	minNs := flag.Float64("min-ns", 1e6, "diff mode: report but do not gate benchmarks under this ns/op in both artifacts (single-shot sub-millisecond timings are scheduler noise)")
 	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two artifacts: old.json new.json")
+			os.Exit(2)
+		}
+		failed, err := diffReports(os.Stdout, flag.Arg(0), flag.Arg(1), *maxRegress, *minNs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if failed {
+			os.Exit(1)
+		}
+		return
+	}
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
@@ -174,6 +205,128 @@ func parseBenchLine(line string) (benchmark, bool) {
 	}
 	b.Stages = stagesOf(b.Metrics)
 	return b, len(b.Metrics) > 0
+}
+
+// loadReport reads one BENCH_*.json artifact.
+func loadReport(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &report{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return rep, nil
+}
+
+// diffMetrics are the per-benchmark metrics diff mode reports, in print
+// order. ns/op gates the regression threshold; the allocation metrics are
+// informational.
+var diffMetrics = []string{"ns/op", "B/op", "allocs/op"}
+
+// diffReports prints a per-benchmark comparison of two artifacts and
+// reports whether any benchmark's ns/op regressed past maxRegress.
+// Benchmarks under minNs in both artifacts are exempt from the gate — at
+// -benchtime=1x a sub-millisecond benchmark is a single timing sample, so
+// its ratio is scheduler noise — but the exemption is printed, never
+// silent.
+func diffReports(w io.Writer, oldPath, newPath string, maxRegress, minNs float64) (failed bool, err error) {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return false, err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return false, err
+	}
+	oldBy := map[string]benchmark{}
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := map[string]benchmark{}
+	names := make([]string, 0, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		newBy[b.Name] = b
+		names = append(names, b.Name)
+	}
+
+	fmt.Fprintf(w, "benchjson diff: %s -> %s (max ns/op regression %.0f%%, noise floor %s ns)\n",
+		oldPath, newPath, maxRegress*100, formatValue(minNs))
+	var regressed, noisy []string
+	for _, name := range names {
+		nb := newBy[name]
+		ob, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(w, "  %-40s new benchmark: %s\n", name, formatMetrics(nb.Metrics))
+			continue
+		}
+		cells := make([]string, 0, len(diffMetrics))
+		for _, metric := range diffMetrics {
+			ov, haveOld := ob.Metrics[metric]
+			nv, haveNew := nb.Metrics[metric]
+			if !haveOld || !haveNew {
+				continue
+			}
+			cells = append(cells, fmt.Sprintf("%s %s -> %s (%+.1f%%)",
+				metric, formatValue(ov), formatValue(nv), relDelta(ov, nv)*100))
+			if metric == "ns/op" && relDelta(ov, nv) > maxRegress {
+				if ov < minNs && nv < minNs {
+					noisy = append(noisy, name)
+					cells = append(cells, "[under noise floor, not gated]")
+				} else {
+					regressed = append(regressed, name)
+				}
+			}
+		}
+		fmt.Fprintf(w, "  %-40s %s\n", name, strings.Join(cells, "  "))
+	}
+	for _, b := range oldRep.Benchmarks {
+		if _, ok := newBy[b.Name]; !ok {
+			fmt.Fprintf(w, "  %-40s removed (was %s)\n", b.Name, formatMetrics(b.Metrics))
+		}
+	}
+	if len(noisy) > 0 {
+		fmt.Fprintf(w, "note: %d sub-floor benchmark(s) moved past %.0f%% but are not gated: %s\n",
+			len(noisy), maxRegress*100, strings.Join(noisy, ", "))
+	}
+	if len(regressed) > 0 {
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed past %.0f%%: %s\n",
+			len(regressed), maxRegress*100, strings.Join(regressed, ", "))
+		return true, nil
+	}
+	fmt.Fprintln(w, "PASS: no ns/op regression past the threshold")
+	return false, nil
+}
+
+// relDelta returns (new-old)/old, treating a zero old value as no change.
+func relDelta(oldV, newV float64) float64 {
+	if oldV == 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV
+}
+
+// formatValue renders a metric value compactly (integers without noise).
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// formatMetrics renders the standard metrics of a one-sided benchmark.
+func formatMetrics(m map[string]float64) string {
+	parts := make([]string, 0, len(diffMetrics))
+	for _, metric := range diffMetrics {
+		if v, ok := m[metric]; ok {
+			parts = append(parts, fmt.Sprintf("%s %s", metric, formatValue(v)))
+		}
+	}
+	return strings.Join(parts, "  ")
 }
 
 // splitProcs strips the trailing -P GOMAXPROCS suffix `go test` appends.

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -104,6 +107,84 @@ BenchmarkKernel-8   	   10000	      9876 ns/op
 func TestParseEmptyFails(t *testing.T) {
 	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok\n"))); err == nil {
 		t.Fatal("empty input accepted")
+	}
+}
+
+func TestDiffGate(t *testing.T) {
+	// Two artifacts: one macro benchmark regressing past the threshold
+	// (must fail the gate), one micro benchmark regressing even harder but
+	// under the noise floor in both artifacts (reported, not gated), and
+	// one well-behaved macro benchmark.
+	writeArtifact := func(name, body string) string {
+		rep, err := parse(bufio.NewScanner(strings.NewReader(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := writeArtifact("old.json", `pkg: smokescreen
+BenchmarkMacroSlow   	       1	 2000000000 ns/op
+BenchmarkMicro       	       1	     100000 ns/op
+BenchmarkMacroFine   	       1	 1000000000 ns/op
+`)
+	newPath := writeArtifact("new.json", `pkg: smokescreen
+BenchmarkMacroSlow   	       1	 3000000000 ns/op
+BenchmarkMicro       	       1	     400000 ns/op
+BenchmarkMacroFine   	       1	 1100000000 ns/op
+`)
+
+	var buf strings.Builder
+	failed, err := diffReports(&buf, oldPath, newPath, 0.25, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !failed {
+		t.Fatalf("50%% macro regression passed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL: 1 benchmark(s) regressed past 25%: BenchmarkMacroSlow") {
+		t.Fatalf("macro regression not singled out:\n%s", out)
+	}
+	if !strings.Contains(out, "not gated: BenchmarkMicro") {
+		t.Fatalf("noise-floor exemption not reported:\n%s", out)
+	}
+
+	// With only the micro benchmark moving, the gate passes but still
+	// mentions the exemption.
+	samePath := writeArtifact("same.json", `pkg: smokescreen
+BenchmarkMacroSlow   	       1	 2000000000 ns/op
+BenchmarkMicro       	       1	     400000 ns/op
+BenchmarkMacroFine   	       1	 1000000000 ns/op
+`)
+	buf.Reset()
+	failed, err = diffReports(&buf, oldPath, samePath, 0.25, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if failed {
+		t.Fatalf("sub-floor movement failed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "[under noise floor, not gated]") {
+		t.Fatalf("sub-floor line not annotated:\n%s", out)
+	}
+
+	// A floor of zero restores strict gating: the micro regression fails.
+	buf.Reset()
+	failed, err = diffReports(&buf, oldPath, samePath, 0.25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Fatalf("min-ns 0 did not gate the micro regression:\n%s", buf.String())
 	}
 }
 

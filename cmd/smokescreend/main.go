@@ -8,6 +8,8 @@
 //	smokescreend [-addr :8040] [-store DIR] [-workers N] [-parallelism N]
 //	             [-queue N] [-cache-mb N] [-render-cache-mb N]
 //	             [-kernel-parallelism N] [-detect-dedup=true|false]
+//	             [-quantized-rasters=true|false]
+//	             [-delta-detect off|exact|bounded] [-delta-tolerance T]
 //	             [-request-timeout D] [-job-timeout D] [-addr-file PATH]
 //
 // Endpoints: POST /v1/profiles, GET /v1/profiles/{key}, GET /v1/jobs/{id},
@@ -49,6 +51,9 @@ func main() {
 	renderCacheMB := flag.Int64("render-cache-mb", 64, "degraded-frame render cache budget in MiB (0 disables, -1 unbounded)")
 	kernelParallelism := flag.Int("kernel-parallelism", 1, "worker goroutines per raster kernel (1 sequential, 0 = one per CPU)")
 	detectDedup := flag.Bool("detect-dedup", true, "share detector outputs across classes in the column store (false = legacy per-class detection)")
+	quantizedRasters := flag.Bool("quantized-rasters", false, "run patch detection on the quantized uint8 pixel pipeline")
+	deltaDetect := flag.String("delta-detect", "off", "temporal delta detection: off, exact (byte-identical reuse) or bounded (tolerance-gated splicing)")
+	deltaTolerance := flag.Float64("delta-tolerance", 0.1, "bounded delta detection: worst-case mean-contrast perturbation admitted when splicing prior-frame detections")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
 	flag.Parse()
 
@@ -59,6 +64,14 @@ func main() {
 	}
 	raster.SetParallelism(*kernelParallelism)
 	outputs.SetSharing(*detectDedup)
+	detect.SetQuantized(*quantizedRasters)
+	mode, err := detect.ParseDeltaMode(*deltaDetect)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	detect.SetDeltaMode(mode)
+	detect.SetDeltaTolerance(*deltaTolerance)
 
 	logger := log.New(os.Stderr, "smokescreend: ", log.LstdFlags|log.Lmsgprefix)
 	if err := run(runConfig{

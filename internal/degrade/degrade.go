@@ -255,9 +255,11 @@ func EffectiveVideo(v *scene.Video, s Setting) *scene.Video {
 }
 
 // EvictVideo drops every detect-side cached artifact derived from the
-// corpus — including the cached noised views EffectiveVideo created for
-// noise-addition settings, which detect.EvictVideo cannot reach because it
-// keys on corpus identity and a noised view is a distinct *scene.Video.
+// corpus — detector-output tables, render-cache frames, and bounded
+// delta-detection accounts — including the cached noised views
+// EffectiveVideo created for noise-addition settings, which
+// detect.EvictVideo cannot reach because it keys on corpus identity and a
+// noised view is a distinct *scene.Video.
 // Returns the accounted bytes freed. This is the per-corpus memory-bounding
 // hook fleet deployments should call when a camera rotates out.
 func EvictVideo(v *scene.Video) int64 {

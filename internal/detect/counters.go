@@ -70,6 +70,7 @@ func ResetCaches() {
 	}
 	evictBackgrounds(nil)
 	resetRenderCache()
+	resetDelta()
 	invocationCount.Store(0)
 }
 
@@ -86,6 +87,7 @@ func EvictVideo(v *scene.Video) int64 {
 	}
 	freed += evictBackgrounds(v)
 	freed += evictRenders(v)
+	freed += evictDeltaAccounts(v)
 	return freed
 }
 
@@ -112,6 +114,14 @@ type CacheStats struct {
 	RenderBytes  int64
 	RenderHits   int64
 	RenderMisses int64
+	// DeltaTables / DeltaBytes cover the bounded-mode fragility accounts
+	// kept per (video, model, resolution); the counters are the cumulative
+	// delta-detection effectiveness totals (see DeltaCounters).
+	DeltaTables           int
+	DeltaBytes            int64
+	DeltaTilesReused      int64
+	DeltaTilesRedetected  int64
+	DeltaCandidatesReused int64
 }
 
 // perEntryOverhead approximates the fixed cost of one cache entry: the
@@ -126,7 +136,7 @@ const PerEntryOverhead = perEntryOverhead
 
 // TotalBytes returns the total accounted size of all detector caches.
 func (s CacheStats) TotalBytes() int64 {
-	return s.FullBytes + s.SparseBytes + s.BackgroundBytes + s.RenderBytes
+	return s.FullBytes + s.SparseBytes + s.BackgroundBytes + s.RenderBytes + s.DeltaBytes
 }
 
 // Stats reports the current size of the detector caches. Fleet deployments
@@ -142,5 +152,10 @@ func Stats() CacheStats {
 	s.BackgroundImages = n
 	s.BackgroundBytes = bytes
 	s.RenderFrames, s.RenderBytes, s.RenderHits, s.RenderMisses = renderStats()
+	s.DeltaTables, s.DeltaBytes = deltaAccountStats()
+	dc := DeltaCounters()
+	s.DeltaTilesReused = dc.TilesReused
+	s.DeltaTilesRedetected = dc.TilesRedetected
+	s.DeltaCandidatesReused = dc.CandidatesReused
 	return s
 }

@@ -1,0 +1,322 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/raster"
+	"smokescreen/internal/scene"
+)
+
+// deltaTestConfig is a valid 640x640 corpus config for hand-built frames.
+func deltaTestConfig(frames int) scene.Config {
+	return scene.Config{
+		Name: "delta-test", Width: 640, Height: 640, NumFrames: frames, Seed: 77,
+		Lighting: scene.Lighting{
+			BackgroundTop: 0.6, BackgroundBottom: 0.7,
+			TextureAmp: 0.01, NoiseSigma: 0.01,
+		},
+		CarRate: 0, CarLifetime: 10, CarMinW: 40, CarMaxW: 41, CarContrast: 0.3,
+		PersonRate: 0, PersonLifetime: 10,
+		BusyFactor: 1, RegimeLength: 10, LaneYs: []int{320},
+	}
+}
+
+// staticAndMovingVideo builds a corpus with one static car (reusable every
+// frame) and one fast car far below it (dirtying its own tiles only).
+func staticAndMovingVideo(n int) *scene.Video {
+	cfg := deltaTestConfig(n)
+	frames := make([]scene.Frame, n)
+	for i := range frames {
+		frames[i] = scene.Frame{Index: i, Objects: []scene.Object{
+			{ID: 1, Class: scene.Car, BBox: raster.RectWH(100, 200, 60, 30), Intensity: 0.35},
+			{ID: 2, Class: scene.Car, BBox: raster.RectWH(40+i*12, 520, 60, 30), Intensity: 0.4},
+		}}
+	}
+	return scene.NewVideo(cfg, frames)
+}
+
+func withDeltaMode(t *testing.T, m DeltaMode) {
+	t.Helper()
+	prev := DeltaDetectMode()
+	SetDeltaMode(m)
+	t.Cleanup(func() { SetDeltaMode(prev) })
+}
+
+func withQuantized(t *testing.T, on bool) {
+	t.Helper()
+	prev := Quantized()
+	SetQuantized(on)
+	t.Cleanup(func() { SetQuantized(prev) })
+}
+
+// TestDeltaExactMatchesOff pins the tentpole contract: exact mode is
+// byte-identical to evaluating every frame independently, on both the
+// float and quantized pipelines, while actually reusing work.
+func TestDeltaExactMatchesOff(t *testing.T) {
+	const n, p = 10, 320
+	v := staticAndMovingVideo(n)
+	m := YOLOv4Sim()
+	for _, quant := range []bool{false, true} {
+		withQuantized(t, quant)
+
+		want := make([][]Detection, n)
+		for i := 0; i < n; i++ {
+			want[i] = m.DetectFrame(v, i, p)
+		}
+
+		withDeltaMode(t, DeltaExact)
+		run := m.NewDeltaRun(v, p)
+		got := make([][]Detection, n)
+		for i := 0; i < n; i++ {
+			got[i] = run.DetectFrame(i)
+		}
+		reused := run.candsReused
+		run.Close()
+
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("quant=%v: exact delta detections differ from per-frame evaluation", quant)
+		}
+		// The static car's tiles are clean on every non-keyframe, so its
+		// evaluation must have been replayed from cached pixels.
+		if reused < int64(n-1) {
+			t.Fatalf("quant=%v: candidates reused = %d, want >= %d", quant, reused, n-1)
+		}
+		SetDeltaMode(DeltaOff)
+	}
+}
+
+// TestDeltaKeyframesOnGaps pins that a non-consecutive (even backward)
+// frame feed matches per-frame evaluation exactly — reuse is validated by
+// tile-signature equality against the entry's frame, not adjacency — and
+// that the jumps are still counted as keyframes for observability.
+func TestDeltaKeyframesOnGaps(t *testing.T) {
+	const p = 320
+	v := staticAndMovingVideo(10)
+	m := YOLOv4Sim()
+	withDeltaMode(t, DeltaExact)
+	run := m.NewDeltaRun(v, p)
+	defer run.Close()
+	for _, i := range []int{0, 5, 6, 2} {
+		got := run.DetectFrame(i)
+		SetDeltaMode(DeltaOff)
+		want := m.DetectFrame(v, i, p)
+		SetDeltaMode(DeltaExact)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("frame %d after gap feed differs from direct evaluation", i)
+		}
+	}
+	if run.keyframes != 3 {
+		t.Fatalf("keyframes = %d, want 3 (frames 0, 5 and 2)", run.keyframes)
+	}
+}
+
+// TestDeltaBoundedSplicesMovingObject pins bounded mode's headline win: a
+// strong, isolated, horizontally translating car is spliced rather than
+// re-evaluated, per-frame counts match the off path, and the fragility
+// surcharge is accounted.
+func TestDeltaBoundedSplicesMovingObject(t *testing.T) {
+	const n, p = 12, 320
+	cfg := deltaTestConfig(n)
+	frames := make([]scene.Frame, n)
+	for i := range frames {
+		frames[i] = scene.Frame{Index: i, Objects: []scene.Object{
+			{ID: 1, Class: scene.Car, BBox: raster.RectWH(80+i*3, 300, 64, 32), Intensity: 0.35},
+		}}
+	}
+	v := scene.NewVideo(cfg, frames)
+	m := YOLOv4Sim()
+
+	want := make([]int, n)
+	for i := 0; i < n; i++ {
+		want[i] = CountClass(m.DetectFrame(v, i, p), scene.Car)
+	}
+
+	withDeltaMode(t, DeltaBounded)
+	t.Cleanup(func() { resetDelta() })
+	run := m.NewDeltaRun(v, p)
+	for i := 0; i < n; i++ {
+		if got := CountClass(run.DetectFrame(i), scene.Car); got != want[i] {
+			t.Fatalf("frame %d: bounded count %d, want %d", i, got, want[i])
+		}
+	}
+	reused := run.candsReused
+	run.Close()
+	if reused < int64(n-1) {
+		t.Fatalf("bounded mode spliced %d candidates, want >= %d", reused, n-1)
+	}
+	sur := DeltaSurcharge(v, m.Name, p)
+	if sur < 0 || sur > 1 {
+		t.Fatalf("DeltaSurcharge = %v, want in [0,1]", sur)
+	}
+}
+
+// TestDeltaBoundedOnRealCorpus runs bounded mode over a real generated
+// corpus and checks it reuses work while keeping per-frame counts close to
+// the off path on average.
+func TestDeltaBoundedOnRealCorpus(t *testing.T) {
+	const n, p = 48, 320
+	v := dataset.MustLoad("small")
+	m := YOLOv4Sim()
+
+	off := make([]int, n)
+	for i := 0; i < n; i++ {
+		off[i] = CountClass(m.DetectFrame(v, i, p), scene.Car)
+	}
+
+	withDeltaMode(t, DeltaBounded)
+	t.Cleanup(func() { resetDelta() })
+	run := m.NewDeltaRun(v, p)
+	var absErr, total int
+	for i := 0; i < n; i++ {
+		got := CountClass(run.DetectFrame(i), scene.Car)
+		d := got - off[i]
+		if d < 0 {
+			d = -d
+		}
+		absErr += d
+		total += off[i]
+	}
+	reused := run.candsReused
+	run.Close()
+	if reused == 0 {
+		t.Fatalf("bounded mode never reused a candidate on a real corpus")
+	}
+	if total > 0 && float64(absErr) > 0.1*float64(total) {
+		t.Fatalf("bounded mode deviates too much: sum|delta|=%d vs total %d", absErr, total)
+	}
+}
+
+// TestDeltaCountersAndReset pins the stats plumbing: counters move, show
+// up in Stats, and ResetCaches zeroes them along with the bounded
+// accounts.
+func TestDeltaCountersAndReset(t *testing.T) {
+	const n, p = 6, 320
+	v := staticAndMovingVideo(n)
+	m := YOLOv4Sim()
+	withDeltaMode(t, DeltaBounded)
+	run := m.NewDeltaRun(v, p)
+	for i := 0; i < n; i++ {
+		run.DetectFrame(i)
+	}
+	run.Close()
+
+	s := Stats()
+	if s.DeltaTilesRedetected == 0 {
+		t.Fatalf("DeltaTilesRedetected = 0 after a run")
+	}
+	if s.DeltaTables != 1 || s.DeltaBytes != deltaAccountEntrySize {
+		t.Fatalf("delta accounts = %d tables / %d bytes, want 1 / %d",
+			s.DeltaTables, s.DeltaBytes, int64(deltaAccountEntrySize))
+	}
+	if freed := EvictVideo(v); freed < deltaAccountEntrySize {
+		t.Fatalf("EvictVideo freed %d bytes, want >= %d", freed, int64(deltaAccountEntrySize))
+	}
+	if got := DeltaSurcharge(v, m.Name, p); got != 0 {
+		t.Fatalf("DeltaSurcharge after evict = %v, want 0", got)
+	}
+	ResetCaches()
+	if dc := DeltaCounters(); dc != (DeltaCounterStats{}) {
+		t.Fatalf("counters after ResetCaches = %+v, want zero", dc)
+	}
+}
+
+// renderTile renders the pixels of one tile of frame i.
+func renderTile(v *scene.Video, i, tx, ty int) *raster.Image {
+	region := raster.RectWH(tx*DeltaTileSize, ty*DeltaTileSize, DeltaTileSize, DeltaTileSize).
+		Intersect(raster.RectWH(0, 0, v.Config.Width, v.Config.Height))
+	img := raster.New(region.W(), region.H())
+	v.RenderRegionInto(img, i, region)
+	return img
+}
+
+// checkCleanTilesIdentical verifies the delta soundness invariant between
+// two consecutive frames of v: every tile whose signature is unchanged
+// holds bit-identical pre-noise pixels.
+func checkCleanTilesIdentical(t *testing.T, v *scene.Video, i int) (clean, dirty int) {
+	t.Helper()
+	cfg := &v.Config
+	tilesW := (cfg.Width + DeltaTileSize - 1) / DeltaTileSize
+	tilesH := (cfg.Height + DeltaTileSize - 1) / DeltaTileSize
+	prev := make([]uint64, tilesW*tilesH)
+	cur := make([]uint64, tilesW*tilesH)
+	frameTileSigs(prev, v.Frame(i), tilesW, cfg.Width, cfg.Height)
+	frameTileSigs(cur, v.Frame(i+1), tilesW, cfg.Width, cfg.Height)
+	for ty := 0; ty < tilesH; ty++ {
+		for tx := 0; tx < tilesW; tx++ {
+			if prev[ty*tilesW+tx] != cur[ty*tilesW+tx] {
+				dirty++
+				continue
+			}
+			clean++
+			a := renderTile(v, i, tx, ty)
+			b := renderTile(v, i+1, tx, ty)
+			for k := range a.Pix {
+				if a.Pix[k] != b.Pix[k] {
+					t.Fatalf("clean tile (%d,%d) between frames %d/%d differs at pixel %d",
+						tx, ty, i, i+1, k)
+				}
+			}
+		}
+	}
+	return clean, dirty
+}
+
+// TestTileSignatureSoundness checks the clean-tile invariant on a real
+// generated corpus, where objects arrive, move, overlap and leave.
+func TestTileSignatureSoundness(t *testing.T) {
+	v := dataset.MustLoad("small")
+	var clean, dirty int
+	for _, i := range []int{0, 7, 100, 333} {
+		c, d := checkCleanTilesIdentical(t, v, i)
+		clean += c
+		dirty += d
+	}
+	if clean == 0 || dirty == 0 {
+		t.Fatalf("degenerate coverage: %d clean, %d dirty tiles", clean, dirty)
+	}
+}
+
+// FuzzTileDelta fuzzes the clean-tile invariant with crafted two-frame
+// object motion: whatever the fuzzer does to positions, sizes and
+// intensities, a tile with an unchanged signature must hold identical
+// pixels.
+func FuzzTileDelta(f *testing.F) {
+	f.Add(uint8(2), int16(100), int16(200), uint8(60), uint8(30), int16(12), int16(0))
+	f.Add(uint8(1), int16(-20), int16(600), uint8(120), uint8(40), int16(0), int16(5))
+	f.Add(uint8(3), int16(300), int16(300), uint8(16), uint8(16), int16(640), int16(-640))
+	f.Fuzz(func(t *testing.T, nObj uint8, x, y int16, w, h uint8, dx, dy int16) {
+		n := int(nObj%4) + 1
+		mk := func(frame int) scene.Frame {
+			objs := make([]scene.Object, 0, n)
+			for k := 0; k < n; k++ {
+				ox := int(x) + k*37 + frame*int(dx)
+				oy := int(y) + k*53 + frame*int(dy)
+				ow := int(w%120) + 4
+				oh := int(h%80) + 4
+				objs = append(objs, scene.Object{
+					ID: k + 1, Class: scene.Car,
+					BBox:      raster.RectWH(ox, oy, ow, oh),
+					Intensity: 0.2 + float32(k)*0.1,
+				})
+			}
+			// The generator stores objects sorted by (MinY, ID); the
+			// renderer draws in stored order. Mirror that contract.
+			for a := 1; a < len(objs); a++ {
+				for b := a; b > 0; b-- {
+					if objs[b].BBox.MinY < objs[b-1].BBox.MinY ||
+						(objs[b].BBox.MinY == objs[b-1].BBox.MinY && objs[b].ID < objs[b-1].ID) {
+						objs[b], objs[b-1] = objs[b-1], objs[b]
+					} else {
+						break
+					}
+				}
+			}
+			return scene.Frame{Index: frame, Objects: objs}
+		}
+		cfg := deltaTestConfig(2)
+		v := scene.NewVideo(cfg, []scene.Frame{mk(0), mk(1)})
+		checkCleanTilesIdentical(t, v, 0)
+	})
+}

@@ -100,11 +100,81 @@ func (m *Model) threshold(sigmaEff float64) float64 {
 	return tau
 }
 
+// patchRegion returns the native-coordinate evaluation region of an
+// object: its bbox grown by a margin of at least two model pixels on every
+// side (so components can close around the object and the face path sees
+// local context), clipped to the frame.
+func patchRegion(cfg *scene.Config, obj *scene.Object, sx, sy float64) raster.Rect {
+	marginX, marginY := patchMargins(sx, sy)
+	return raster.Rect{
+		MinX: obj.BBox.MinX - marginX,
+		MinY: obj.BBox.MinY - marginY,
+		MaxX: obj.BBox.MaxX + marginX,
+		MaxY: obj.BBox.MaxY + marginY,
+	}.Intersect(raster.RectWH(0, 0, cfg.Width, cfg.Height))
+}
+
+// patchMargins returns the native-pixel margin a patch region adds around
+// the object bbox on each side.
+func patchMargins(sx, sy float64) (marginX, marginY int) {
+	return int(math.Ceil(2/sx)) + 3, int(math.Ceil(2/sy)) + 3
+}
+
+// patchDims returns the model-scale dimensions of a patch region.
+func patchDims(region raster.Rect, sx, sy float64) (tw, th int) {
+	tw = maxInt(3, int(math.Round(float64(region.W())*sx)))
+	th = maxInt(3, int(math.Round(float64(region.H())*sy)))
+	return tw, th
+}
+
+// patchInfo carries the side-band facts of one patch evaluation the
+// temporal delta layer needs to gate prior-frame reuse: the evaluated
+// region, the selected component's geometry and contrast, and the largest
+// post-blur contrast anywhere in the patch.
+type patchInfo struct {
+	region       raster.Rect
+	hasComp      bool
+	compBBox     raster.Rect // patch (region-relative) coordinates
+	compArea     int
+	meanContrast float64
+	confValid    bool
+	conf         float64
+	maxAbs       float64
+}
+
+// keptPatches receives pre-noise pixel clones from a patch evaluation so
+// the delta-exact path can replay the noise/difference/threshold stages of
+// later frames without re-rendering. Exactly one representation is filled,
+// matching the pipeline (float or quantized) that ran.
+type keptPatches struct {
+	patchF *raster.Image // model-scale patch before sensor noise
+	bgF    *raster.Image // model-scale static background patch
+	patch8 *raster.Plane8
+	bg8    *raster.Plane8
+}
+
+// release returns every held clone to its pool.
+func (k *keptPatches) release() {
+	raster.PutScratch(k.patchF)
+	raster.PutScratch(k.bgF)
+	raster.PutScratch8(k.patch8)
+	raster.PutScratch8(k.bg8)
+	*k = keptPatches{}
+}
+
 // evalPatch rasterises the object's local neighbourhood at native
 // resolution, downsamples frame and static background to the model scale,
 // adds effective sensor noise, and runs denoise + background-difference
 // threshold + connected-components detection on the pixels.
 func (m *Model) evalPatch(v *scene.Video, frameIdx, p int, obj *scene.Object, sx, sy, sigmaEff, tau float64) candidate {
+	return m.evalPatchInfo(v, frameIdx, p, obj, sx, sy, sigmaEff, tau, nil, nil)
+}
+
+// evalPatchInfo is evalPatch with optional side-band outputs for the delta
+// layer: info (nil on the plain path) receives reuse-gating facts, keep
+// (nil outside delta-exact) receives pre-noise pixel clones. With both
+// nil the float path is byte-identical to the historical evalPatch.
+func (m *Model) evalPatchInfo(v *scene.Video, frameIdx, p int, obj *scene.Object, sx, sy, sigmaEff, tau float64, info *patchInfo, keep *keptPatches) candidate {
 	cfg := &v.Config
 	cand := candidate{
 		objID: obj.ID,
@@ -115,28 +185,42 @@ func (m *Model) evalPatch(v *scene.Video, frameIdx, p int, obj *scene.Object, sx
 			maxY: float64(obj.BBox.MaxY) * sy,
 		},
 	}
-
-	// Margin: at least two model pixels on every side so components can
-	// close around the object and the face path sees local context.
-	marginX := int(math.Ceil(2/sx)) + 3
-	marginY := int(math.Ceil(2/sy)) + 3
-	region := raster.Rect{
-		MinX: obj.BBox.MinX - marginX,
-		MinY: obj.BBox.MinY - marginY,
-		MaxX: obj.BBox.MaxX + marginX,
-		MaxY: obj.BBox.MaxY + marginY,
-	}.Intersect(raster.RectWH(0, 0, cfg.Width, cfg.Height))
+	region := patchRegion(cfg, obj, sx, sy)
 	if region.Empty() {
 		return cand
 	}
+	tw, th := patchDims(region, sx, sy)
+	wantMax := info != nil
+	var comps []component
+	var maxAbs float64
+	if Quantized() {
+		comps, maxAbs = m.patchComponentsQuant(v, frameIdx, p, obj, region, tw, th, sigmaEff, tau, wantMax, keep)
+	} else {
+		comps, maxAbs = m.patchComponentsFloat(v, frameIdx, p, obj, region, tw, th, sigmaEff, tau, wantMax, keep)
+	}
+	if info != nil {
+		info.region = region
+		info.maxAbs = maxAbs
+	}
+	m.selectCandidate(&cand, comps, obj, region, sx, sy, tau, info)
+	return cand
+}
 
+// patchComponentsFloat runs the float pixel stages of evalPatch — render,
+// downsample, sensor noise, background/border difference, 3x3 denoise,
+// threshold, connected components — and returns the components plus (when
+// wantMax) the largest post-blur contrast in the patch.
+func (m *Model) patchComponentsFloat(v *scene.Video, frameIdx, p int, obj *scene.Object, region raster.Rect, tw, th int, sigmaEff, tau float64, wantMax bool, keep *keptPatches) ([]component, float64) {
+	cfg := &v.Config
 	nativePatch := raster.GetScratch(region.W(), region.H())
 	v.RenderRegionInto(nativePatch, frameIdx, region)
-	tw := maxInt(3, int(math.Round(float64(region.W())*sx)))
-	th := maxInt(3, int(math.Round(float64(region.H())*sy)))
 	patch := raster.GetScratch(tw, th)
 	defer raster.PutScratch(patch)
 	raster.DownsampleInto(patch, nativePatch)
+	if keep != nil {
+		keep.patchF = raster.GetScratch(tw, th)
+		copy(keep.patchF.Pix, patch.Pix)
+	}
 	patch.AddNoise(noiseSeed(cfg.Seed, frameIdx, p, obj.ID), float32(sigmaEff))
 
 	var diff *plane
@@ -155,16 +239,37 @@ func (m *Model) evalPatch(v *scene.Video, frameIdx, p int, obj *scene.Object, sx
 		bgPatch := raster.GetScratch(tw, th)
 		raster.DownsampleInto(bgPatch, nativePatch)
 		diff = diffPlane(patch, bgPatch)
-		raster.PutScratch(bgPatch)
+		if keep != nil {
+			keep.bgF = bgPatch
+		} else {
+			raster.PutScratch(bgPatch)
+		}
 	}
 	raster.PutScratch(nativePatch)
 	smooth := diff.blur3()
 	putPlane(diff)
 	scr := smooth.absMask(tau)
+	maxAbs := float64(0)
+	if wantMax {
+		mx := float32(0)
+		for _, c := range scr.contrast {
+			if c > mx {
+				mx = c
+			}
+		}
+		maxAbs = float64(mx)
+	}
 	comps := connectedComponents(scr.mask, scr.contrast, tw, th)
 	putPlane(smooth)
 	putMaskScratch(scr)
+	return comps, maxAbs
+}
 
+// selectCandidate picks the component that best explains the object and
+// applies the area and confidence gates, filling cand (and info, when the
+// delta layer is listening). It is shared verbatim by the float, quantized
+// and delta-exact replay paths, so their selection semantics cannot drift.
+func (m *Model) selectCandidate(cand *candidate, comps []component, obj *scene.Object, region raster.Rect, sx, sy, tau float64, info *patchInfo) {
 	// Expected object bbox in patch coordinates.
 	expected := raster.Rect{
 		MinX: int(math.Floor((float64(obj.BBox.MinX) - float64(region.MinX)) * sx)),
@@ -192,15 +297,25 @@ func (m *Model) evalPatch(v *scene.Video, frameIdx, p int, obj *scene.Object, sx
 		}
 	}
 	if best < 0 {
-		return cand
+		return
 	}
 	comp := &comps[best]
+	if info != nil {
+		info.hasComp = true
+		info.compBBox = comp.BBox
+		info.compArea = comp.Area
+		info.meanContrast = comp.MeanContrast()
+	}
 	if comp.Area < m.MinBlobArea {
-		return cand
+		return
 	}
 	conf := m.confidence(comp.Area, comp.MeanContrast(), tau)
+	if info != nil {
+		info.confValid = true
+		info.conf = conf
+	}
 	if conf < m.Threshold {
-		return cand
+		return
 	}
 	// Translate the blob back into model-input coordinates.
 	offX := int(math.Round(float64(region.MinX) * sx))
@@ -215,7 +330,6 @@ func (m *Model) evalPatch(v *scene.Video, frameIdx, p int, obj *scene.Object, sx
 	cand.conf = conf
 	cand.blob = blob
 	cand.class = m.classify(blob, comp.Area)
-	return cand
 }
 
 // borderMean estimates the local surroundings of a patch as the mean of

@@ -1,0 +1,391 @@
+package detect
+
+import (
+	"sync"
+
+	"smokescreen/internal/raster"
+	"smokescreen/internal/scene"
+)
+
+// Quantized patch pipeline. When SetQuantized(true) is in effect the patch
+// path rasterises in float (rendering is cheap and exact), quantizes once
+// at the patch boundary, and runs every per-pixel stage — downsample,
+// sensor noise, background difference, 3x3 denoise, thresholding — on
+// uint8/int16 integer planes with widened accumulators. The signed
+// difference fits int16 exactly (|a-b| ≤ 255), the 3x3 sums fit int16
+// (≤ 9·255 = 2295), and thresholding compares integer sums against
+// floor(tau·255·count), which reproduces the float path's strict
+// v > tau semantics on the quantized values. Components, selection,
+// post-processing and the false-positive process are shared with the
+// float path unchanged.
+
+// plane16 is a signed 16-bit pixel buffer: the quantized analog of plane.
+type plane16 struct {
+	w, h int
+	v    []int16
+}
+
+var plane16Pool = sync.Pool{New: func() any { return &plane16{} }}
+
+func getPlane16(w, h int) *plane16 {
+	p := plane16Pool.Get().(*plane16)
+	p.w, p.h = w, h
+	if cap(p.v) < w*h {
+		p.v = make([]int16, w*h)
+	} else {
+		p.v = p.v[:w*h]
+	}
+	return p
+}
+
+func putPlane16(p *plane16) {
+	if p != nil {
+		plane16Pool.Put(p)
+	}
+}
+
+// diffPlanes8 returns a - b elementwise in a pooled int16 plane.
+func diffPlanes8(a, b *raster.Plane8) *plane16 {
+	if a.W != b.W || a.H != b.H {
+		panic("detect: diffPlanes8 size mismatch")
+	}
+	p := getPlane16(a.W, a.H)
+	for i := range a.Pix {
+		p.v[i] = int16(a.Pix[i]) - int16(b.Pix[i])
+	}
+	return p
+}
+
+// diffScalar8 returns a - c elementwise in a pooled int16 plane.
+func diffScalar8(a *raster.Plane8, c int16) *plane16 {
+	p := getPlane16(a.W, a.H)
+	for i := range a.Pix {
+		p.v[i] = int16(a.Pix[i]) - c
+	}
+	return p
+}
+
+// borderMean8 is the integer analog of borderMean: the rounded mean of the
+// patch's outermost pixel ring.
+func borderMean8(p *raster.Plane8) int16 {
+	var sum, n int
+	for x := 0; x < p.W; x++ {
+		sum += int(p.Pix[x]) + int(p.Pix[(p.H-1)*p.W+x])
+		n += 2
+	}
+	for y := 1; y < p.H-1; y++ {
+		sum += int(p.Pix[y*p.W]) + int(p.Pix[y*p.W+p.W-1])
+		n += 2
+	}
+	return int16((sum + n/2) / n)
+}
+
+// runSeg is one horizontal run of masked pixels: [x0, x1) on some row,
+// labelled with a provisional component index.
+type runSeg struct {
+	x0, x1 int32
+	comp   int32
+}
+
+// quantCCScratch pools the fused blur/threshold/components working set.
+type quantCCScratch struct {
+	vrow  []int16
+	prev  []runSeg
+	cur   []runSeg
+	parent []int32
+	comps  []component
+}
+
+var quantCCPool = sync.Pool{New: func() any { return &quantCCScratch{} }}
+
+// quantComponents fuses the quantized 3x3 denoise, threshold and
+// connected-components stages into one pass. The blur is a separable
+// integer 3x3 box sum (division deferred) and the mask test is
+// |sum| > floor(tau·255·count), where count is the in-bounds window size
+// of the pixel — identical semantics to running the mask stage and the
+// shared pixel labeller separately. Instead of materialising mask and
+// contrast planes and re-scanning them, masked pixels are gathered into
+// horizontal runs as they are produced and the runs are union-found
+// against the previous row's, so the labelling cost scales with the number
+// of above-threshold runs (usually a handful per patch) rather than the
+// patch area. Component Area and BBox are exactly those of the pixel
+// labeller; SumContrast accumulates the same |sum|/(255·count) terms,
+// grouped per run. When wantMax is set the returned maxAbs is the largest
+// contrast anywhere in the patch (the delta-reuse gate for blank patches).
+func quantComponents(p *plane16, tau float64, wantMax bool) ([]component, float64) {
+	w, h := p.w, p.h
+	if w == 0 || h == 0 {
+		return nil, 0
+	}
+	sc := quantCCPool.Get().(*quantCCScratch)
+	if cap(sc.vrow) < w {
+		sc.vrow = make([]int16, w)
+	}
+	vrow := sc.vrow[:w]
+	prev, cur := sc.prev[:0], sc.cur[:0]
+	parent := sc.parent[:0]
+	comps := sc.comps[:0]
+
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	// union merges the stats of two roots into the smaller index, which
+	// stays the component's canonical record.
+	union := func(a, b int32) int32 {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return ra
+		}
+		if rb < ra {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		cra, crb := &comps[ra], &comps[rb]
+		cra.Area += crb.Area
+		cra.SumContrast += crb.SumContrast
+		cra.BBox = cra.BBox.Union(crb.BBox)
+		return ra
+	}
+
+	var y int
+	var pi int
+	// closeRun finishes the run [x0, x1) on row y: unite it with every
+	// 4-connected run of the previous row, or open a fresh component.
+	closeRun := func(x0, x1 int32, sum float64) {
+		for pi < len(prev) && prev[pi].x1 <= x0 {
+			pi++
+		}
+		comp := int32(-1)
+		for k := pi; k < len(prev) && prev[k].x0 < x1; k++ {
+			root := find(prev[k].comp)
+			if comp < 0 {
+				comp = root
+			} else {
+				comp = union(comp, root)
+			}
+		}
+		if comp < 0 {
+			comp = int32(len(comps))
+			parent = append(parent, comp)
+			comps = append(comps, component{
+				BBox:        raster.Rect{MinX: int(x0), MinY: y, MaxX: int(x1), MaxY: y + 1},
+				Area:        int(x1 - x0),
+				SumContrast: sum,
+			})
+		} else {
+			c := &comps[comp]
+			c.Area += int(x1 - x0)
+			c.SumContrast += sum
+			if int(x0) < c.BBox.MinX {
+				c.BBox.MinX = int(x0)
+			}
+			if int(x1) > c.BBox.MaxX {
+				c.BBox.MaxX = int(x1)
+			}
+			c.BBox.MaxY = y + 1
+		}
+		cur = append(cur, runSeg{x0: x0, x1: x1, comp: comp})
+	}
+
+	// Per-count integer thresholds and float contrast scales. Window counts
+	// are cy·cx with cy, cx ∈ {1, 2, 3}: {1, 2, 3, 4, 6, 9}.
+	var thr [10]int32
+	var invCnt [10]float32
+	for c := 1; c <= 9; c++ {
+		thr[c] = int32(tau * 255 * float64(c))
+		invCnt[c] = 1 / (255 * float32(c))
+	}
+	maxAbs := float32(0)
+	for y = 0; y < h; y++ {
+		cy := int32(3)
+		if y == 0 {
+			cy--
+		}
+		if y == h-1 {
+			cy--
+		}
+		// Vertical 3-tap sums for this row; |v| ≤ 3·255 fits int16.
+		base := y * w
+		copy(vrow, p.v[base:base+w])
+		if y > 0 {
+			prow := p.v[base-w : base]
+			for x := range vrow {
+				vrow[x] += prow[x]
+			}
+		}
+		if y+1 < h {
+			nrow := p.v[base+w : base+2*w]
+			for x := range vrow {
+				vrow[x] += nrow[x]
+			}
+		}
+
+		pi = 0
+		inRun := false
+		var runStart int32
+		var runSum float64
+		if w == 1 {
+			sum := int32(vrow[0])
+			if sum < 0 {
+				sum = -sum
+			}
+			if sum > thr[cy] {
+				cf := float32(sum) * invCnt[cy]
+				if cf > maxAbs {
+					maxAbs = cf
+				}
+				closeRun(0, 1, float64(cf))
+			} else if wantMax {
+				if cf := float32(sum) * invCnt[cy]; cf > maxAbs {
+					maxAbs = cf
+				}
+			}
+			prev, cur = cur, prev[:0]
+			continue
+		}
+		thr2, inv2 := thr[2*cy], invCnt[2*cy]
+		thr3, inv3 := thr[3*cy], invCnt[3*cy]
+		sum := int32(vrow[0]) + int32(vrow[1])
+		if sum < 0 {
+			sum = -sum
+		}
+		if sum > thr2 {
+			cf := float32(sum) * inv2
+			if cf > maxAbs {
+				maxAbs = cf
+			}
+			inRun, runStart, runSum = true, 0, float64(cf)
+		} else if wantMax {
+			if cf := float32(sum) * inv2; cf > maxAbs {
+				maxAbs = cf
+			}
+		}
+		for x := 1; x < w-1; x++ {
+			sum = int32(vrow[x-1]) + int32(vrow[x]) + int32(vrow[x+1])
+			if sum < 0 {
+				sum = -sum
+			}
+			if sum > thr3 {
+				cf := float32(sum) * inv3
+				if cf > maxAbs {
+					maxAbs = cf
+				}
+				if !inRun {
+					inRun, runStart, runSum = true, int32(x), 0
+				}
+				runSum += float64(cf)
+			} else {
+				if inRun {
+					closeRun(runStart, int32(x), runSum)
+					inRun = false
+				}
+				if wantMax {
+					if cf := float32(sum) * inv3; cf > maxAbs {
+						maxAbs = cf
+					}
+				}
+			}
+		}
+		sum = int32(vrow[w-2]) + int32(vrow[w-1])
+		if sum < 0 {
+			sum = -sum
+		}
+		if sum > thr2 {
+			cf := float32(sum) * inv2
+			if cf > maxAbs {
+				maxAbs = cf
+			}
+			if !inRun {
+				inRun, runStart, runSum = true, int32(w-1), 0
+			}
+			runSum += float64(cf)
+			closeRun(runStart, int32(w), runSum)
+		} else {
+			if inRun {
+				closeRun(runStart, int32(w-1), runSum)
+			}
+			if wantMax {
+				if cf := float32(sum) * inv2; cf > maxAbs {
+					maxAbs = cf
+				}
+			}
+		}
+		prev, cur = cur, prev[:0]
+	}
+
+	out := make([]component, 0, len(comps))
+	for i := range comps {
+		if parent[i] == int32(i) {
+			out = append(out, comps[i])
+		}
+	}
+	sortComponents(out)
+
+	sc.vrow = vrow[:0]
+	sc.prev, sc.cur = prev[:0], cur[:0]
+	sc.parent, sc.comps = parent[:0], comps[:0]
+	quantCCPool.Put(sc)
+	return out, float64(maxAbs)
+}
+
+// patchComponentsQuant runs the quantized pixel stages of evalPatch:
+// render and downsample (float, exact — the PR 3 prefix-sum kernel, far
+// cheaper than any full-resolution integer pass) → quantize the
+// model-scale patch once → integer sensor noise → integer background
+// difference / border difference → fused blur+mask → shared connected
+// components. Quantizing after the downsample touches tw×th pixels
+// instead of the full native region and loses less precision (one
+// rounding of the averaged value instead of averaging rounded values).
+// When keep is non-nil the pre-noise model-scale patch (and background
+// patch) are cloned into it for the delta-exact reuse path.
+func (m *Model) patchComponentsQuant(v *scene.Video, frameIdx, p int, obj *scene.Object, region raster.Rect, tw, th int, sigmaEff, tau float64, wantMax bool, keep *keptPatches) ([]component, float64) {
+	cfg := &v.Config
+	nativeF := raster.GetScratch(region.W(), region.H())
+	v.RenderRegionInto(nativeF, frameIdx, region)
+	patchF := raster.GetScratch(tw, th)
+	raster.DownsampleInto(patchF, nativeF)
+	patch := raster.GetScratch8(tw, th)
+	patch.FromImage(patchF)
+	if keep != nil {
+		keep.patch8 = raster.GetScratch8(tw, th)
+		copy(keep.patch8.Pix, patch.Pix)
+	}
+	patch.AddNoise8(noiseSeed(cfg.Seed, frameIdx, p, obj.ID), float32(sigmaEff))
+
+	var diff *plane16
+	if obj.Class == scene.Face {
+		diff = diffScalar8(patch, borderMean8(patch))
+	} else {
+		// The static background patch never needs a native-resolution
+		// render: at model scale it reads straight from the per-video
+		// summed-area table in O(tw*th); at native scale it is a row copy.
+		switch {
+		case tw == region.W() && th == region.H():
+			v.BackgroundRegionInto(patchF, region)
+		case tw <= region.W() && th <= region.H():
+			raster.DownsampleIntegralInto(patchF, v.BackgroundIntegral(), region)
+		default:
+			v.BackgroundRegionInto(nativeF, region)
+			raster.DownsampleInto(patchF, nativeF)
+		}
+		bg := raster.GetScratch8(tw, th)
+		bg.FromImage(patchF)
+		diff = diffPlanes8(patch, bg)
+		if keep != nil {
+			keep.bg8 = bg
+		} else {
+			raster.PutScratch8(bg)
+		}
+	}
+	raster.PutScratch(nativeF)
+	raster.PutScratch(patchF)
+	raster.PutScratch8(patch)
+
+	comps, maxAbs := quantComponents(diff, tau, wantMax)
+	putPlane16(diff)
+	return comps, maxAbs
+}

@@ -1,0 +1,97 @@
+package detect
+
+import (
+	"reflect"
+	"testing"
+
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/raster"
+	"smokescreen/internal/scene"
+)
+
+// TestQuantizedCloseToFloat pins the quantized pipeline's accuracy: over a
+// real corpus at a high and a low resolution, per-frame class counts agree
+// with the float pipeline on the overwhelming majority of frames. The
+// pipelines are not bit-equal — quantization moves marginal detections
+// near the confidence threshold — but the disagreement must stay small or
+// the A/B toggle would not be an apples-to-apples comparison.
+func TestQuantizedCloseToFloat(t *testing.T) {
+	v := dataset.MustLoad("small")
+	m := YOLOv4Sim()
+	const n = 60
+	for _, p := range []int{608, 160} {
+		var absErr, total int
+		for i := 0; i < n; i++ {
+			SetQuantized(false)
+			fc := CountClass(m.DetectFrame(v, i, p), scene.Car)
+			SetQuantized(true)
+			qc := CountClass(m.DetectFrame(v, i, p), scene.Car)
+			SetQuantized(false)
+			d := qc - fc
+			if d < 0 {
+				d = -d
+			}
+			absErr += d
+			total += fc
+		}
+		if total == 0 {
+			t.Fatalf("p=%d: float pipeline found no cars in %d frames", p, n)
+		}
+		if float64(absErr) > 0.1*float64(total) {
+			t.Errorf("p=%d: quantized deviates on %d counts of %d total", p, absErr, total)
+		}
+	}
+}
+
+// TestQuantizedDetectsStrongObject pins that an unambiguous object is
+// detected identically by both pipelines, including blob geometry within
+// a pixel.
+func TestQuantizedDetectsStrongObject(t *testing.T) {
+	cfg := deltaTestConfig(1)
+	v := scene.NewVideo(cfg, []scene.Frame{{Index: 0, Objects: []scene.Object{
+		{ID: 1, Class: scene.Car, BBox: raster.RectWH(200, 300, 80, 40), Intensity: 0.3},
+	}}})
+	m := YOLOv4Sim()
+	for _, p := range []int{608, 320, 160} {
+		SetQuantized(false)
+		fd := m.DetectFrame(v, 0, p)
+		SetQuantized(true)
+		qd := m.DetectFrame(v, 0, p)
+		SetQuantized(false)
+		if CountClass(fd, scene.Car) != 1 || CountClass(qd, scene.Car) != 1 {
+			t.Fatalf("p=%d: strong car found %d (float) / %d (quant) times",
+				p, CountClass(fd, scene.Car), CountClass(qd, scene.Car))
+		}
+		fb, qb := fd[0].BBox, qd[0].BBox
+		for _, d := range []int{fb.MinX - qb.MinX, fb.MinY - qb.MinY, fb.MaxX - qb.MaxX, fb.MaxY - qb.MaxY} {
+			if d < -1 || d > 1 {
+				t.Fatalf("p=%d: blob drifted beyond 1px: float %+v quant %+v", p, fb, qb)
+			}
+		}
+	}
+}
+
+// TestQuantizedDeterministicAcrossParallelism pins that the quantized
+// patch path produces identical detections at kernel parallelism 1, 2, 4
+// and 8: integer accumulation has no worker-count-dependent rounding.
+func TestQuantizedDeterministicAcrossParallelism(t *testing.T) {
+	v := dataset.MustLoad("small")
+	m := YOLOv4Sim()
+	withQuantized(t, true)
+	prev := raster.Parallelism()
+	t.Cleanup(func() { raster.SetParallelism(prev) })
+
+	raster.SetParallelism(1)
+	var ref [][]Detection
+	for i := 0; i < 8; i++ {
+		ref = append(ref, m.DetectFrame(v, i, 608))
+	}
+	for _, workers := range []int{2, 4, 8} {
+		raster.SetParallelism(workers)
+		for i := 0; i < 8; i++ {
+			if got := m.DetectFrame(v, i, 608); !reflect.DeepEqual(got, ref[i]) {
+				t.Fatalf("frame %d differs at parallelism %d", i, workers)
+			}
+		}
+	}
+}

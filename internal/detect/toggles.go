@@ -1,0 +1,105 @@
+package detect
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// Runtime A/B toggles for the two hot-path overhauls of the detection
+// pipeline: the quantized uint8 raster path and temporal delta detection.
+// Both default OFF, so the float pipeline with per-frame evaluation —
+// the behaviour every profile artifact so far was produced with — stays
+// bit-identical unless a caller (core.WithQuantizedRasters /
+// core.WithDeltaDetect, or the smokescreend flags) opts in.
+
+// quantizedRasters selects the uint8 pixel pipeline (raster.Plane8 with
+// widened-accumulator kernels) for patch evaluation instead of float32.
+var quantizedRasters atomic.Bool
+
+// SetQuantized toggles the quantized uint8 raster path for patch
+// detection. Like outputs.SetSharing, flip it only around a
+// ResetCaches: cached detector outputs do not record which pipeline
+// produced them.
+func SetQuantized(on bool) { quantizedRasters.Store(on) }
+
+// Quantized reports whether the quantized raster path is enabled.
+func Quantized() bool { return quantizedRasters.Load() }
+
+// DeltaMode selects the temporal delta-detection strategy applied when
+// frames are evaluated in sequence (outputs feeds consecutive frames of a
+// degraded view through a DeltaRun).
+type DeltaMode int32
+
+const (
+	// DeltaOff evaluates every frame independently (the historical path).
+	DeltaOff DeltaMode = iota
+	// DeltaExact re-detects any object whose patch region overlaps a tile
+	// with a nonzero inter-frame delta and reuses the cached pre-noise
+	// pixels otherwise. Results are byte-identical to DeltaOff.
+	DeltaExact
+	// DeltaBounded additionally splices prior-frame detections for objects
+	// whose worst-case contrast perturbation is within the configured
+	// tolerance; the admitted deviation is surfaced through the profile's
+	// err_b accounting (DeltaSurcharge).
+	DeltaBounded
+)
+
+// String renders the mode the way the -delta-detect flag spells it.
+func (m DeltaMode) String() string {
+	switch m {
+	case DeltaOff:
+		return "off"
+	case DeltaExact:
+		return "exact"
+	case DeltaBounded:
+		return "bounded"
+	default:
+		return fmt.Sprintf("deltamode(%d)", int32(m))
+	}
+}
+
+// ParseDeltaMode converts a -delta-detect flag value to a DeltaMode.
+func ParseDeltaMode(s string) (DeltaMode, error) {
+	switch s {
+	case "off":
+		return DeltaOff, nil
+	case "exact":
+		return DeltaExact, nil
+	case "bounded":
+		return DeltaBounded, nil
+	}
+	return DeltaOff, fmt.Errorf("detect: unknown delta-detect mode %q (want off|exact|bounded)", s)
+}
+
+var deltaMode atomic.Int32
+
+// SetDeltaMode selects the temporal delta-detection mode. Flip it only
+// around a ResetCaches, for the same reason as SetQuantized.
+func SetDeltaMode(m DeltaMode) { deltaMode.Store(int32(m)) }
+
+// DeltaDetectMode returns the current delta-detection mode.
+func DeltaDetectMode() DeltaMode { return DeltaMode(deltaMode.Load()) }
+
+// deltaToleranceBits holds the bounded-mode contrast-perturbation cap as
+// float64 bits; the default admits the perturbation bounds of every
+// built-in corpus (night-street ≈ 0.06, UA-DETRAC ≈ 0.08 at native σ).
+var deltaToleranceBits atomic.Uint64
+
+const defaultDeltaTolerance = 0.1
+
+func init() { deltaToleranceBits.Store(math.Float64bits(defaultDeltaTolerance)) }
+
+// SetDeltaTolerance caps the worst-case mean-contrast perturbation
+// (texture + lane-marking + noise-resample terms, in intensity units)
+// under which bounded mode may splice a prior-frame detection. Lower
+// values reuse less; zero disables bounded splicing entirely.
+func SetDeltaTolerance(t float64) {
+	if t < 0 || math.IsNaN(t) {
+		t = 0
+	}
+	deltaToleranceBits.Store(math.Float64bits(t))
+}
+
+// DeltaTolerance returns the bounded-mode perturbation cap.
+func DeltaTolerance() float64 { return math.Float64frombits(deltaToleranceBits.Load()) }

@@ -22,6 +22,7 @@ package outputs
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -184,20 +185,26 @@ func (t *table) compute(ctx context.Context, v *scene.Video, m *detect.Model, p 
 	// Background is rendered lazily behind a sync.Once; touch it before
 	// fanning out so workers share one render.
 	v.Background()
-	results := make([]vec, len(frames))
-	err := parallel.ForCtx(ctx, len(frames), 0, func(i int) error {
-		dets := m.DetectFrame(v, frames[i], p)
-		var r vec
-		for c := scene.Class(0); c < scene.NumClasses; c++ {
-			r[c] = float64(detect.CountClass(dets, c))
+	results := make(map[int]vec, len(frames))
+	var err error
+	if detect.DeltaDetectMode() != detect.DeltaOff && len(frames) > 1 {
+		err = computeDelta(ctx, v, m, p, frames, results)
+	} else {
+		rs := make([]vec, len(frames))
+		err = parallel.ForCtx(ctx, len(frames), 0, func(i int) error {
+			rs[i] = countRow(m.DetectFrame(v, frames[i], p))
+			return nil
+		})
+		if err == nil {
+			for i, f := range frames {
+				results[f] = rs[i]
+			}
 		}
-		results[i] = r
-		return nil
-	})
+	}
 	t.mu.Lock()
 	if err == nil {
-		for i, f := range frames {
-			t.rows[f] = results[i]
+		for f, r := range results {
+			t.rows[f] = r
 		}
 	}
 	for _, f := range frames {
@@ -211,6 +218,68 @@ func (t *table) compute(ctx context.Context, v *scene.Video, m *detect.Model, p 
 		framesDetected.Add(int64(len(frames)))
 	}
 	return err
+}
+
+// countRow folds a frame's detections into a per-class count vector.
+func countRow(dets []detect.Detection) vec {
+	var r vec
+	for c := scene.Class(0); c < scene.NumClasses; c++ {
+		r[c] = float64(detect.CountClass(dets, c))
+	}
+	return r
+}
+
+// deltaBlockFrames is the number of consecutive frames one DeltaRun walks
+// sequentially when temporal delta detection is on: large enough that
+// almost every frame inside a block has a same-run predecessor to reuse
+// from (47/48 at full sampling), small enough that typical requests still
+// fan out across the worker pool.
+const deltaBlockFrames = 48
+
+// computeDelta evaluates the claimed frames through per-block DeltaRuns:
+// frames are sorted, split into fixed blocks, and each block is walked in
+// order by one run so consecutive frames can reuse each other's work.
+// Blocks run in parallel; block boundaries simply start a keyframe.
+// Results land in rows keyed by frame number, so the reordering relative
+// to the caller's frame slice is free.
+func computeDelta(ctx context.Context, v *scene.Video, m *detect.Model, p int, frames []int, rows map[int]vec) error {
+	sorted := append([]int(nil), frames...)
+	sort.Ints(sorted)
+	blocks := (len(sorted) + deltaBlockFrames - 1) / deltaBlockFrames
+	results := make([]vec, len(sorted))
+	err := parallel.ForCtx(ctx, blocks, 0, func(bi int) error {
+		lo := bi * deltaBlockFrames
+		hi := lo + deltaBlockFrames
+		if hi > len(sorted) {
+			hi = len(sorted)
+		}
+		run := m.NewDeltaRun(v, p)
+		if run == nil {
+			// Mode flipped off mid-request; fall back per frame.
+			for j := lo; j < hi; j++ {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				results[j] = countRow(m.DetectFrame(v, sorted[j], p))
+			}
+			return nil
+		}
+		defer run.Close()
+		for j := lo; j < hi; j++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			results[j] = countRow(run.DetectFrame(sorted[j]))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for j, f := range sorted {
+		rows[f] = results[j]
+	}
+	return nil
 }
 
 // Ensure materialises rows for the given frames of (v, m, p) without

@@ -261,3 +261,38 @@ func TestStatsAndEvictAccounting(t *testing.T) {
 	}
 	detect.ResetCaches()
 }
+
+// TestDeltaExactSeriesMatchesOff pins the end-to-end determinism contract
+// of exact temporal delta detection: the full output series of a corpus is
+// bit-identical whether frames are evaluated independently or through the
+// block-sequential DeltaRun path, and the delta counters prove reuse
+// actually engaged.
+func TestDeltaExactSeriesMatchesOff(t *testing.T) {
+	detect.ResetCaches()
+	t.Cleanup(detect.ResetCaches)
+	ctx := context.Background()
+	v := dataset.MustLoad("small")
+	m := detect.YOLOv4Sim()
+
+	off, err := Full(ctx, v, m, scene.Car, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offCopy := append([]float64(nil), off...)
+
+	detect.ResetCaches()
+	detect.SetDeltaMode(detect.DeltaExact)
+	t.Cleanup(func() { detect.SetDeltaMode(detect.DeltaOff) })
+	exact, err := Full(ctx, v, m, scene.Car, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range offCopy {
+		if offCopy[i] != exact[i] {
+			t.Fatalf("frame %d: off=%v exact=%v", i, offCopy[i], exact[i])
+		}
+	}
+	if dc := detect.DeltaCounters(); dc.CandidatesReused == 0 && dc.TilesRedetected == 0 {
+		t.Fatalf("delta path did not engage: %+v", dc)
+	}
+}

@@ -3,6 +3,8 @@ package plan
 import (
 	"sync/atomic"
 	"time"
+
+	"smokescreen/internal/detect"
 )
 
 // Cumulative per-stage accounting for the plan/execute pipeline. The
@@ -60,17 +62,27 @@ type StageStats struct {
 	Tasks            int64
 	Units            int64
 	DedupSavedFrames int64
+	// DeltaTilesReused / DeltaCandidatesReused mirror the temporal
+	// delta-detection effectiveness counters (detect.DeltaCounters) at
+	// snapshot time, so one Stages read gives the bench harness and
+	// /metrics the full work-avoidance picture: plan-level dedup plus
+	// frame-level temporal reuse.
+	DeltaTilesReused      int64
+	DeltaCandidatesReused int64
 }
 
 // Stages snapshots the cumulative stage counters.
 func Stages() StageStats {
+	dc := detect.DeltaCounters()
 	return StageStats{
-		PlanNS:           planNS.Load(),
-		DetectNS:         detectNS.Load(),
-		EstimateNS:       estimateNS.Load(),
-		Tasks:            tasksPlanned.Load(),
-		Units:            unitsPlanned.Load(),
-		DedupSavedFrames: dedupSavedFrames.Load(),
+		PlanNS:                planNS.Load(),
+		DetectNS:              detectNS.Load(),
+		EstimateNS:            estimateNS.Load(),
+		Tasks:                 tasksPlanned.Load(),
+		Units:                 unitsPlanned.Load(),
+		DedupSavedFrames:      dedupSavedFrames.Load(),
+		DeltaTilesReused:      dc.TilesReused,
+		DeltaCandidatesReused: dc.CandidatesReused,
 	}
 }
 

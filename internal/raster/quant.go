@@ -1,0 +1,464 @@
+package raster
+
+import "sync"
+
+// Quantized rasters. Plane8 stores samples as uint8 (v ≈ round(255·v01)):
+// one quarter of the float32 footprint, and the separable kernels below run
+// on widened integer accumulators (uint32 row sums, int64 window reductions)
+// instead of float64, which both narrows memory traffic and lets the inner
+// loops unroll 8 wide without precision anxiety. The quantized path is an
+// OPT-IN approximation of the float path: every kernel here is
+// property-tested against the retained float oracles within a small LSB
+// tolerance (see quant_test.go), exactly like the PR 3 naive kernels, and
+// the float path remains the default and the ground truth.
+//
+// Worker-count determinism carries over unchanged: the kernels partition
+// work with the same fixed 32-row blocks (forRowBlocks), every output
+// sample is a pure function of its inputs, and integer accumulation is
+// exact, so quantized pixels are bit-identical at any Parallelism setting.
+
+// Plane8 is a w x h raster of uint8 samples; 0 maps to 0.0 and 255 to 1.0.
+type Plane8 struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewPlane8 returns a zeroed w x h plane.
+func NewPlane8(w, h int) *Plane8 {
+	return &Plane8{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// quantize maps a clamped [0,1] float sample to its uint8 code.
+func quantize(v float32) uint8 {
+	q := int32(v*255 + 0.5)
+	if q < 0 {
+		q = 0
+	} else if q > 255 {
+		q = 255
+	}
+	return uint8(q)
+}
+
+// Dequant8 maps a uint8 code back to its [0,1] float value.
+func Dequant8(q uint8) float32 { return float32(q) * (1.0 / 255.0) }
+
+// FromImage quantizes src into p, which must share its dimensions. The
+// inner loop is unrolled 8 wide; every destination sample is overwritten,
+// so p may come from GetScratch8.
+func (p *Plane8) FromImage(src *Image) {
+	if p.W != src.W || p.H != src.H {
+		panic("raster: FromImage size mismatch")
+	}
+	n := len(p.Pix)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		p.Pix[i+0] = quantize(src.Pix[i+0])
+		p.Pix[i+1] = quantize(src.Pix[i+1])
+		p.Pix[i+2] = quantize(src.Pix[i+2])
+		p.Pix[i+3] = quantize(src.Pix[i+3])
+		p.Pix[i+4] = quantize(src.Pix[i+4])
+		p.Pix[i+5] = quantize(src.Pix[i+5])
+		p.Pix[i+6] = quantize(src.Pix[i+6])
+		p.Pix[i+7] = quantize(src.Pix[i+7])
+	}
+	for ; i < n; i++ {
+		p.Pix[i] = quantize(src.Pix[i])
+	}
+}
+
+// ToImage dequantizes p into dst, which must share its dimensions.
+func (p *Plane8) ToImage(dst *Image) {
+	if p.W != dst.W || p.H != dst.H {
+		panic("raster: ToImage size mismatch")
+	}
+	for i, q := range p.Pix {
+		dst.Pix[i] = Dequant8(q)
+	}
+}
+
+// scratch8Pool recycles Plane8 headers + slabs for the quantized hot path,
+// mirroring scratchPool for float images: pooled planes are resliced, never
+// zeroed, and must be fully overwritten before reading.
+var scratch8Pool = sync.Pool{New: func() any { return &Plane8{} }}
+
+// GetScratch8 returns a w x h plane from the pool with UNDEFINED contents —
+// callers must overwrite every sample before reading. Release with
+// PutScratch8; the plane must not be retained or read after release.
+func GetScratch8(w, h int) *Plane8 {
+	if w <= 0 || h <= 0 {
+		panic("raster: GetScratch8 with non-positive size")
+	}
+	p := scratch8Pool.Get().(*Plane8)
+	p.W, p.H = w, h
+	if cap(p.Pix) < w*h {
+		p.Pix = make([]uint8, w*h)
+	} else {
+		p.Pix = p.Pix[:w*h]
+	}
+	return p
+}
+
+// PutScratch8 returns a plane obtained from GetScratch8 to the pool. It is
+// safe (a no-op) on nil.
+func PutScratch8(p *Plane8) {
+	if p == nil {
+		return
+	}
+	scratch8Pool.Put(p)
+}
+
+// i32Pool and i64Pool recycle the widened integer accumulator slabs of the
+// quantized kernels, mirroring f64Pool: resliced, never zeroed, fully
+// overwritten by every consumer before reading.
+var (
+	i32Pool sync.Pool
+	i64Pool sync.Pool
+)
+
+func getI32(n int) []int32 {
+	if v := i32Pool.Get(); v != nil {
+		if s := v.([]int32); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]int32, n)
+}
+
+func putI32(s []int32) {
+	if s != nil {
+		i32Pool.Put(s[:cap(s)]) //nolint:staticcheck // slab reuse outweighs the header box
+	}
+}
+
+func getI64(n int) []int64 {
+	if v := i64Pool.Get(); v != nil {
+		if s := v.([]int64); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]int64, n)
+}
+
+func putI64(s []int64) {
+	if s != nil {
+		i64Pool.Put(s[:cap(s)]) //nolint:staticcheck // slab reuse outweighs the header box
+	}
+}
+
+// clampRound8 rounds a non-negative float64 sample in 255-scale to uint8.
+func clampRound8(v float64) uint8 {
+	q := int32(v + 0.5)
+	if q < 0 {
+		q = 0
+	} else if q > 255 {
+		q = 255
+	}
+	return uint8(q)
+}
+
+// DownsampleInto8 is the quantized analog of DownsampleInto: box-filter
+// area averaging of src into dst at dst's dimensions. The horizontal pass
+// computes uint32 row prefix sums and evaluates each destination column's
+// continuous window integral in Q8 fixed point (boundary fractions
+// quantized to 1/256); the vertical pass reduces those row integrals with
+// Q8 boundary weights into an int64 accumulator, so the only float
+// operation is the final per-sample normalisation. Upsampling along either
+// axis round-trips through the float bilinear kernel (it is off the
+// detection hot path). dst and src must not alias.
+func DownsampleInto8(dst, src *Plane8) {
+	w, h := dst.W, dst.H
+	if w <= 0 || h <= 0 {
+		panic("raster: DownsampleInto8 to non-positive size")
+	}
+	if w == src.W && h == src.H {
+		copy(dst.Pix, src.Pix)
+		return
+	}
+	if w > src.W || h > src.H {
+		sf := GetScratch(src.W, src.H)
+		df := GetScratch(w, h)
+		src.ToImage(sf)
+		bilinearInto(df, sf)
+		dst.FromImage(df)
+		PutScratch(df)
+		PutScratch(sf)
+		return
+	}
+	downsampleFast8Into(dst, src)
+}
+
+func downsampleFast8Into(dst, src *Plane8) {
+	w, h := dst.W, dst.H
+	sw, sh := src.W, src.H
+
+	xwin := getAxisWindows(w)
+	defer putAxisWindows(xwin)
+	makeAxisWindows(xwin, sw, w)
+
+	// Boundary fractions in Q8: fq = round(f·256). The quantization error is
+	// at most 1/512 of one boundary pixel (≤ 0.5 in 255-scale) per row
+	// integral, which the window-area normalisation shrinks below 1 LSB for
+	// every window wider than one source pixel.
+	f0q := getI32(w)
+	defer putI32(f0q)
+	f1q := getI32(w)
+	defer putI32(f1q)
+	for dx := 0; dx < w; dx++ {
+		f0q[dx] = int32(xwin[dx].f0*256 + 0.5)
+		f1q[dx] = int32(xwin[dx].f1*256 + 0.5)
+	}
+
+	// Horizontal pass: rowInt[sy*w+dx] = 256 x the continuous integral of
+	// source row sy over destination column dx's window, exactly
+	// 256·(P[i1]-P[i0]) + f1q·row[i1] - f0q·row[i0] with uint32 prefix P.
+	rowInt := getI32(sh * w)
+	defer putI32(rowInt)
+	forRowBlocks(sh, sh*(sw+w), func(lo, hi int) {
+		prefix := getI32(sw + 1)
+		defer putI32(prefix)
+		for sy := lo; sy < hi; sy++ {
+			row := src.Pix[sy*sw : (sy+1)*sw]
+			prefix[0] = 0
+			var sum int32
+			for x, v := range row {
+				sum += int32(v)
+				prefix[x+1] = sum
+			}
+			out := rowInt[sy*w : (sy+1)*w]
+			for dx := range out {
+				xw := &xwin[dx]
+				c0 := prefix[xw.i0]<<8 + f0q[dx]*int32(row[xw.i0])
+				c1 := prefix[xw.i1]<<8 + f1q[dx]*int32(row[xw.i1])
+				out[dx] = c1 - c0
+			}
+		}
+	})
+
+	// Vertical pass: int64 accumulation of Q8-weighted row integrals (total
+	// scale 2^16), one float multiply per output sample to normalise. The
+	// unrolled accumulate loop is the hottest loop of the quantized path.
+	forRowBlocks(h, h*(sh/h+2)*w, func(lo, hi int) {
+		acc := getI64(w)
+		defer putI64(acc)
+		yRatio := float64(sh) / float64(h)
+		for dy := lo; dy < hi; dy++ {
+			y0 := float64(dy) * yRatio
+			y1 := float64(dy+1) * yRatio
+			iy0 := int(y0)
+			iy1 := int(y1)
+			if iy1 > sh-1 {
+				iy1 = sh - 1
+			}
+			for i := range acc {
+				acc[i] = 0
+			}
+			for sy := iy0; sy <= iy1; sy++ {
+				wy := 1.0
+				if sy == iy0 {
+					wy -= y0 - float64(iy0)
+				}
+				if sy == iy1 {
+					wy -= float64(iy1) + 1 - y1
+				}
+				if wy <= 0 {
+					continue
+				}
+				wyq := int64(wy*256 + 0.5)
+				if wyq == 0 {
+					continue
+				}
+				ri := rowInt[sy*w : (sy+1)*w]
+				accumulateQ8(acc, ri, wyq)
+			}
+			invY := 1 / (y1 - y0)
+			out := dst.Pix[dy*w : (dy+1)*w]
+			for dx := range out {
+				out[dx] = clampRound8(float64(acc[dx]) * (xwin[dx].inv * invY * (1.0 / 65536.0)))
+			}
+		}
+	})
+}
+
+// accumulateQ8 adds wyq·ri into acc, unrolled 8 wide. len(ri) == len(acc).
+func accumulateQ8(acc []int64, ri []int32, wyq int64) {
+	n := len(acc)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		acc[i+0] += wyq * int64(ri[i+0])
+		acc[i+1] += wyq * int64(ri[i+1])
+		acc[i+2] += wyq * int64(ri[i+2])
+		acc[i+3] += wyq * int64(ri[i+3])
+		acc[i+4] += wyq * int64(ri[i+4])
+		acc[i+5] += wyq * int64(ri[i+5])
+		acc[i+6] += wyq * int64(ri[i+6])
+		acc[i+7] += wyq * int64(ri[i+7])
+	}
+	for ; i < n; i++ {
+		acc[i] += wyq * int64(ri[i])
+	}
+}
+
+// BoxBlurInto8 is the quantized analog of BoxBlurInto: a separable
+// two-pass sliding-window box blur with int32 row sums and an int32 column
+// accumulator, re-seeded at every fixed 32-row block boundary so output
+// bits are a function of the image size alone. dst must share src's
+// dimensions and not alias it.
+func BoxBlurInto8(dst, src *Plane8, r int) {
+	if dst.W != src.W || dst.H != src.H {
+		panic("raster: BoxBlurInto8 size mismatch")
+	}
+	if r <= 0 {
+		copy(dst.Pix, src.Pix)
+		return
+	}
+	w, h := src.W, src.H
+
+	// Horizontal pass: hs[y*w+x] = sum of src row y over [x-r, x+r]&bounds.
+	hs := getI32(w * h)
+	defer putI32(hs)
+	forRowBlocks(h, h*w*2, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			row := src.Pix[y*w : (y+1)*w]
+			out := hs[y*w : (y+1)*w]
+			var sum int32
+			for x := 0; x <= r && x < w; x++ {
+				sum += int32(row[x])
+			}
+			for x := 0; x < w; x++ {
+				out[x] = sum
+				if x+r+1 < w {
+					sum += int32(row[x+r+1])
+				}
+				if x-r >= 0 {
+					sum -= int32(row[x-r])
+				}
+			}
+		}
+	})
+
+	invCntX := getF64(w)
+	defer putF64(invCntX)
+	for x := 0; x < w; x++ {
+		x0, x1 := x-r, x+r+1
+		if x0 < 0 {
+			x0 = 0
+		}
+		if x1 > w {
+			x1 = w
+		}
+		invCntX[x] = 1 / float64(x1-x0)
+	}
+
+	// Vertical pass: integer sliding window; the add/sub row updates are
+	// unrolled 8 wide. Window sums stay well inside int32:
+	// 255·(2r+1)^2 overflows only past r ≈ 1400.
+	forRowBlocks(h, h*w*2+(h/kernelRowBlock+1)*(2*r+1)*w, func(lo, hi int) {
+		vacc := getI32(w)
+		defer putI32(vacc)
+		for i := range vacc {
+			vacc[i] = 0
+		}
+		yw0, yw1 := lo-r, lo+r+1
+		if yw0 < 0 {
+			yw0 = 0
+		}
+		if yw1 > h {
+			yw1 = h
+		}
+		for y := yw0; y < yw1; y++ {
+			addRows8(vacc, hs[y*w:(y+1)*w])
+		}
+		for y := lo; y < hi; y++ {
+			y0, y1 := y-r, y+r+1
+			if y0 < 0 {
+				y0 = 0
+			}
+			if y1 > h {
+				y1 = h
+			}
+			invCntY := 1 / float64(y1-y0)
+			out := dst.Pix[y*w : (y+1)*w]
+			for x := range out {
+				out[x] = clampRound8(float64(vacc[x]) * invCntX[x] * invCntY)
+			}
+			if y+1 < hi {
+				if y+r+1 < h {
+					addRows8(vacc, hs[(y+r+1)*w:(y+r+2)*w])
+				}
+				if y-r >= 0 {
+					subRows8(vacc, hs[(y-r)*w:(y-r+1)*w])
+				}
+			}
+		}
+	})
+}
+
+// addRows8 adds row into acc element-wise, unrolled 8 wide.
+func addRows8(acc, row []int32) {
+	n := len(acc)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		acc[i+0] += row[i+0]
+		acc[i+1] += row[i+1]
+		acc[i+2] += row[i+2]
+		acc[i+3] += row[i+3]
+		acc[i+4] += row[i+4]
+		acc[i+5] += row[i+5]
+		acc[i+6] += row[i+6]
+		acc[i+7] += row[i+7]
+	}
+	for ; i < n; i++ {
+		acc[i] += row[i]
+	}
+}
+
+// subRows8 subtracts row from acc element-wise, unrolled 8 wide.
+func subRows8(acc, row []int32) {
+	n := len(acc)
+	i := 0
+	for ; i+8 <= n; i += 8 {
+		acc[i+0] -= row[i+0]
+		acc[i+1] -= row[i+1]
+		acc[i+2] -= row[i+2]
+		acc[i+3] -= row[i+3]
+		acc[i+4] -= row[i+4]
+		acc[i+5] -= row[i+5]
+		acc[i+6] -= row[i+6]
+		acc[i+7] -= row[i+7]
+	}
+	for ; i < n; i++ {
+		acc[i] -= row[i]
+	}
+}
+
+// AddNoise8 is the quantized analog of Image.AddNoise: the same per-pixel
+// Irwin–Hall(3) hash noise, evaluated entirely in fixed point. The float
+// kernel computes clamp01(v + (u1+u2+u3)·sigma/0.5) with each u drawn from
+// a 21-bit hash field; here the three fields are summed, centered, and
+// scaled by kq = round(2·sigma·255·2^16) so the 255-scale perturbation is
+// (centered·kq + 2^36) >> 37 — a round-to-nearest Q(21+16) evaluation that
+// lands within 1 LSB of quantizing the float kernel's output.
+func (p *Plane8) AddNoise8(seed uint64, sigma float32) {
+	if sigma <= 0 {
+		return
+	}
+	kq := int64(float64(sigma)*2*255*65536 + 0.5)
+	w := p.W
+	forRowBlocks(p.H, p.H*w*2, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			row := p.Pix[y*w : (y+1)*w]
+			for x := range row {
+				h := pixelHash(seed, x, y)
+				centered := int64(h&0x1fffff) + int64((h>>21)&0x1fffff) + int64((h>>42)&0x1fffff) - 3*(1<<20)
+				delta := (centered*kq + (1 << 36)) >> 37
+				q := int64(row[x]) + delta
+				if q < 0 {
+					q = 0
+				} else if q > 255 {
+					q = 255
+				}
+				row[x] = uint8(q)
+			}
+		}
+	})
+}

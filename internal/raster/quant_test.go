@@ -1,0 +1,246 @@
+package raster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fillPseudo fills img with a deterministic pseudo-random texture.
+func fillPseudo(img *Image, seed uint64) {
+	for y := 0; y < img.H; y++ {
+		for x := 0; x < img.W; x++ {
+			h := pixelHash(seed, x, y)
+			img.Pix[y*img.W+x] = float32(h&0xffff) / 0xffff
+		}
+	}
+}
+
+// plane8From quantizes a fresh Plane8 from img.
+func plane8From(img *Image) *Plane8 {
+	p := NewPlane8(img.W, img.H)
+	p.FromImage(img)
+	return p
+}
+
+// maxAbsDiff8 returns the largest |a-b| over two equal-size planes.
+func maxAbsDiff8(t *testing.T, a, b *Plane8) int {
+	t.Helper()
+	if a.W != b.W || a.H != b.H {
+		t.Fatalf("size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	worst := 0
+	for i := range a.Pix {
+		d := int(a.Pix[i]) - int(b.Pix[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// quantRoundTripTolerance is the admitted LSB deviation between a quantized
+// kernel and quantizing its float oracle's output: 1 LSB from the Q8/Q16
+// fixed-point boundary terms plus 1 LSB of round-to-nearest disagreement.
+const quantRoundTripTolerance = 2
+
+// TestQuantDownsampleMatchesFloatOracle pins DownsampleInto8 to the naive
+// float box-filter oracle within tolerance, over a grid of shapes covering
+// exact-multiple, fractional, and extreme downsample ratios.
+func TestQuantDownsampleMatchesFloatOracle(t *testing.T) {
+	cases := []struct{ sw, sh, dw, dh int }{
+		{64, 64, 32, 32},
+		{64, 64, 17, 23},
+		{97, 53, 31, 29},
+		{640, 640, 608, 608},
+		{640, 640, 64, 64},
+		{33, 7, 3, 3},
+		{16, 16, 16, 16},
+	}
+	for ci, c := range cases {
+		src := New(c.sw, c.sh)
+		fillPseudo(src, 0x5eed+uint64(ci))
+		src8 := plane8From(src)
+
+		got := NewPlane8(c.dw, c.dh)
+		DownsampleInto8(got, src8)
+
+		// Oracle: the naive float kernel on the dequantized source, then
+		// quantized — the same input the integer kernel saw.
+		deq := New(c.sw, c.sh)
+		src8.ToImage(deq)
+		ref := New(c.dw, c.dh)
+		downsampleNaiveInto(ref, deq)
+		want := plane8From(ref)
+
+		if d := maxAbsDiff8(t, got, want); d > quantRoundTripTolerance {
+			t.Errorf("case %d (%dx%d -> %dx%d): max deviation %d LSB > %d",
+				ci, c.sw, c.sh, c.dw, c.dh, d, quantRoundTripTolerance)
+		}
+	}
+}
+
+// TestQuantDownsampleUpsamplePath pins the bilinear fallback shape handling.
+func TestQuantDownsampleUpsamplePath(t *testing.T) {
+	src := New(32, 32)
+	fillPseudo(src, 0xabc)
+	src8 := plane8From(src)
+	got := NewPlane8(48, 48)
+	DownsampleInto8(got, src8)
+
+	deq := New(32, 32)
+	src8.ToImage(deq)
+	ref := New(48, 48)
+	bilinearInto(ref, deq)
+	want := plane8From(ref)
+	if d := maxAbsDiff8(t, got, want); d > quantRoundTripTolerance {
+		t.Errorf("upsample path: max deviation %d LSB", d)
+	}
+}
+
+// TestQuantBoxBlurMatchesFloatOracle pins BoxBlurInto8 to the naive float
+// blur oracle within tolerance.
+func TestQuantBoxBlurMatchesFloatOracle(t *testing.T) {
+	for _, r := range []int{0, 1, 2, 5} {
+		for _, size := range []struct{ w, h int }{{31, 17}, {64, 64}, {129, 40}} {
+			src := New(size.w, size.h)
+			fillPseudo(src, uint64(r*1000+size.w))
+			src8 := plane8From(src)
+
+			got := NewPlane8(size.w, size.h)
+			BoxBlurInto8(got, src8, r)
+
+			deq := New(size.w, size.h)
+			src8.ToImage(deq)
+			ref := New(size.w, size.h)
+			boxBlurNaiveInto(ref, deq, r)
+			want := plane8From(ref)
+
+			if d := maxAbsDiff8(t, got, want); d > quantRoundTripTolerance {
+				t.Errorf("r=%d %dx%d: max deviation %d LSB", r, size.w, size.h, d)
+			}
+		}
+	}
+}
+
+// TestQuantAddNoiseMatchesFloat pins the fixed-point Irwin–Hall noise to the
+// float kernel within tolerance, across the sigma range the detectors use.
+func TestQuantAddNoiseMatchesFloat(t *testing.T) {
+	for _, sigma := range []float32{0.004, 0.015, 0.045, 0.2} {
+		src := New(80, 60)
+		fillPseudo(src, uint64(sigma*1e6))
+		got := plane8From(src)
+		got.AddNoise8(0xfeed, sigma)
+
+		deq := New(80, 60)
+		plane8From(src).ToImage(deq)
+		deq.AddNoise(0xfeed, sigma)
+		want := plane8From(deq)
+
+		if d := maxAbsDiff8(t, got, want); d > quantRoundTripTolerance {
+			t.Errorf("sigma=%v: max deviation %d LSB", sigma, d)
+		}
+	}
+}
+
+// TestQuantKernelsDeterministicAcrossWorkers pins that the quantized
+// kernels produce bit-identical bytes at parallelism 1, 2, 4 and 8 — the
+// same fixed-row-block contract the float kernels carry.
+func TestQuantKernelsDeterministicAcrossWorkers(t *testing.T) {
+	prev := int(kernelParallelism.Load())
+	defer SetParallelism(prev)
+
+	src := New(512, 384)
+	fillPseudo(src, 0xd17e)
+	src8 := plane8From(src)
+
+	type result struct{ down, blur, noise []uint8 }
+	run := func() result {
+		down := NewPlane8(160, 120)
+		DownsampleInto8(down, src8)
+		blur := NewPlane8(512, 384)
+		BoxBlurInto8(blur, src8, 2)
+		noise := NewPlane8(512, 384)
+		copy(noise.Pix, src8.Pix)
+		noise.AddNoise8(0xcafe, 0.05)
+		return result{down.Pix, blur.Pix, noise.Pix}
+	}
+
+	SetParallelism(1)
+	ref := run()
+	for _, workers := range []int{2, 4, 8} {
+		SetParallelism(workers)
+		got := run()
+		for name, pair := range map[string][2][]uint8{
+			"downsample": {ref.down, got.down},
+			"boxblur":    {ref.blur, got.blur},
+			"addnoise":   {ref.noise, got.noise},
+		} {
+			for i := range pair[0] {
+				if pair[0][i] != pair[1][i] {
+					t.Fatalf("%s: byte %d differs at parallelism %d", name, i, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestScratch8PoolRoundTrip pins the pooled plane contract: reslicing, size
+// panics, and nil safety.
+func TestScratch8PoolRoundTrip(t *testing.T) {
+	p := GetScratch8(7, 5)
+	if p.W != 7 || p.H != 5 || len(p.Pix) != 35 {
+		t.Fatalf("GetScratch8 shape: %dx%d len %d", p.W, p.H, len(p.Pix))
+	}
+	PutScratch8(p)
+	PutScratch8(nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("GetScratch8(0, 3) did not panic")
+		}
+	}()
+	GetScratch8(0, 3)
+}
+
+func benchSource8(w, h int) *Plane8 {
+	img := New(w, h)
+	fillPseudo(img, 0xbe2c4)
+	return plane8From(img)
+}
+
+func BenchmarkKernelDownsample8(b *testing.B) {
+	for _, c := range []struct{ sw, dw int }{{640, 608}, {640, 160}} {
+		b.Run(fmt.Sprintf("%dto%d", c.sw, c.dw), func(b *testing.B) {
+			src := benchSource8(c.sw, c.sw)
+			dst := NewPlane8(c.dw, c.dw)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				DownsampleInto8(dst, src)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelBoxBlur8(b *testing.B) {
+	src := benchSource8(640, 640)
+	dst := NewPlane8(640, 640)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BoxBlurInto8(dst, src, 2)
+	}
+}
+
+func BenchmarkKernelAddNoise8(b *testing.B) {
+	src := benchSource8(640, 640)
+	work := NewPlane8(640, 640)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work.Pix, src.Pix)
+		work.AddNoise8(0x9e, 0.045)
+	}
+}

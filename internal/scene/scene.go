@@ -176,6 +176,9 @@ type Video struct {
 
 	bgOnce sync.Once
 	bg     *raster.Image
+
+	bgIntOnce sync.Once
+	bgInt     *raster.IntegralImage
 }
 
 // WithNoise returns a view of the corpus captured with extra sensor noise
@@ -191,6 +194,15 @@ func (v *Video) WithNoise(extraSigma float32) *Video {
 	cfg := v.Config
 	cfg.Lighting.NoiseSigma += extraSigma
 	return &Video{Config: cfg, frames: v.frames}
+}
+
+// NewVideo wraps hand-built frame annotations in a Video. Generate is the
+// production constructor; NewVideo exists for tests and fuzz targets that
+// need precise control over object placement (e.g. exercising the temporal
+// delta detector with crafted motion). The Config is trusted: callers
+// wanting validation should run cfg.Validate first.
+func NewVideo(cfg Config, frames []Frame) *Video {
+	return &Video{Config: cfg, frames: frames}
 }
 
 // NumFrames returns the corpus length N, the paper's population size.

@@ -44,6 +44,10 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, jobs *jobSet, st
 	if outputs.Sharing() {
 		dedup = 1
 	}
+	var quantized int64
+	if detect.Quantized() {
+		quantized = 1
+	}
 	samples := map[string]int64{
 		"smokescreend_http_requests_total":               m.httpRequests.Load(),
 		"smokescreend_profiles_served_total":             m.profilesServed.Load(),
@@ -89,6 +93,13 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, jobs *jobSet, st
 		"smokescreend_detect_render_bytes":               dc.RenderBytes,
 		"smokescreend_detect_render_hits_total":          dc.RenderHits,
 		"smokescreend_detect_render_misses_total":        dc.RenderMisses,
+		"smokescreend_quantized_rasters_enabled":         quantized,
+		"smokescreend_delta_detect_mode":                 int64(detect.DeltaDetectMode()),
+		"smokescreend_delta_tiles_reused_total":          dc.DeltaTilesReused,
+		"smokescreend_delta_tiles_redetected_total":      dc.DeltaTilesRedetected,
+		"smokescreend_delta_candidates_reused_total":     dc.DeltaCandidatesReused,
+		"smokescreend_delta_tables":                      int64(dc.DeltaTables),
+		"smokescreend_delta_cache_bytes":                 dc.DeltaBytes,
 		"smokescreend_transport_bytes_sent_total":        tr.BytesSent,
 		"smokescreend_transport_bytes_received_total":    tr.BytesReceived,
 		"smokescreend_transport_messages_sent_total":     tr.MessagesSent,

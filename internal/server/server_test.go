@@ -454,6 +454,15 @@ func TestHealthzAndMetrics(t *testing.T) {
 	t.Cleanup(detect.ResetCaches)
 	detect.YOLOv4Sim().DetectFrameFull(dataset.MustLoad("small"), 0, 160)
 
+	// Exercise the temporal delta detector so its effectiveness gauges are
+	// live in the scrape: two consecutive frames through one exact-mode run.
+	detect.SetDeltaMode(detect.DeltaExact)
+	t.Cleanup(func() { detect.SetDeltaMode(detect.DeltaOff) })
+	deltaRun := detect.YOLOv4Sim().NewDeltaRun(dataset.MustLoad("small"), 160)
+	deltaRun.DetectFrame(0)
+	deltaRun.DetectFrame(1)
+	deltaRun.Close()
+
 	resp, err = http.Get(ts.URL + "/metrics")
 	if err != nil {
 		t.Fatal(err)
@@ -475,6 +484,12 @@ func TestHealthzAndMetrics(t *testing.T) {
 		"smokescreend_detect_render_frames 1",
 		"smokescreend_detect_render_misses_total 1",
 		"smokescreend_detect_render_hits_total 0",
+		"smokescreend_quantized_rasters_enabled 0",
+		"smokescreend_delta_detect_mode 1",
+		"smokescreend_delta_tiles_reused_total",
+		"smokescreend_delta_candidates_reused_total",
+		"smokescreend_delta_tables 0",
+		"smokescreend_delta_cache_bytes 0",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
@@ -484,6 +499,11 @@ func TestHealthzAndMetrics(t *testing.T) {
 	// a 160x160 float32 frame is 102400 bytes plus entry overhead.
 	if !strings.Contains(text, "smokescreend_detect_render_bytes 102496") {
 		t.Errorf("metrics missing exact render bytes:\n%s", text)
+	}
+	// The delta run above fully evaluated objects on its keyframe, so the
+	// redetected-tiles counter must have moved.
+	if strings.Contains(text, "smokescreend_delta_tiles_redetected_total 0\n") {
+		t.Errorf("delta redetected counter stayed zero:\n%s", text)
 	}
 
 	// Draining flips healthz.

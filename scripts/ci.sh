@@ -25,6 +25,11 @@ run_stage lint       make lint
 run_stage test       make test
 run_stage test-race  make test-race
 run_stage fuzz-smoke make fuzz-smoke
+# One short-mode pass over the Figure 4 benchmarks: the pattern matches
+# both BenchmarkFigure4 (quantized + delta detection on) and
+# BenchmarkFigure4Baseline (both off), so each CI run exercises the A/B
+# accelerator configs end to end without paying full benchmark time.
+run_stage bench-smoke go test -run '^$' -bench 'Figure4' -benchtime=1x -short .
 
 total_end=$(date +%s)
 echo "ci: all stages passed in $((total_end - total_start))s"
