@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-race fuzz-smoke ci bench bench-kernels bench-json bench-diff figures figures-quick examples serve-smoke clean
+.PHONY: build lint test test-race fuzz-smoke ci bench bench-kernels bench-json bench-diff figures figures-quick examples serve-smoke stream-smoke clean
 
 # Pinned staticcheck version: `make lint` refuses other versions rather
 # than drift between hosts. staticcheck is optional — hermetic builders
@@ -45,17 +45,21 @@ test-race:
 		./internal/profile/ ./internal/core/ ./internal/scene/ \
 		./internal/transport/ ./internal/camera/ ./internal/degrade/ \
 		./internal/store/ ./internal/server/ ./internal/outputs/ ./internal/plan/ \
-		./internal/estimate/ ./internal/fleet/ ./internal/query/ ./internal/stats/
+		./internal/estimate/ ./internal/fleet/ ./internal/query/ ./internal/stats/ \
+		./internal/stream/
 	$(GO) test -race -run 'Parallel' ./internal/experiments/
 
-# Short fuzz pass over the two on-disk decoders whose inputs can be torn
-# or tampered: the store's JSON envelope and the SOUT v2 column tables.
-# ~10s per target keeps it cheap enough to ride in CI; longer local runs:
+# Short fuzz pass over the decoders whose inputs can be torn or
+# tampered: the store's JSON envelope, the SOUT v2 column tables, the
+# tile-delta codec, and the transport framing the streaming ingest
+# trusts from the network. ~10s per target keeps it cheap enough to ride
+# in CI; longer local runs:
 #   go test -run '^$$' -fuzz FuzzEnvelopeDecode ./internal/store/
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzEnvelopeDecode -fuzztime 10s ./internal/store/
 	$(GO) test -run '^$$' -fuzz FuzzOutputsDecode -fuzztime 10s ./internal/outputs/
 	$(GO) test -run '^$$' -fuzz FuzzTileDelta -fuzztime 10s ./internal/detect/
+	$(GO) test -run '^$$' -fuzz FuzzReceive -fuzztime 10s ./internal/transport/
 
 # The full CI gate with per-stage timing (scripts/ci.sh).
 ci:
@@ -77,7 +81,7 @@ bench-kernels:
 # BENCH_<pr>.json.
 bench-json:
 	$(GO) test -bench=. -benchmem -benchtime=1x > bench.tmp
-	$(GO) run ./cmd/benchjson -out BENCH_PR6.json < bench.tmp
+	$(GO) run ./cmd/benchjson -out BENCH_PR7.json < bench.tmp
 	rm -f bench.tmp
 
 # Benchmark regression gate: compare the previous PR's committed artifact
@@ -85,7 +89,7 @@ bench-json:
 # regresses by more than -max-regress (default 25%); benchmarks present
 # in only one artifact are listed but never fail the gate.
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_PR4.json BENCH_PR6.json
+	$(GO) run ./cmd/benchjson -diff BENCH_PR6.json BENCH_PR7.json
 
 # Full-scale evaluation reports (the EXPERIMENTS.md numbers). Detector
 # outputs are cached under .cache so reruns are fast.
@@ -99,6 +103,12 @@ figures-quick:
 # profile through the CLI's -remote path, store-hit reuse, SIGTERM drain.
 serve-smoke:
 	sh ./scripts/serve_smoke.sh
+
+# End-to-end streaming-ingest smoke: camera sessions into a live daemon
+# through POST /v1/streams, several windows with any-time bounds, then a
+# mid-flight cancel that must not persist a partial window.
+stream-smoke:
+	sh ./scripts/stream_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -12,9 +12,12 @@ package smokescreen_test
 // full-scale numbers recorded in EXPERIMENTS.md.
 
 import (
+	"context"
+	"net"
 	"testing"
 
 	"smokescreen"
+	"smokescreen/internal/camera"
 	"smokescreen/internal/dataset"
 	"smokescreen/internal/degrade"
 	"smokescreen/internal/detect"
@@ -26,6 +29,8 @@ import (
 	"smokescreen/internal/raster"
 	"smokescreen/internal/scene"
 	"smokescreen/internal/stats"
+	"smokescreen/internal/stream"
+	"smokescreen/internal/transport"
 )
 
 // ensureDetectConfig flips the detection-path toggles to the requested
@@ -107,10 +112,10 @@ func BenchmarkFigure6(b *testing.B) { benchExperimentAccel(b, "figure6") }
 func BenchmarkFigure4Baseline(b *testing.B) { benchExperiment(b, "figure4") }
 func BenchmarkFigure5(b *testing.B)         { benchExperiment(b, "figure5") }
 func BenchmarkFigure6Baseline(b *testing.B) { benchExperiment(b, "figure6") }
-func BenchmarkFigure7(b *testing.B)  { benchExperiment(b, "figure7") }
-func BenchmarkFigure8(b *testing.B)  { benchExperiment(b, "figure8") }
-func BenchmarkFigure9(b *testing.B)  { benchExperiment(b, "figure9") }
-func BenchmarkFigure10(b *testing.B) { benchExperiment(b, "figure10") }
+func BenchmarkFigure7(b *testing.B)         { benchExperiment(b, "figure7") }
+func BenchmarkFigure8(b *testing.B)         { benchExperiment(b, "figure8") }
+func BenchmarkFigure9(b *testing.B)         { benchExperiment(b, "figure9") }
+func BenchmarkFigure10(b *testing.B)        { benchExperiment(b, "figure10") }
 
 func BenchmarkProfileGenerationTime(b *testing.B) { benchExperiment(b, "timing") }
 func BenchmarkHeadlineClaims(b *testing.B)        { benchExperiment(b, "claims") }
@@ -421,3 +426,68 @@ func BenchmarkEndToEndQuery(b *testing.B) {
 		}
 	}
 }
+
+// Streaming-ingest throughput: a camera session over an in-process pipe
+// into the stream.Receiver, windowed profiles maintained as frames
+// arrive. The A/B pair is the PR's headline claim — incremental window
+// refresh (evict departed frames, fold in new) against full
+// per-window regeneration — and the wire-pixels variant prices the
+// received-raster detection backend against the replay backend.
+
+func benchStreamIngest(b *testing.B, fullRefresh, wirePixels bool) {
+	b.Helper()
+	ensureDetectConfig(false, detect.DeltaOff)
+	v := dataset.MustLoad("small")
+	model := detect.YOLOv4Sim()
+	node := &camera.Node{
+		Video:   v,
+		Model:   model,
+		Setting: degrade.Setting{SampleFraction: 0.2, Resolution: 160},
+		Energy:  camera.DefaultEnergyModel(),
+	}
+	var frames, windows int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		recv, err := stream.New(stream.Config{
+			Model:        model,
+			Class:        scene.Car,
+			Agg:          estimate.AVG,
+			WindowSpan:   200,
+			WindowStride: 100,
+			Sources:      []*scene.Video{v},
+			WirePixels:   wirePixels,
+			FullRefresh:  fullRefresh,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		client, server := net.Pipe()
+		camErr := make(chan error, 1)
+		go func() {
+			defer client.Close()
+			_, err := node.Stream(transport.New(client), stats.NewStream(uint64(1000+i)))
+			camErr <- err
+		}()
+		if err := recv.Run(context.Background(), transport.New(server)); err != nil {
+			b.Fatal(err)
+		}
+		server.Close()
+		if err := <-camErr; err != nil {
+			b.Fatal(err)
+		}
+		st := recv.Status()
+		frames += int64(st.Frames)
+		windows += int64(st.Windows)
+	}
+	elapsed := b.Elapsed()
+	if elapsed > 0 {
+		b.ReportMetric(float64(frames)/elapsed.Seconds(), "frames/s")
+	}
+	if windows > 0 {
+		b.ReportMetric(float64(elapsed.Nanoseconds())/float64(windows), "refresh-ns/window")
+	}
+}
+
+func BenchmarkStreamIngestIncremental(b *testing.B) { benchStreamIngest(b, false, false) }
+func BenchmarkStreamIngestFullRefresh(b *testing.B) { benchStreamIngest(b, true, false) }
+func BenchmarkStreamIngestWirePixels(b *testing.B)  { benchStreamIngest(b, false, true) }

@@ -1,10 +1,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"strings"
+	"time"
 
 	"smokescreen/internal/camera"
 	"smokescreen/internal/dataset"
@@ -12,17 +15,31 @@ import (
 	"smokescreen/internal/detect"
 	"smokescreen/internal/estimate"
 	"smokescreen/internal/scene"
+	"smokescreen/internal/server"
 	"smokescreen/internal/stats"
+	"smokescreen/internal/stream"
 	"smokescreen/internal/transport"
 )
 
-// cmdStream runs a complete camera-to-processor session over a real TCP
-// loopback connection: the camera degrades on-device and transmits, the
-// central processor detects on the received pixels, and both sides'
-// accounting is printed. This is the deployment topology of the paper's
-// system model, runnable end to end:
+// cmdStream runs camera-to-processor streaming over a real TCP loopback
+// connection: the camera degrades on-device and transmits, the central
+// processor detects on what arrives. Two modes:
 //
-//	smokescreen stream -dataset small -sample 0.05 -resolution 160 -remove face
+//   - One-shot (default): a single session with a running any-time
+//     estimate and the camera's byte/energy accounting.
+//
+//     smokescreen stream -dataset small -sample 0.05 -resolution 160 -remove face
+//
+//   - Windowed (-window W): the live-ingest subsystem — the camera loops
+//     its corpus -loops times (unbounded video), the receiver maintains
+//     windowed profiles with incremental refresh and flags drift against
+//     the profiled corpus baseline. ^C cancels cleanly: in-flight
+//     detection stops and no partial window is reported.
+//
+//     smokescreen stream -dataset small -window 300 -stride 150 -loops 3 -sample 0.2
+//
+// With -remote the windowed mode runs inside a smokescreend daemon
+// instead (POST /v1/streams), and this command just watches it.
 func cmdStream(args []string) {
 	fs := flag.NewFlagSet("stream", flag.ExitOnError)
 	var (
@@ -33,9 +50,36 @@ func cmdStream(args []string) {
 		noise       = fs.Float64("noise", 0, "added capture noise sigma")
 		seed        = fs.Uint64("seed", 1, "randomness seed")
 		addr        = fs.String("addr", "127.0.0.1:0", "TCP address to rendezvous on")
+		window      = fs.Int("window", 0, "windowed mode: window span in stream positions (0 = one-shot session)")
+		stride      = fs.Int("stride", 0, "windowed mode: distance between window starts (0 = tumbling)")
+		loops       = fs.Int("loops", 1, "windowed mode: camera sessions replaying the corpus back to back")
+		class       = fs.String("class", "car", "windowed mode: object class to count")
+		agg         = fs.String("agg", "avg", "windowed mode: per-window aggregate (avg, sum, count)")
+		driftThresh = fs.Float64("drift-threshold", 0, "windowed mode: total-variation drift trigger (0 = default)")
+		noDrift     = fs.Bool("no-drift", false, "windowed mode: skip the corpus baseline and drift detection")
+		wirePixels  = fs.Bool("wire-pixels", false, "windowed mode: detect on received rasters instead of the replay backend")
+		remote      = fs.String("remote", "", "windowed mode: smokescreend base URL; run the stream in the daemon and watch it")
 	)
 	if err := fs.Parse(args); err != nil {
 		fatal(err)
+	}
+
+	if *remote != "" {
+		remoteStream(strings.TrimRight(*remote, "/"), server.StreamRequest{
+			Dataset:        *datasetName,
+			Class:          *class,
+			Agg:            *agg,
+			Window:         *window,
+			Stride:         *stride,
+			Sample:         *sample,
+			Resolution:     *resolution,
+			Loops:          *loops,
+			Seed:           *seed,
+			DriftThreshold: *driftThresh,
+			DisableDrift:   *noDrift,
+			WirePixels:     *wirePixels,
+		})
+		return
 	}
 
 	setting := degrade.Setting{SampleFraction: *sample, Resolution: *resolution, NoiseSigma: *noise}
@@ -56,7 +100,206 @@ func cmdStream(args []string) {
 	model := detect.YOLOv4Sim()
 	node := &camera.Node{Video: v, Model: model, Setting: setting, Energy: camera.DefaultEnergyModel()}
 
-	listener, err := net.Listen("tcp", *addr)
+	if *window > 0 {
+		windowedStream(node, windowedOpts{
+			window: *window, stride: *stride, loops: *loops,
+			class: *class, agg: *agg, seed: *seed, addr: *addr,
+			driftThresh: *driftThresh, noDrift: *noDrift, wirePixels: *wirePixels,
+		})
+		return
+	}
+	oneShotStream(node, *seed, *addr)
+}
+
+type windowedOpts struct {
+	window, stride, loops int
+	class, agg            string
+	seed                  uint64
+	addr                  string
+	driftThresh           float64
+	noDrift               bool
+	wirePixels            bool
+}
+
+// windowedStream runs the live-ingest subsystem locally: camera and
+// receiver in one process, joined by TCP loopback.
+func windowedStream(node *camera.Node, opts windowedOpts) {
+	class, err := scene.ParseClass(opts.class)
+	if err != nil {
+		fatal(err)
+	}
+	agg, err := estimate.ParseAgg(opts.agg)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := stream.Config{
+		Model:          node.Model,
+		Class:          class,
+		Agg:            agg,
+		WindowSpan:     opts.window,
+		WindowStride:   opts.stride,
+		Sources:        []*scene.Video{node.Video},
+		WirePixels:     opts.wirePixels,
+		DriftThreshold: opts.driftThresh,
+		OnWindow: func(res stream.WindowResult) {
+			drift := ""
+			if res.Drifted {
+				drift = "  << DRIFT"
+			}
+			fmt.Printf("window %3d [%6d,%6d): %s = %.3f (err <= %.3f, %d/%d frames, divergence %.3f)%s\n",
+				res.Seq, res.Lo, res.Hi, opts.agg, res.Estimate.Value, res.Estimate.ErrBound,
+				res.Frames, res.Estimate.N, res.Divergence, drift)
+		},
+		OnDrift: func(ev stream.DriftEvent) {
+			fmt.Println("  " + ev.String())
+		},
+	}
+	recv, err := stream.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, cancel := interruptCtx()
+	defer cancel()
+
+	if !opts.noDrift && !opts.wirePixels {
+		p := node.Setting.ResolveResolution(node.Model)
+		fmt.Printf("building corpus drift baseline (%s at %dx%d)...\n", node.Video.Config.Name, p, p)
+		base, err := stream.CorpusBaseline(ctx, node.Video, node.Model, class, p)
+		if err != nil {
+			fatal(err)
+		}
+		recv.SetBaseline(base)
+		fmt.Printf("baseline mean %.3f over %d distinct values\n", base.Mean, len(base.Values))
+	}
+
+	listener, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer listener.Close()
+	fmt.Printf("processor listening on %s (window %d, stride %d, %d sessions)\n",
+		listener.Addr(), opts.window, max(opts.stride, 0), opts.loops)
+
+	cameraErr := make(chan error, 1)
+	go func() {
+		conn, err := net.Dial("tcp", listener.Addr().String())
+		if err != nil {
+			cameraErr <- err
+			return
+		}
+		defer conn.Close()
+		tconn := transport.New(conn)
+		var report camera.Report
+		for i := 0; i < opts.loops; i++ {
+			r, err := node.StreamCtx(ctx, tconn, stats.NewStream(opts.seed+uint64(i)))
+			if err != nil {
+				cameraErr <- err
+				return
+			}
+			report.FramesCaptured += r.FramesCaptured
+			report.FramesTransmitted += r.FramesTransmitted
+		}
+		fmt.Printf("camera done: %d frames captured, %d transmitted, %d bytes\n",
+			report.FramesCaptured, report.FramesTransmitted, tconn.BytesSent())
+		cameraErr <- nil
+	}()
+
+	serverConn, err := listener.Accept()
+	if err != nil {
+		fatal(err)
+	}
+	// The receiver's cancellation contract: a ^C must also close the
+	// connection so a blocked transport read unwinds.
+	go func() {
+		<-ctx.Done()
+		serverConn.Close()
+	}()
+	runErr := recv.Run(ctx, transport.New(serverConn))
+	serverConn.Close()
+	if err := <-cameraErr; err != nil && !errors.Is(err, context.Canceled) && runErr == nil {
+		fatal(err)
+	}
+
+	st := recv.Status()
+	switch {
+	case runErr == nil:
+		fmt.Printf("stream ended cleanly: %d windows from %d frames (%d late), %d drift events\n",
+			st.Windows, st.Frames, st.Late, st.Drifts)
+	case errors.Is(runErr, context.Canceled):
+		fmt.Printf("canceled: %d complete windows reported, partial window discarded\n", st.Windows)
+	default:
+		fatal(runErr)
+	}
+}
+
+// remoteStream starts a stream job in a smokescreend daemon and watches
+// it, polling the status endpoint; ^C cancels the remote job.
+func remoteStream(baseURL string, req server.StreamRequest) {
+	if req.Window <= 0 {
+		fatal(errors.New("remote streaming requires -window"))
+	}
+	ctx, cancel := interruptCtx()
+	defer cancel()
+	client := &server.Client{BaseURL: baseURL}
+	status, err := client.StartStream(ctx, req)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("stream %s started on %s (%s, window %d, %d sessions)\n",
+		status.ID, baseURL, req.Dataset, req.Window, status.Loops)
+
+	ticker := time.NewTicker(500 * time.Millisecond)
+	defer ticker.Stop()
+	lastWindows := -1
+	for {
+		select {
+		case <-ctx.Done():
+			// ^C: cancel the remote job (with a fresh context — ours is
+			// already done) and report its final state.
+			stopCtx, stopCancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer stopCancel()
+			if _, err := client.CancelStream(stopCtx, status.ID); err != nil {
+				fatal(err)
+			}
+			final, err := client.AwaitStream(stopCtx, status.ID)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("canceled: state %s, %d complete windows, %d drift events\n",
+				final.State, final.Stream.Windows, final.Stream.Drifts)
+			return
+		case <-ticker.C:
+		}
+		st, err := client.Stream(ctx, status.ID)
+		if err != nil {
+			if ctx.Err() != nil {
+				continue // the ^C branch will handle it
+			}
+			fatal(err)
+		}
+		if st.Stream.Windows != lastWindows && st.Stream.LastWindow != nil {
+			lw := st.Stream.LastWindow
+			fmt.Printf("window %3d [%6d,%6d): %.3f (err <= %.3f, %d frames, divergence %.3f, lag %d, drifts %d)\n",
+				lw.Seq, lw.Lo, lw.Hi, lw.Estimate.Value, lw.Estimate.ErrBound,
+				lw.Frames, lw.Divergence, st.Stream.WindowLag, st.Stream.Drifts)
+			lastWindows = st.Stream.Windows
+		}
+		if st.State != server.JobRunning {
+			fmt.Printf("stream %s: %s — %d windows from %d frames, %d drift events\n",
+				st.ID, st.State, st.Stream.Windows, st.Stream.Frames, st.Stream.Drifts)
+			if st.Error != "" {
+				fatal(errors.New(st.Error))
+			}
+			return
+		}
+	}
+}
+
+// oneShotStream is the original single-session mode: per-frame running
+// estimates and the camera's accounting.
+func oneShotStream(node *camera.Node, seed uint64, addr string) {
+	listener, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal(err)
 	}
@@ -75,7 +318,7 @@ func cmdStream(args []string) {
 			return
 		}
 		defer conn.Close()
-		report, err := node.Stream(transport.New(conn), stats.NewStream(*seed))
+		report, err := node.Stream(transport.New(conn), stats.NewStream(seed))
 		cameraDone <- streamResult{report: report, err: err}
 	}()
 
@@ -97,7 +340,7 @@ func cmdStream(args []string) {
 				return err
 			}
 		}
-		cars := detect.CountClass(s.Detect(model, fr), scene.Car)
+		cars := detect.CountClass(s.Detect(node.Model, fr), scene.Car)
 		totalCars += cars
 		frames++
 		est := estimator.Observe(float64(cars))
@@ -115,7 +358,7 @@ func cmdStream(args []string) {
 		fatal(result.err)
 	}
 
-	fmt.Printf("camera:     %s (%s)\n", v.Config.Name, setting)
+	fmt.Printf("camera:     %s (%s)\n", node.Video.Config.Name, node.Setting)
 	fmt.Printf("transmitted %d frames, %d bytes\n", result.report.FramesTransmitted, result.report.BytesTransmitted)
 	fmt.Printf("energy:     capture %.3f J + compute %.3f J + radio %.3f J = %.3f J\n",
 		result.report.CaptureJoules, result.report.ComputeJoules, result.report.TransmitJoules, result.report.TotalJoules())

@@ -7,6 +7,7 @@
 package camera
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -78,6 +79,14 @@ func (c Config) encode() []byte {
 	return buf
 }
 
+// DecodeConfig parses a MsgConfig payload. Exported for receivers that
+// run their own message loop (the streaming-ingest subsystem handles
+// back-to-back sessions and per-message cancellation, which the simple
+// Receive loop below does not).
+func DecodeConfig(payload []byte) (Config, error) {
+	return decodeConfig(payload)
+}
+
 func decodeConfig(payload []byte) (Config, error) {
 	var c Config
 	r := newSliceReader(payload)
@@ -122,8 +131,15 @@ type Node struct {
 // compressed rasters — the receiver never sees the restricted frames or
 // the native-resolution pixels.
 func (n *Node) Stream(conn *transport.Conn, stream *stats.Stream) (Report, error) {
+	return n.StreamCtx(context.Background(), conn, stream)
+}
+
+// StreamCtx is Stream with cancellation: the context is checked before
+// every frame capture, so tearing down a live ingest session stops the
+// camera's render/encode work promptly instead of at end-of-corpus.
+func (n *Node) StreamCtx(ctx context.Context, conn *transport.Conn, stream *stats.Stream) (Report, error) {
 	var report Report
-	plan, err := degrade.Apply(n.Video, n.Model, n.Setting, stream)
+	plan, err := degrade.ApplyCtx(ctx, n.Video, n.Model, n.Setting, stream)
 	if err != nil {
 		return report, fmt.Errorf("camera: applying interventions: %w", err)
 	}
@@ -151,6 +167,9 @@ func (n *Node) Stream(conn *transport.Conn, stream *stats.Stream) (Report, error
 	scale := float64(p) / float64(n.Video.Config.Width)
 	sigmaEff := float32(math.Max(0.004, float64(n.Video.Config.Lighting.NoiseSigma)*scale))
 	for _, idx := range plan.Sampled {
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
 		report.FramesCaptured++
 		report.CaptureJoules += n.Energy.JoulesPerCapture
 

@@ -41,10 +41,18 @@ type StreamingEstimator struct {
 	max   float64
 
 	// seen records frame-keyed observations (ObserveFrame), enabling
-	// duplicate suppression and cross-shard Merge. nil until the first
-	// ObserveFrame; plain Observe leaves it nil (untracked observations
-	// cannot be merged or deduplicated).
+	// duplicate suppression, cross-shard Merge, and windowed eviction
+	// (ForgetFrame). nil until the first ObserveFrame; plain Observe
+	// leaves it nil (untracked observations cannot be merged,
+	// deduplicated, or forgotten).
 	seen map[int]float64
+
+	// unboundedFrames relaxes ObserveFrame's [0, N) index check: set by
+	// the Window wrapper, whose population is a window span but whose
+	// frame keys are absolute positions of an unbounded stream. The
+	// sample-size invariant (count <= n) still holds — Window evicts
+	// before it observes.
+	unboundedFrames bool
 }
 
 // NewStreamingEstimator builds a streaming estimator over a population of
@@ -96,7 +104,7 @@ func (e *StreamingEstimator) Count() int { return e.count }
 // out-of-order delivery is harmless. Frames outside [0, N) panic, like
 // over-observing does.
 func (e *StreamingEstimator) ObserveFrame(frame int, x float64) Estimate {
-	if frame < 0 || frame >= e.n {
+	if frame < 0 || (frame >= e.n && !e.unboundedFrames) {
 		panic("estimate: frame index outside the population")
 	}
 	if e.seen == nil {
@@ -129,6 +137,54 @@ func (e *StreamingEstimator) Merge(other *StreamingEstimator) error {
 		e.ObserveFrame(frame, x)
 	}
 	return nil
+}
+
+// ForgetFrame evicts one frame's observation — the windowed-ingest
+// primitive: as a window slides, departed frames' contributions are
+// subtracted instead of rebuilding the estimator from scratch. It
+// reports whether the frame had been observed. Like Merge, it requires
+// a frame-tracked estimator (built exclusively with ObserveFrame);
+// untracked Observe calls make eviction unsound and panic.
+//
+// The running sum is adjusted exactly when observations are
+// integer-valued (detector outputs are counts, so the common case is
+// bit-exact); the observed min/max are rescanned only when the evicted
+// value sat on a boundary. Forgetting the last observation resets the
+// estimator to its empty state.
+func (e *StreamingEstimator) ForgetFrame(frame int) bool {
+	if e.count != len(e.seen) {
+		panic("estimate: ForgetFrame requires frame-tracked observations (use ObserveFrame)")
+	}
+	x, ok := e.seen[frame]
+	if !ok {
+		return false
+	}
+	delete(e.seen, frame)
+	e.count--
+	if e.count == 0 {
+		e.sum, e.min, e.max = 0, 0, 0
+		return true
+	}
+	e.sum -= x
+	if x == e.min || x == e.max {
+		first := true
+		for _, y := range e.seen {
+			// Range rescan: min/max are order-independent, so map
+			// iteration order cannot leak into the estimate.
+			if first {
+				e.min, e.max = y, y
+				first = false
+				continue
+			}
+			if y < e.min {
+				e.min = y
+			}
+			if y > e.max {
+				e.max = y
+			}
+		}
+	}
+	return true
 }
 
 // Current returns the running estimate without observing anything new.

@@ -156,6 +156,108 @@ func (c *Client) CancelJob(ctx context.Context, id string) (*JobStatus, error) {
 	return &status, nil
 }
 
+// StartStream asks the daemon to begin a streaming ingest job (POST
+// /v1/streams) and returns its initial status.
+func (c *Client) StartStream(ctx context.Context, req StreamRequest) (*StreamStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/streams", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(httpReq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, apiError(resp)
+	}
+	var status StreamStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// Stream fetches one stream job's status, including the live windowed
+// profile and drift state.
+func (c *Client) Stream(ctx context.Context, id string) (*StreamStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/streams/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var status StreamStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// CancelStream asks the daemon to stop a stream (DELETE
+// /v1/streams/{id}). Like CancelJob, the returned status reflects the
+// moment of the request; poll Stream to observe the canceled state.
+func (c *Client) CancelStream(ctx context.Context, id string) (*StreamStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/streams/"+id, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var status StreamStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return nil, err
+	}
+	return &status, nil
+}
+
+// AwaitStream polls a stream until it reaches a terminal state,
+// returning the final status. A canceled stream is not an error from
+// the poller's perspective — cancellation is the normal way to end an
+// unbounded stream — so only failed streams return an error.
+func (c *Client) AwaitStream(ctx context.Context, id string) (*StreamStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		status, err := c.Stream(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch status.State {
+		case JobDone, JobCanceled:
+			return status, nil
+		case JobFailed:
+			return status, fmt.Errorf("server: stream %s failed: %s", id, status.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ticker.C:
+		}
+	}
+}
+
 // awaitJob polls a job until it reaches a terminal state.
 func (c *Client) awaitJob(ctx context.Context, id string) error {
 	interval := c.PollInterval

@@ -10,6 +10,7 @@ import (
 	"smokescreen/internal/outputs"
 	"smokescreen/internal/plan"
 	"smokescreen/internal/store"
+	"smokescreen/internal/stream"
 	"smokescreen/internal/transport"
 )
 
@@ -26,19 +27,24 @@ type metrics struct {
 	coalesced           atomic.Int64 // requests attached to an in-flight job
 	rejectedQueueFull   atomic.Int64 // 429s
 	rejectedDraining    atomic.Int64 // 503s
+	streamsStarted      atomic.Int64 // POST /v1/streams accepted
+	streamsCanceled     atomic.Int64 // streams stopped by DELETE/drain
+	streamFailures      atomic.Int64 // streams ended by an error
 }
 
 // render writes the metrics in the Prometheus text exposition format
 // (untyped samples; no client library in the dependency budget). The
 // store, detector, and transport layers contribute their own counters so
 // one scrape covers the whole daemon.
-func (m *metrics) render(w io.Writer, queueDepth, queueCap int, jobs *jobSet, st *store.Store) {
+func (m *metrics) render(w io.Writer, queueDepth, queueCap int, jobs *jobSet, streams *streamSet, st *store.Store) {
 	queued, running, done, failed, canceled := jobs.counts()
 	stats := st.Stats()
 	tr := transport.Totals()
 	dc := detect.Stats()
 	oc := outputs.ReadStats()
 	sg := plan.Stages()
+	sc := stream.Totals()
+	streamsActive, streamLag := streams.activeAndMaxLag()
 
 	var dedup int64
 	if outputs.Sharing() {
@@ -100,6 +106,15 @@ func (m *metrics) render(w io.Writer, queueDepth, queueCap int, jobs *jobSet, st
 		"smokescreend_delta_candidates_reused_total":     dc.DeltaCandidatesReused,
 		"smokescreend_delta_tables":                      int64(dc.DeltaTables),
 		"smokescreend_delta_cache_bytes":                 dc.DeltaBytes,
+		"smokescreend_streams_total":                     m.streamsStarted.Load(),
+		"smokescreend_streams_canceled_total":            m.streamsCanceled.Load(),
+		"smokescreend_stream_failures_total":             m.streamFailures.Load(),
+		"smokescreend_streams_active":                    int64(streamsActive),
+		"smokescreend_stream_frames_total":               sc.Frames,
+		"smokescreend_stream_late_frames_total":          sc.Late,
+		"smokescreend_stream_windows_total":              sc.Windows,
+		"smokescreend_stream_drift_events_total":         sc.Drifts,
+		"smokescreend_stream_window_lag":                 int64(streamLag),
 		"smokescreend_transport_bytes_sent_total":        tr.BytesSent,
 		"smokescreend_transport_bytes_received_total":    tr.BytesReceived,
 		"smokescreend_transport_messages_sent_total":     tr.MessagesSent,

@@ -69,6 +69,11 @@ type Server struct {
 	queue   chan *Job
 	metrics metrics
 
+	// streams are long-running ingest jobs outside the worker pool;
+	// streamWG tracks their goroutines so Drain can wait for teardown.
+	streams  *streamSet
+	streamWG sync.WaitGroup
+
 	// lifecycle: mu serializes queue sends against stop's close(queue);
 	// workers is closed when the last worker exits.
 	mu      sync.Mutex
@@ -103,6 +108,7 @@ func New(cfg Config) (*Server, error) {
 		gen:     cfg.Generator,
 		jobs:    newJobSet(cfg.JobHistory),
 		queue:   make(chan *Job, cfg.QueueDepth),
+		streams: newStreamSet(),
 		stopCh:  make(chan struct{}),
 		workers: make(chan struct{}),
 	}
@@ -142,6 +148,10 @@ func (s *Server) stop() {
 		s.stopped = true
 		close(s.stopCh)
 		close(s.queue)
+		// Streams are cancelled, not waited for, here: Drain owns the
+		// wait. Cancellation tears down in-flight detection and the
+		// receivers drop their partial windows.
+		s.streams.cancelAll()
 	}
 }
 
@@ -208,12 +218,23 @@ func (s *Server) run(job *Job) {
 	s.jobs.finish(job, err, time.Now())
 }
 
-// Drain stops intake and waits for queued and running jobs to finish, or
-// for ctx to expire. It is safe to call more than once.
+// Drain stops intake, cancels active streams, and waits for queued and
+// running jobs plus stream teardown to finish, or for ctx to expire. It
+// is safe to call more than once.
 func (s *Server) Drain(ctx context.Context) error {
 	s.stop()
+	streamsDone := make(chan struct{})
+	go func() {
+		s.streamWG.Wait()
+		close(streamsDone)
+	}()
 	select {
 	case <-s.workers:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+	select {
+	case <-streamsDone:
 		return nil
 	case <-ctx.Done():
 		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
@@ -234,6 +255,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/profiles", s.handlePostProfile)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDeleteJob)
+	mux.HandleFunc("POST /v1/streams", s.handlePostStream)
+	mux.HandleFunc("GET /v1/streams/{id}", s.handleGetStream)
+	mux.HandleFunc("DELETE /v1/streams/{id}", s.handleDeleteStream)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -390,6 +414,56 @@ func (s *Server) handleDeleteJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.jobs.status(job))
 }
 
+// handlePostStream starts a streaming ingest job and returns 202 with
+// its status; streams are inherently asynchronous (they run until the
+// camera's sessions end or a DELETE stops them).
+func (s *Server) handlePostStream(w http.ResponseWriter, r *http.Request) {
+	var req StreamRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding stream request: %w", err))
+		return
+	}
+	if req.Dataset == "" {
+		writeError(w, http.StatusBadRequest, errors.New("server: stream request requires a dataset"))
+		return
+	}
+	job, err := s.startStream(req)
+	switch {
+	case errors.Is(err, errDraining):
+		s.metrics.rejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.status())
+}
+
+func (s *Server) handleGetStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.streams.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown stream"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.status())
+}
+
+// handleDeleteStream cancels a stream. Like job cancellation, the
+// response reports the state at return time: a stream still unwinding
+// its detector work may read "running" — poll GET to observe the
+// canceled state. Deleting a terminal stream is a no-op.
+func (s *Server) handleDeleteStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.streams.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("server: unknown stream"))
+		return
+	}
+	job.cancel()
+	s.cfg.Logf("stream %s: cancel requested", job.id)
+	writeJSON(w, http.StatusOK, job.status())
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	if s.draining() {
@@ -400,5 +474,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.render(w, len(s.queue), cap(s.queue), s.jobs, s.store)
+	s.metrics.render(w, len(s.queue), cap(s.queue), s.jobs, s.streams, s.store)
 }

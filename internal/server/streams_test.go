@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scrapeMetrics fetches /metrics and parses the untyped samples.
+func scrapeMetrics(t *testing.T, url string) map[string]int64 {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	samples := map[string]int64{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		name, val, ok := strings.Cut(sc.Text(), " ")
+		if !ok {
+			continue
+		}
+		n, err := strconv.ParseInt(val, 10, 64)
+		if err != nil {
+			t.Fatalf("metrics line %q: %v", sc.Text(), err)
+		}
+		samples[name] = n
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+func TestStreamLifecycleAndMetrics(t *testing.T) {
+	// End-to-end through the daemon: POST a stream, watch it ingest the
+	// small corpus in tumbling windows, and check the /metrics gauges the
+	// satellite requires (frames, window lag, drift events). The tiny
+	// drift threshold forces every window to raise a drift event —
+	// within-corpus windows diverge well above 0.01 from the corpus-wide
+	// histogram (see DESIGN.md on threshold calibration) — so the drift
+	// counter provably moves.
+	_, ts, _ := newTestServer(t, &fakeGenerator{}, nil)
+	client := &Client{BaseURL: ts.URL, PollInterval: 20 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	status, err := client.StartStream(ctx, StreamRequest{
+		Dataset:        "small",
+		Window:         100,
+		Sample:         0.1,
+		Resolution:     160,
+		DriftThreshold: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.State != JobRunning {
+		t.Fatalf("fresh stream state = %q, want running", status.State)
+	}
+	if !strings.HasPrefix(status.ID, "stream-") {
+		t.Fatalf("stream id %q", status.ID)
+	}
+
+	final, err := client.AwaitStream(ctx, status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobDone {
+		t.Fatalf("final state = %q (%s), want done", final.State, final.Error)
+	}
+	if got, want := final.Stream.Windows, 12; got != want {
+		t.Fatalf("windows completed = %d, want %d (1200 frames / window 100)", got, want)
+	}
+	if final.Stream.Frames == 0 {
+		t.Fatal("stream folded no frames")
+	}
+	if final.Stream.Drifts != 12 {
+		t.Fatalf("drift events = %d, want 12 (threshold 0.01 flags every window)", final.Stream.Drifts)
+	}
+	if final.Stream.LastWindow == nil || final.Stream.LastWindow.Estimate.ErrBound <= 0 {
+		t.Fatalf("last window missing its any-time bound: %+v", final.Stream.LastWindow)
+	}
+	if final.Stream.LastDrift == nil || final.Stream.LastDrift.Divergence <= 0.01 {
+		t.Fatalf("last drift event missing: %+v", final.Stream.LastDrift)
+	}
+
+	m := scrapeMetrics(t, ts.URL)
+	if m["smokescreend_streams_total"] < 1 {
+		t.Fatalf("smokescreend_streams_total = %d", m["smokescreend_streams_total"])
+	}
+	if m["smokescreend_streams_active"] != 0 {
+		t.Fatalf("smokescreend_streams_active = %d after stream finished", m["smokescreend_streams_active"])
+	}
+	if m["smokescreend_stream_frames_total"] < int64(final.Stream.Frames) {
+		t.Fatalf("smokescreend_stream_frames_total = %d < %d", m["smokescreend_stream_frames_total"], final.Stream.Frames)
+	}
+	if m["smokescreend_stream_windows_total"] < 12 {
+		t.Fatalf("smokescreend_stream_windows_total = %d", m["smokescreend_stream_windows_total"])
+	}
+	if m["smokescreend_stream_drift_events_total"] < 12 {
+		t.Fatalf("smokescreend_stream_drift_events_total = %d", m["smokescreend_stream_drift_events_total"])
+	}
+	if _, ok := m["smokescreend_stream_window_lag"]; !ok {
+		t.Fatal("smokescreend_stream_window_lag gauge missing")
+	}
+
+	// The status endpoint answers for terminal streams too.
+	again, err := client.Stream(ctx, status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.State != JobDone {
+		t.Fatalf("terminal stream re-read state = %q", again.State)
+	}
+}
+
+func TestStreamCancelTearsDownPromptly(t *testing.T) {
+	// DELETE mid-stream: the looping camera would run 100k corpus passes
+	// (effectively unbounded — the stream cannot reach "done" naturally
+	// within the test window, even fully cache-warm on a loaded machine);
+	// cancellation after the first completed window must stop it and
+	// report canceled, with the window count frozen (no partial window
+	// flushed by teardown).
+	_, ts, _ := newTestServer(t, &fakeGenerator{}, nil)
+	client := &Client{BaseURL: ts.URL, PollInterval: 10 * time.Millisecond}
+	// Generous deadline: first-window latency is usually sub-second but
+	// swings with GC pressure and machine load.
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+
+	status, err := client.StartStream(ctx, StreamRequest{
+		Dataset:      "small",
+		Window:       150,
+		Sample:       0.1,
+		Resolution:   160,
+		Loops:        100000,
+		DisableDrift: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		st, err := client.Stream(ctx, status.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if terminal(st.State) {
+			t.Fatalf("stream reached %q before its first window", st.State)
+		}
+		if st.Stream.Windows >= 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, err := client.CancelStream(ctx, status.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := client.AwaitStream(ctx, status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobCanceled {
+		t.Fatalf("state after cancel = %q (%s)", final.State, final.Error)
+	}
+	if !final.Stream.Done {
+		t.Fatal("receiver not torn down after cancel")
+	}
+	if final.Stream.Windows >= 100000*1200/150 {
+		t.Fatalf("cancel did not interrupt the stream: %d windows", final.Stream.Windows)
+	}
+}
+
+func TestStreamRequestValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, &fakeGenerator{}, nil)
+	client := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		req  StreamRequest
+	}{
+		{"missing dataset", StreamRequest{Window: 100}},
+		{"missing window", StreamRequest{Dataset: "small"}},
+		{"unknown dataset", StreamRequest{Dataset: "nope", Window: 100}},
+		{"extremum agg", StreamRequest{Dataset: "small", Window: 100, Agg: "MAX"}},
+		{"bad resolution", StreamRequest{Dataset: "small", Window: 100, Resolution: 7}},
+		{"bad sample", StreamRequest{Dataset: "small", Window: 100, Sample: 1.5}},
+		{"bad threshold", StreamRequest{Dataset: "small", Window: 100, DriftThreshold: 2}},
+	}
+	for _, tc := range cases {
+		if _, err := client.StartStream(ctx, tc.req); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), "400") {
+			t.Errorf("%s: want HTTP 400, got %v", tc.name, err)
+		}
+	}
+	if _, err := client.Stream(ctx, "stream-999999"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown stream id: want 404, got %v", err)
+	}
+}
+
+func TestDrainCancelsActiveStreams(t *testing.T) {
+	// SIGTERM semantics: Drain must not hang on an unbounded stream — it
+	// cancels it and waits for teardown. 100k corpus passes keep the
+	// stream from reaching "done" naturally before Drain lands, even
+	// fully cache-warm.
+	srv, ts, _ := newTestServer(t, &fakeGenerator{}, nil)
+	client := &Client{BaseURL: ts.URL}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	status, err := client.StartStream(ctx, StreamRequest{
+		Dataset:      "small",
+		Window:       200,
+		Sample:       0.1,
+		Resolution:   160,
+		Loops:        100000,
+		DisableDrift: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	job, ok := srv.streams.get(status.ID)
+	if !ok {
+		t.Fatal("stream vanished")
+	}
+	st := job.status()
+	if st.State != JobCanceled {
+		t.Fatalf("state after drain = %q (%s)", st.State, st.Error)
+	}
+	// Post-drain stream requests are refused.
+	if _, err := client.StartStream(ctx, StreamRequest{Dataset: "small", Window: 100}); err == nil || !strings.Contains(err.Error(), "503") {
+		t.Fatalf("post-drain start: want 503, got %v", err)
+	}
+}

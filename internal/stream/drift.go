@@ -1,0 +1,108 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"smokescreen/internal/detect"
+	"smokescreen/internal/outputs"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+)
+
+// Drift detection answers the live-system diagnosis question: does the
+// detector-output distribution the stream is producing still look like
+// the corpus the profile was generated over? Profiles promise error
+// bounds *relative to the profiled distribution*; when the scene drifts
+// (lighting change, sensor degradation, traffic regime shift), those
+// promises quietly stop describing reality. The detector summarises
+// each completed window as a distinct-value histogram
+// (stats.DistinctFrequencies, the paper's (s_i, F_i) decomposition) and
+// measures its total-variation distance from the baseline histogram.
+
+// Baseline is the reference detector-output distribution drift is
+// measured against: the (value, frequency) histogram of a profiled
+// corpus, plus its mean for human-readable event reporting.
+type Baseline struct {
+	Values []float64 // sorted distinct per-frame outputs
+	Freqs  []float64 // fraction of frames with each value
+	Mean   float64
+}
+
+// NewBaseline summarises a series of per-frame detector outputs.
+func NewBaseline(xs []float64) (*Baseline, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("stream: baseline needs at least one output")
+	}
+	values, freqs := stats.DistinctFrequencies(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return &Baseline{Values: values, Freqs: freqs, Mean: sum / float64(len(xs))}, nil
+}
+
+// CorpusBaseline builds the baseline from the profiled corpus itself:
+// the full detector-output column for (v, m, class) at resolution p,
+// served by the internal/outputs store — so a daemon that already
+// generated profiles pays nothing extra for the series.
+func CorpusBaseline(ctx context.Context, v *scene.Video, m *detect.Model, class scene.Class, p int) (*Baseline, error) {
+	series, err := outputs.Full(ctx, v, m, class, p)
+	if err != nil {
+		return nil, fmt.Errorf("stream: corpus baseline: %w", err)
+	}
+	return NewBaseline(series)
+}
+
+// Divergence returns the total-variation distance between the
+// baseline's histogram and the histogram of xs, in [0, 1]: 0 for
+// identical distributions, 1 for disjoint supports. TV distance is the
+// natural choice for these integer-valued count histograms — it is the
+// largest difference in probability the two distributions assign to any
+// event, so a threshold t reads as "some detector-output event changed
+// probability by more than t".
+func (b *Baseline) Divergence(xs []float64) float64 {
+	values, freqs := stats.DistinctFrequencies(xs)
+	var tv float64
+	i, j := 0, 0
+	for i < len(b.Values) || j < len(values) {
+		switch {
+		case j >= len(values) || (i < len(b.Values) && b.Values[i] < values[j]):
+			tv += b.Freqs[i]
+			i++
+		case i >= len(b.Values) || values[j] < b.Values[i]:
+			tv += freqs[j]
+			j++
+		default:
+			d := b.Freqs[i] - freqs[j]
+			if d < 0 {
+				d = -d
+			}
+			tv += d
+			i++
+			j++
+		}
+	}
+	return tv / 2
+}
+
+// DriftEvent reports one window whose detector-output distribution
+// departed from the baseline beyond the configured threshold.
+type DriftEvent struct {
+	Seq        int     // window sequence number
+	Lo, Hi     int     // stream positions covered
+	Divergence float64 // total-variation distance from the baseline
+	Threshold  float64 // configured trigger
+	// WindowMean and BaselineMean orient the operator: which way the
+	// distribution moved.
+	WindowMean   float64
+	BaselineMean float64
+	Frames       int // observed frames in the window
+}
+
+// String renders the event for logs.
+func (e DriftEvent) String() string {
+	return fmt.Sprintf("drift: window %d [%d,%d) diverged %.3f (threshold %.3f); window mean %.3f vs baseline %.3f over %d frames",
+		e.Seq, e.Lo, e.Hi, e.Divergence, e.Threshold, e.WindowMean, e.BaselineMean, e.Frames)
+}

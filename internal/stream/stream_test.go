@@ -1,0 +1,397 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"smokescreen/internal/camera"
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+	"smokescreen/internal/transport"
+)
+
+// streamRun drives loops camera sessions through a receiver over an
+// in-process pipe and returns the receiver's error. cancel, when
+// non-nil, is invoked with (status-so-far, cancelFunc, serverConn) via
+// the OnWindow hook wiring done by the caller.
+func streamRun(t *testing.T, recv *Receiver, nodes []*camera.Node, ctx context.Context, cancelPipe func(err error)) error {
+	t.Helper()
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	var camWG sync.WaitGroup
+	camWG.Add(1)
+	go func() {
+		defer camWG.Done()
+		conn := transport.New(client)
+		for i, node := range nodes {
+			if _, err := node.StreamCtx(ctx, conn, stats.NewStream(uint64(100+i))); err != nil {
+				if cancelPipe != nil {
+					cancelPipe(err)
+				}
+				return
+			}
+		}
+		client.Close() // clean end-of-stream
+	}()
+	err := recv.Run(ctx, transport.New(server))
+	server.Close() // unblock the camera if the receiver bailed first
+	camWG.Wait()
+	return err
+}
+
+func smallNode(t *testing.T, v *scene.Video, f float64, p int) *camera.Node {
+	t.Helper()
+	return &camera.Node{
+		Video:   v,
+		Model:   detect.YOLOv4Sim(),
+		Setting: degrade.Setting{SampleFraction: f, Resolution: p},
+		Energy:  camera.DefaultEnergyModel(),
+	}
+}
+
+func TestWindowedProfilesSoakTumbling(t *testing.T) {
+	// The acceptance soak, in-process: one camera session over the small
+	// corpus at span 100 produces 12 tumbling windows (>= 10), each with
+	// a bounded-duration estimate, and Verify cross-checks every
+	// window's incremental state against full regeneration.
+	v := dataset.MustLoad("small")
+	var windows []WindowResult
+	recv, err := New(Config{
+		Model:      detect.YOLOv4Sim(),
+		Class:      scene.Car,
+		WindowSpan: 100,
+		Sources:    []*scene.Video{v},
+		Verify:     true,
+		OnWindow:   func(res WindowResult) { windows = append(windows, res) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamRun(t, recv, []*camera.Node{smallNode(t, v, 0.2, 160)}, context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 12 {
+		t.Fatalf("emitted %d windows, want 12", len(windows))
+	}
+	totalFrames := 0
+	for i, res := range windows {
+		if res.Seq != i || res.Lo != i*100 || res.Hi != i*100+100 {
+			t.Fatalf("window %d bounds %+v", i, res)
+		}
+		if res.Estimate.N != 100 || res.Estimate.Sample != res.Frames {
+			t.Fatalf("window %d estimate %+v with %d frames", i, res.Estimate, res.Frames)
+		}
+		if res.Frames <= 0 || res.Frames > 100 {
+			t.Fatalf("window %d holds %d frames", i, res.Frames)
+		}
+		if res.Estimate.ErrBound < 0 || res.Estimate.ErrBound > 1 {
+			t.Fatalf("window %d bound %v", i, res.Estimate.ErrBound)
+		}
+		totalFrames += res.Frames
+	}
+	st := recv.Status()
+	if !st.Done || st.Windows != 12 || st.Sessions != 1 {
+		t.Fatalf("status %+v", st)
+	}
+	if st.Frames != totalFrames || st.Frames != 240 {
+		t.Fatalf("status frames %d, windows carried %d (want 240)", st.Frames, totalFrames)
+	}
+	if st.LastWindow == nil || st.LastWindow.Seq != 11 {
+		t.Fatalf("last window %+v", st.LastWindow)
+	}
+}
+
+func TestSlidingWindowsVerifyAgainstFullRegeneration(t *testing.T) {
+	// Overlapping windows (stride < span): frames persist across window
+	// emissions instead of being re-detected, and every window still
+	// matches a from-scratch recomputation bit-for-bit.
+	v := dataset.MustLoad("small")
+	var windows []WindowResult
+	recv, err := New(Config{
+		Model:        detect.YOLOv4Sim(),
+		Class:        scene.Car,
+		WindowSpan:   200,
+		WindowStride: 100,
+		Sources:      []*scene.Video{v},
+		Verify:       true,
+		OnWindow:     func(res WindowResult) { windows = append(windows, res) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamRun(t, recv, []*camera.Node{smallNode(t, v, 0.1, 160)}, context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Windows [0,200), [100,300), ... [1000,1200): 11 of them.
+	if len(windows) != 11 {
+		t.Fatalf("emitted %d windows, want 11", len(windows))
+	}
+	for i, res := range windows {
+		if res.Lo != i*100 || res.Hi != i*100+200 || res.Estimate.N != 200 {
+			t.Fatalf("window %d bounds %+v", i, res)
+		}
+	}
+}
+
+func TestMultiSessionLoopExtendsTimeline(t *testing.T) {
+	// A camera that loops its corpus models unbounded video: stream
+	// positions keep growing across sessions and windows keep coming.
+	v := dataset.MustLoad("small")
+	recv, err := New(Config{
+		Model:      detect.YOLOv4Sim(),
+		Class:      scene.Car,
+		WindowSpan: 300,
+		Sources:    []*scene.Video{v},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []*camera.Node{smallNode(t, v, 0.05, 160), smallNode(t, v, 0.05, 160)}
+	if err := streamRun(t, recv, nodes, context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	st := recv.Status()
+	if st.Sessions != 2 {
+		t.Fatalf("sessions = %d", st.Sessions)
+	}
+	// 2400 positions at span 300: all 8 windows complete at clean end.
+	if st.Windows != 8 {
+		t.Fatalf("windows = %d, want 8", st.Windows)
+	}
+	if st.LastWindow.Hi != 2400 {
+		t.Fatalf("last window %+v", st.LastWindow)
+	}
+}
+
+func TestDeltaExactIncrementalMatchesFullRegeneration(t *testing.T) {
+	// With temporal delta detection on (exact mode), the replay backend
+	// produces outputs through DeltaRun reuse; Verify pins them
+	// bit-identical to independent per-frame detection plus a fresh
+	// estimator — the incremental==full acceptance equivalence.
+	detect.SetDeltaMode(detect.DeltaExact)
+	detect.ResetCaches()
+	defer func() {
+		detect.SetDeltaMode(detect.DeltaOff)
+		detect.ResetCaches()
+	}()
+	v := dataset.MustLoad("small")
+	recv, err := New(Config{
+		Model:      detect.YOLOv4Sim(),
+		Class:      scene.Car,
+		WindowSpan: 150,
+		Sources:    []*scene.Video{v},
+		Verify:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamRun(t, recv, []*camera.Node{smallNode(t, v, 0.15, 160)}, context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := recv.Status(); st.Windows != 8 {
+		t.Fatalf("windows = %d, want 8", st.Windows)
+	}
+}
+
+func TestDriftEventOnInjectedShift(t *testing.T) {
+	// Loop 1 streams the profiled corpus; loop 2 streams a same-length
+	// corpus whose traffic regime shifted (tripled car rate) — the
+	// scene-change the drift detector exists to flag. Windows from loop
+	// 1 must stay under the threshold, and the shift must raise
+	// DriftEvents. The threshold sits above the within-corpus window
+	// variation (short windows of a regime-structured corpus diverge
+	// ~0.3-0.55 from the corpus-wide histogram; see DESIGN.md §12 on
+	// calibration).
+	v := dataset.MustLoad("small")
+	m := detect.YOLOv4Sim()
+	baseline, err := CorpusBaseline(context.Background(), v, m, scene.Car, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shiftedCfg := dataset.SmallConfig()
+	shiftedCfg.Name = "small-shifted"
+	shiftedCfg.CarRate *= 3
+	shifted, err := scene.Generate(shiftedCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var windows []WindowResult
+	var drifts []DriftEvent
+	recv, err := New(Config{
+		Model:          m,
+		Class:          scene.Car,
+		WindowSpan:     300,
+		Sources:        []*scene.Video{v, shifted},
+		Baseline:       baseline,
+		DriftThreshold: 0.65,
+		OnWindow:       func(res WindowResult) { windows = append(windows, res) },
+		OnDrift:        func(ev DriftEvent) { drifts = append(drifts, ev) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []*camera.Node{smallNode(t, v, 0.4, 160), smallNode(t, shifted, 0.4, 160)}
+	if err := streamRun(t, recv, nodes, context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(windows) != 8 {
+		t.Fatalf("emitted %d windows, want 8", len(windows))
+	}
+	for _, res := range windows[:4] {
+		if res.Drifted {
+			t.Fatalf("clean window %d flagged as drifted (divergence %.3f)", res.Seq, res.Divergence)
+		}
+	}
+	if len(drifts) == 0 {
+		divs := make([]float64, 0, len(windows))
+		for _, res := range windows {
+			divs = append(divs, res.Divergence)
+		}
+		t.Fatalf("injected shift raised no drift events; window divergences: %v", divs)
+	}
+	for _, ev := range drifts {
+		if ev.Lo < 1200 {
+			t.Fatalf("drift event %+v on a clean-corpus window", ev)
+		}
+		if ev.Divergence <= ev.Threshold {
+			t.Fatalf("drift event below threshold: %+v", ev)
+		}
+	}
+	if st := recv.Status(); st.Drifts != len(drifts) || st.LastDrift == nil {
+		t.Fatalf("status drift accounting %+v vs %d events", recv.Status(), len(drifts))
+	}
+}
+
+func TestCancelMidStreamDropsPartialWindow(t *testing.T) {
+	// Cancelling after the third window must stop the run with the
+	// context's error and emit nothing further — the partially filled
+	// fourth window is never persisted.
+	v := dataset.MustLoad("small")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var emitted []WindowResult
+	recv, err := New(Config{
+		Model:      detect.YOLOv4Sim(),
+		Class:      scene.Car,
+		WindowSpan: 100,
+		Sources:    []*scene.Video{v},
+		OnWindow: func(res WindowResult) {
+			emitted = append(emitted, res)
+			if len(emitted) == 3 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = streamRun(t, recv, []*camera.Node{smallNode(t, v, 0.3, 160)}, ctx, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("run returned %v, want context.Canceled", err)
+	}
+	if len(emitted) != 3 {
+		t.Fatalf("emitted %d windows after cancellation, want 3", len(emitted))
+	}
+	st := recv.Status()
+	if !st.Done || st.Windows != 3 {
+		t.Fatalf("status %+v", st)
+	}
+	if st.LastWindow.Seq != 2 {
+		t.Fatalf("last window %+v leaked past cancellation", st.LastWindow)
+	}
+}
+
+func TestWirePixelsBackend(t *testing.T) {
+	// The wire backend detects on the transmitted rasters themselves; no
+	// replay source is needed.
+	v := dataset.MustLoad("small")
+	recv, err := New(Config{
+		Model:      detect.YOLOv4Sim(),
+		Class:      scene.Car,
+		WindowSpan: 400,
+		WirePixels: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamRun(t, recv, []*camera.Node{smallNode(t, v, 0.05, 160)}, context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	st := recv.Status()
+	if st.Windows != 3 || st.Frames != 60 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestStreamTotalsAdvance(t *testing.T) {
+	before := Totals()
+	v := dataset.MustLoad("small")
+	recv, err := New(Config{
+		Model:      detect.YOLOv4Sim(),
+		Class:      scene.Car,
+		WindowSpan: 600,
+		Sources:    []*scene.Video{v},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamRun(t, recv, []*camera.Node{smallNode(t, v, 0.02, 160)}, context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	after := Totals()
+	if after.Frames-before.Frames != 24 {
+		t.Fatalf("frame totals advanced by %d, want 24", after.Frames-before.Frames)
+	}
+	if after.Windows-before.Windows != 2 {
+		t.Fatalf("window totals advanced by %d, want 2", after.Windows-before.Windows)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	m := detect.YOLOv4Sim()
+	v := dataset.MustLoad("small")
+	cases := []Config{
+		{Class: scene.Car, WindowSpan: 10, Sources: []*scene.Video{v}},             // no model
+		{Model: m, WindowSpan: 0, Sources: []*scene.Video{v}},                      // no span
+		{Model: m, WindowSpan: 10, WindowStride: 20, Sources: []*scene.Video{v}},   // stride > span
+		{Model: m, WindowSpan: 10},                                                 // replay without sources
+		{Model: m, WindowSpan: 10, WirePixels: true, Verify: true},                 // verify needs replay
+		{Model: m, WindowSpan: 10, Sources: []*scene.Video{v}, DriftThreshold: -1}, // bad threshold
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Fatalf("case %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestBaselineDivergence(t *testing.T) {
+	b, err := NewBaseline([]float64{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := b.Divergence([]float64{0, 0, 1, 1}); d != 0 {
+		t.Fatalf("identical distribution diverges %v", d)
+	}
+	if d := b.Divergence([]float64{2, 2}); d != 1 {
+		t.Fatalf("disjoint distribution diverges %v, want 1", d)
+	}
+	if d := b.Divergence([]float64{0, 0, 0, 0}); math.Abs(d-0.5) > 1e-12 {
+		t.Fatalf("half-moved distribution diverges %v, want 0.5", d)
+	}
+	if b.Mean != 0.5 {
+		t.Fatalf("baseline mean %v", b.Mean)
+	}
+	if _, err := NewBaseline(nil); err == nil {
+		t.Fatal("empty baseline accepted")
+	}
+}

@@ -8,6 +8,7 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -117,8 +118,14 @@ func (c *Conn) Receive() (byte, []byte, error) {
 	if length == 0 || length > maxMessageSize {
 		return 0, nil, fmt.Errorf("transport: corrupt message length %d", length)
 	}
-	body := make([]byte, length)
-	if _, err := io.ReadFull(c.rw, body); err != nil {
+	var canon [binary.MaxVarintLen64]byte
+	if br.n != binary.PutUvarint(canon[:], length) {
+		// Send always emits the minimal varint; a padded encoding is not
+		// a frame any peer of ours produced.
+		return 0, nil, fmt.Errorf("transport: non-canonical length prefix (%d bytes for %d)", br.n, length)
+	}
+	body, err := readBody(c.rw, int64(length))
+	if err != nil {
 		return 0, nil, fmt.Errorf("transport: receive payload: %w", err)
 	}
 	c.bytesReceived.Add(int64(br.n) + int64(length))
@@ -160,6 +167,32 @@ func Totals() Counters {
 		MessagesSent:     globalMessagesSent.Load(),
 		MessagesReceived: globalMessagesRecv.Load(),
 	}
+}
+
+// receiveChunk caps the upfront body allocation. A declared length at or
+// below the chunk is trusted (legitimate control messages and frame
+// records are small, and the cost of being wrong is bounded by the
+// chunk); larger bodies grow as bytes actually arrive, so a corrupt or
+// hostile length prefix costs at most one chunk of memory, not
+// maxMessageSize.
+const receiveChunk = 64 << 10
+
+// readBody reads exactly length bytes. Allocation tracks the data
+// actually delivered (bytes.Buffer growth under a LimitReader), never
+// the declared length, except for the trusted small-message fast path.
+func readBody(r io.Reader, length int64) ([]byte, error) {
+	var buf bytes.Buffer
+	if length <= receiveChunk {
+		buf.Grow(int(length))
+	}
+	if _, err := io.CopyN(&buf, r, length); err != nil {
+		if errors.Is(err, io.EOF) {
+			// Match io.ReadFull's contract for a truncated body.
+			return nil, io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // byteReader adapts an io.Reader to io.ByteReader while counting bytes.

@@ -30,6 +30,9 @@ run_stage fuzz-smoke make fuzz-smoke
 # BenchmarkFigure4Baseline (both off), so each CI run exercises the A/B
 # accelerator configs end to end without paying full benchmark time.
 run_stage bench-smoke go test -run '^$' -bench 'Figure4' -benchtime=1x -short .
+# Live streaming ingest end to end: camera -> daemon, windowed profiles,
+# mid-flight cancel, clean drain (scripts/stream_smoke.sh).
+run_stage stream-smoke make stream-smoke
 
 total_end=$(date +%s)
 echo "ci: all stages passed in $((total_end - total_start))s"
