@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build lint test test-race fuzz-smoke ci bench bench-kernels bench-json bench-diff figures figures-quick examples serve-smoke stream-smoke clean
+.PHONY: build lint test test-race fuzz-smoke ci bench bench-kernels bench-json bench-diff figures figures-quick examples serve-smoke stream-smoke fleet-smoke clean
 
 # Pinned staticcheck version: `make lint` refuses other versions rather
 # than drift between hosts. staticcheck is optional — hermetic builders
@@ -46,7 +46,7 @@ test-race:
 		./internal/transport/ ./internal/camera/ ./internal/degrade/ \
 		./internal/store/ ./internal/server/ ./internal/outputs/ ./internal/plan/ \
 		./internal/estimate/ ./internal/fleet/ ./internal/query/ ./internal/stats/ \
-		./internal/stream/
+		./internal/stream/ ./internal/fleetd/
 	$(GO) test -race -run 'Parallel' ./internal/experiments/
 
 # Short fuzz pass over the decoders whose inputs can be torn or
@@ -81,15 +81,17 @@ bench-kernels:
 # BENCH_<pr>.json.
 bench-json:
 	$(GO) test -bench=. -benchmem -benchtime=1x > bench.tmp
-	$(GO) run ./cmd/benchjson -out BENCH_PR7.json < bench.tmp
+	$(GO) run ./cmd/benchjson -out BENCH_PR8.json < bench.tmp
 	rm -f bench.tmp
 
 # Benchmark regression gate: compare the previous PR's committed artifact
 # against this PR's. Fails (non-zero exit) when any benchmark's ns/op
 # regresses by more than -max-regress (default 25%); benchmarks present
-# in only one artifact are listed but never fail the gate.
+# in only one artifact are listed but never fail the gate — which is how
+# the new BenchmarkFleetServe* family rides one-sided in PR8 (no PR7
+# baseline exists for it).
 bench-diff:
-	$(GO) run ./cmd/benchjson -diff BENCH_PR6.json BENCH_PR7.json
+	$(GO) run ./cmd/benchjson -diff BENCH_PR7.json BENCH_PR8.json
 
 # Full-scale evaluation reports (the EXPERIMENTS.md numbers). Detector
 # outputs are cached under .cache so reruns are fast.
@@ -109,6 +111,12 @@ serve-smoke:
 # mid-flight cancel that must not persist a partial window.
 stream-smoke:
 	sh ./scripts/stream_smoke.sh
+
+# End-to-end fleet smoke: three real smokescreend daemons sharing a ring,
+# smokeload's herd + steady scenarios in urls mode, a kill -9 of one node
+# with a survivor re-POST (lease expiry), then SIGTERM drain of the rest.
+fleet-smoke:
+	sh ./scripts/fleet_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

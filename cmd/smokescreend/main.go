@@ -11,11 +11,21 @@
 //	             [-quantized-rasters=true|false]
 //	             [-delta-detect off|exact|bounded] [-delta-tolerance T]
 //	             [-request-timeout D] [-job-timeout D] [-addr-file PATH]
+//	             [-fleet-nodes H1:P1,H2:P2,...] [-fleet-self H:P]
+//	             [-fleet-replicas R] [-fleet-vnodes V] [-fleet-lease-ttl D]
 //
 // Endpoints: POST /v1/profiles, GET /v1/profiles/{key}, GET /v1/jobs/{id},
 // DELETE /v1/jobs/{id}, GET /healthz, GET /metrics. SIGINT/SIGTERM drain
 // gracefully: intake stops, in-flight generations finish, the store stays
 // consistent.
+//
+// With -fleet-nodes (or SMOKESCREEND_FLEET_NODES), the daemon joins an
+// N-node fleet: profile keys are placed on a consistent-hash ring,
+// requests are forwarded to a replica over pooled keep-alive connections,
+// artifacts fan out to R replicas with read-repair, and generation dedup
+// is coordinated by TTL leases (see DESIGN.md §13). Fleet mode adds
+// GET /v1/ring plus internal replication and lease endpoints, and
+// smokescreend_fleet_* counters on /metrics.
 package main
 
 import (
@@ -31,6 +41,7 @@ import (
 	"time"
 
 	"smokescreen/internal/detect"
+	"smokescreen/internal/fleetd"
 	"smokescreen/internal/outputs"
 	"smokescreen/internal/raster"
 	"smokescreen/internal/server"
@@ -55,6 +66,11 @@ func main() {
 	deltaDetect := flag.String("delta-detect", "off", "temporal delta detection: off, exact (byte-identical reuse) or bounded (tolerance-gated splicing)")
 	deltaTolerance := flag.Float64("delta-tolerance", 0.1, "bounded delta detection: worst-case mean-contrast perturbation admitted when splicing prior-frame detections")
 	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+	fleetNodes := flag.String("fleet-nodes", os.Getenv("SMOKESCREEND_FLEET_NODES"), "comma-separated fleet member host:ports; empty runs single-node (env SMOKESCREEND_FLEET_NODES)")
+	fleetSelf := flag.String("fleet-self", "", "this node's identity within -fleet-nodes (default: the bound address)")
+	fleetVNodes := flag.Int("fleet-vnodes", 0, "virtual nodes per fleet member on the placement ring (0 = default)")
+	fleetReplicas := flag.Int("fleet-replicas", 0, "replicas per profile key (0 = default 2)")
+	fleetLeaseTTL := flag.Duration("fleet-lease-ttl", 3*time.Second, "generation lease TTL (a dead node's work is re-claimable after this)")
 	flag.Parse()
 
 	if *renderCacheMB < 0 {
@@ -79,7 +95,10 @@ func main() {
 		parallelism: *parallelism, queueDepth: *queueDepth, cacheMB: *cacheMB,
 		requestTimeout: *requestTimeout, jobTimeout: *jobTimeout,
 		drainTimeout: *drainTimeout, correctionLimit: *correctionLimit,
-		addrFile: *addrFile,
+		addrFile:   *addrFile,
+		fleetNodes: *fleetNodes, fleetSelf: *fleetSelf,
+		fleetVNodes: *fleetVNodes, fleetReplicas: *fleetReplicas,
+		fleetLeaseTTL: *fleetLeaseTTL,
 	}, logger); err != nil {
 		logger.Fatal(err)
 	}
@@ -93,6 +112,10 @@ type runConfig struct {
 	requestTimeout, jobTimeout time.Duration
 	drainTimeout               time.Duration
 	correctionLimit            float64
+
+	fleetNodes, fleetSelf      string
+	fleetVNodes, fleetReplicas int
+	fleetLeaseTTL              time.Duration
 }
 
 func run(cfg runConfig, logger *log.Logger) error {
@@ -106,28 +129,68 @@ func run(cfg runConfig, logger *log.Logger) error {
 		logger.Printf("store warning: %v (will regenerate on demand)", err)
 	}
 
-	svc, err := server.New(server.Config{
-		Store: st,
-		Generator: &server.SystemGenerator{
-			CorrectionLimit: cfg.correctionLimit,
-			Parallelism:     cfg.parallelism,
-		},
-		Workers:        cfg.workers,
-		QueueDepth:     cfg.queueDepth,
-		RequestTimeout: cfg.requestTimeout,
-		JobTimeout:     cfg.jobTimeout,
-		Logf:           logger.Printf,
-	})
-	if err != nil {
-		return err
-	}
-
+	// Listen before assembling the service: in fleet mode the node's ring
+	// identity defaults to the bound address, which only exists once the
+	// socket is live.
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
 	bound := ln.Addr().String()
 	logger.Printf("listening on %s", bound)
+
+	generator := &server.SystemGenerator{
+		CorrectionLimit: cfg.correctionLimit,
+		Parallelism:     cfg.parallelism,
+	}
+	serverCfg := server.Config{
+		Store:          st,
+		Generator:      generator,
+		Workers:        cfg.workers,
+		QueueDepth:     cfg.queueDepth,
+		RequestTimeout: cfg.requestTimeout,
+		JobTimeout:     cfg.jobTimeout,
+		Logf:           logger.Printf,
+	}
+
+	// handler/drain abstract over the two shapes: a bare single-process
+	// daemon, or that same daemon wrapped in a fleetd node (ring routing,
+	// replication, lease coordination).
+	var handler http.Handler
+	var drain func(context.Context) error
+	if cfg.fleetNodes != "" {
+		self := cfg.fleetSelf
+		if self == "" {
+			self = bound
+		}
+		node, err := fleetd.NewNode(fleetd.Config{
+			Self:      self,
+			Nodes:     fleetd.ParseNodes(cfg.fleetNodes),
+			VNodes:    cfg.fleetVNodes,
+			Replicas:  cfg.fleetReplicas,
+			LeaseTTL:  cfg.fleetLeaseTTL,
+			Store:     st,
+			Generator: generator,
+			Server:    serverCfg,
+			Logf:      logger.Printf,
+		})
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		logger.Printf("fleet member %s of %s (replicas=%d)", self, cfg.fleetNodes, node.Ring().ReplicaCount())
+		handler = node.Handler()
+		drain = node.Drain
+	} else {
+		svc, err := server.New(serverCfg)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		handler = svc.Handler()
+		drain = svc.Drain
+	}
+
 	if cfg.addrFile != "" {
 		// Written after the socket is live, so scripts can poll the file
 		// and connect without races.
@@ -137,7 +200,7 @@ func run(cfg runConfig, logger *log.Logger) error {
 		}
 	}
 
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -157,7 +220,7 @@ func run(cfg runConfig, logger *log.Logger) error {
 	if err := httpSrv.Shutdown(ctx); err != nil {
 		logger.Printf("http shutdown: %v", err)
 	}
-	if err := svc.Drain(ctx); err != nil {
+	if err := drain(ctx); err != nil {
 		return err
 	}
 	logger.Printf("drained cleanly")

@@ -25,6 +25,31 @@ import (
 //     callee must pass a context along — calling SweepFractionsCtx
 //     without ctx while holding one is exactly the drift the suffix
 //     convention exists to prevent.
+//
+// A third rule applies only to the clock-injected packages below: no
+// direct wall-clock or timer calls. fleetd's lease expiry, claim-wait
+// backoff, and renewal pacing all flow through an injected Clock so the
+// lease tests drive expiry with a fake clock instead of sleeping; one
+// stray time.Now() reintroduces real-time coupling and flaky tests. The
+// production Clock implementation carries reasoned
+// //smokevet:ignore ctxflow suppressions — it is the sole sanctioned
+// wall-clock read.
+
+// clockInjectedPackages lists packages whose time must flow through an
+// injected Clock interface (fixture/ctxflow keeps the rule pinned by the
+// analyzer's own fixture test).
+var clockInjectedPackages = map[string]bool{
+	"smokescreen/internal/fleetd": true,
+	"fixture/ctxflow":             true,
+}
+
+// clockCalls are the time package entry points that read the wall clock
+// or arm real timers; each has a Clock-interface equivalent.
+var clockCalls = map[string]bool{
+	"Now": true, "Since": true, "Sleep": true, "After": true,
+	"AfterFunc": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+}
+
 var Ctxflow = &Analyzer{
 	Name: "ctxflow",
 	Doc: "flag context.Background()/TODO() that sever cancellation in internal " +
@@ -39,6 +64,7 @@ func runCtxflow(pass *Pass) error {
 	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
 		return nil
 	}
+	clockInjected := pass.Pkg != nil && clockInjectedPackages[pass.Pkg.Path()]
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -48,8 +74,30 @@ func runCtxflow(pass *Pass) error {
 			checkBackgroundUse(pass, fd)
 			checkCtxForwarding(pass, fd)
 		}
+		if clockInjected {
+			checkClockInjection(pass, f)
+		}
 	}
 	return nil
+}
+
+// checkClockInjection applies rule 3 to one file of a clock-injected
+// package: any direct time.Now/Since/Sleep/After/AfterFunc/Tick/NewTimer/
+// NewTicker call bypasses the injected Clock.
+func checkClockInjection(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !clockCalls[fn.Name()] {
+			return true
+		}
+		pass.Report(call.Pos(),
+			"time.%s in a clock-injected package: route time through the injected Clock so tests can drive expiry with a fake clock instead of sleeping", fn.Name())
+		return true
+	})
 }
 
 // funcHasCtxParam reports whether the declared function takes a context.

@@ -1,0 +1,411 @@
+package fleetd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"smokescreen/internal/server"
+	"smokescreen/internal/store"
+)
+
+// startFleet stands up a 3-node in-process fleet tuned for tests: short
+// leases so expiry paths run in milliseconds, and a generation delay
+// long enough to observe in-flight work.
+func startFleet(t *testing.T, cfg HarnessConfig) *Harness {
+	t.Helper()
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Dir == "" {
+		cfg.Dir = t.TempDir()
+	}
+	if cfg.LeaseTTL == 0 {
+		cfg.LeaseTTL = 250 * time.Millisecond
+	}
+	if cfg.ClaimPoll == 0 {
+		cfg.ClaimPoll = 10 * time.Millisecond
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 30 * time.Second
+	}
+	if cfg.Logf == nil && testing.Verbose() {
+		cfg.Logf = t.Logf
+	}
+	h, err := StartHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestFleetHotKeyHerd is the tentpole invariant: a thundering herd on
+// one key across every node costs exactly ONE generation fleet-wide.
+func TestFleetHotKeyHerd(t *testing.T) {
+	h := startFleet(t, HarnessConfig{GenDelay: 50 * time.Millisecond})
+	ctx := testCtx(t)
+
+	res, err := h.RunHotKeyHerd(ctx, 48, "herd-query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("herd had %d errors of %d requests", res.Errors, res.Requests)
+	}
+	if res.Generations != 1 {
+		t.Fatalf("herd cost %d generations, want exactly 1", res.Generations)
+	}
+	if got := h.Counter.Key(SyntheticKey("herd-query")); got != 1 {
+		t.Fatalf("invocation counter for the hot key = %d, want 1", got)
+	}
+	// All 48 responses must carry the same artifact; spot-check via GET
+	// through every node.
+	key := SyntheticKey("herd-query")
+	var want []byte
+	for _, hn := range h.Alive() {
+		status, body, err := h.Get(ctx, hn.URL, key)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("GET via %s: %d %v", hn.Name, status, err)
+		}
+		if want == nil {
+			want = body
+		} else if string(body) != string(want) {
+			t.Fatalf("nodes serve different bytes for one key")
+		}
+	}
+}
+
+// TestFleetForwardingAndReplication: a POST through a non-replica node
+// is forwarded, the artifact lands on every replica's disk, and GETs
+// through any node return it.
+func TestFleetForwardingAndReplication(t *testing.T) {
+	h := startFleet(t, HarnessConfig{})
+	ctx := testCtx(t)
+	ring := h.Ring()
+
+	// Find a query whose replica set excludes some node (guaranteed with
+	// 3 nodes, R=2).
+	var queryText, outsider string
+	for i := 0; i < 256 && outsider == ""; i++ {
+		q := fmt.Sprintf("fwd-%d", i)
+		key := SyntheticKey(q)
+		for _, hn := range h.Alive() {
+			if !ring.IsReplica(key, hn.Name) {
+				queryText, outsider = q, hn.Name
+				break
+			}
+		}
+	}
+	if outsider == "" {
+		t.Fatal("no non-replica node found")
+	}
+	key := SyntheticKey(queryText)
+
+	status, body, err := h.Post(ctx, h.URLFor(outsider), server.GenRequest{Query: queryText})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = body
+	if status != http.StatusOK {
+		t.Fatalf("forwarded POST returned %d", status)
+	}
+
+	// The outsider forwarded (counter) and did NOT generate.
+	m, err := h.ScrapeNode(ctx, h.URLFor(outsider))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["smokescreend_fleet_forwards_total"] == 0 {
+		t.Fatal("outsider served a POST for a key it does not replicate without forwarding")
+	}
+	if h.Counter.NodeFor(key) == outsider {
+		t.Fatal("outsider generated a key it does not replicate")
+	}
+
+	// Every replica holds the artifact on its own disk (write fan-out).
+	for _, hn := range h.Nodes() {
+		if !ring.IsReplica(key, hn.Name) {
+			continue
+		}
+		if _, err := hn.Store.GetEnvelope(key); err != nil {
+			t.Fatalf("replica %s missing envelope after fan-out: %v", hn.Name, err)
+		}
+	}
+
+	// GET through every node returns the artifact.
+	for _, hn := range h.Alive() {
+		status, _, err := h.Get(ctx, hn.URL, key)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("GET via %s: %d %v", hn.Name, status, err)
+		}
+	}
+}
+
+// TestFleetKillDuringGeneration is the lease-expiry acceptance test: the
+// generating node dies mid-work holding its lease; a survivor takes the
+// unit over after TTL and completes the generation.
+func TestFleetKillDuringGeneration(t *testing.T) {
+	h := startFleet(t, HarnessConfig{GenDelay: 400 * time.Millisecond})
+	ctx := testCtx(t)
+
+	res, err := h.RunKillDuringGeneration(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two generation starts: the victim's (killed) and the survivor's.
+	if res.Generations != 2 {
+		t.Fatalf("kill scenario cost %d generations, want 2 (victim + survivor)", res.Generations)
+	}
+	if res.LeaseExpiries == 0 {
+		t.Fatal("survivor completed without a lease expiry — the takeover path did not run")
+	}
+}
+
+// TestFleetReadRepair corrupts one replica's on-disk envelope; a fleet
+// GET through that replica returns the good bytes AND rewrites the
+// corrupt shard from a peer. Concurrent GETs coalesce onto one repair.
+func TestFleetReadRepair(t *testing.T) {
+	h := startFleet(t, HarnessConfig{})
+	ctx := testCtx(t)
+	ring := h.Ring()
+
+	queryText := "repair-me"
+	key := SyntheticKey(queryText)
+	reps := ring.Replicas(key)
+	status, want, err := h.Post(ctx, h.Alive()[0].URL, server.GenRequest{Query: queryText})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("seed POST: %d %v", status, err)
+	}
+
+	// Corrupt the SECOND replica's copy on disk (bit-flip inside the
+	// payload so the checksum fails).
+	var victim *HarnessNode
+	for _, hn := range h.Nodes() {
+		if hn.Name == reps[1] {
+			victim = hn
+		}
+	}
+	if victim == nil {
+		t.Fatalf("replica %s not found in harness", reps[1])
+	}
+	env, err := victim.Store.GetEnvelope(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := victim.Store.EnvelopePath(key)
+	bad := append([]byte(nil), env...)
+	bad[len(bad)/2] ^= 0x40
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the replica's cached payload: the corruption models bit rot
+	// found after a restart, not a hot cache papering over it.
+	victim.Store.Invalidate(key)
+	if _, err := victim.Store.GetEnvelope(key); err == nil {
+		t.Fatal("corruption did not take")
+	}
+
+	// Concurrent GETs straight at the corrupted replica: all must get
+	// the good bytes.
+	const readers = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, body, err := h.Get(ctx, victim.URL, key)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if status != http.StatusOK {
+				errs <- fmt.Errorf("GET returned %d", status)
+				return
+			}
+			if string(body) != string(want) {
+				errs <- fmt.Errorf("repaired read returned wrong bytes")
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// The corrupt shard was rewritten with verified bytes.
+	healed, err := victim.Store.GetEnvelope(key)
+	if err != nil {
+		t.Fatalf("shard not healed: %v", err)
+	}
+	if string(healed) != string(env) {
+		t.Fatal("healed envelope differs from the original")
+	}
+	m, err := h.ScrapeNode(ctx, victim.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["smokescreend_fleet_repairs_total"]; got < 1 {
+		t.Fatalf("repairs_total = %d, want >= 1", got)
+	}
+	if h.Counter.Key(key) != 1 {
+		t.Fatalf("repair triggered regeneration: %d generations", h.Counter.Key(key))
+	}
+}
+
+// TestFleetCancelPropagation: an async job started through one node is
+// canceled through another; the cancel crosses the fleet by job-id
+// prefix routing.
+func TestFleetCancelPropagation(t *testing.T) {
+	h := startFleet(t, HarnessConfig{GenDelay: 2 * time.Second})
+	ctx := testCtx(t)
+
+	res, err := h.RunCancelPropagation(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("cancel scenario had %d errors", res.Errors)
+	}
+}
+
+// TestFleetRingEndpoint: every node reports the identical ring.
+func TestFleetRingEndpoint(t *testing.T) {
+	h := startFleet(t, HarnessConfig{})
+	ctx := testCtx(t)
+
+	var first ringStatus
+	for i, hn := range h.Alive() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, hn.URL+"/v1/ring", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		status, body, err := h.do(req)
+		if err != nil || status != http.StatusOK {
+			t.Fatalf("GET /v1/ring via %s: %d %v", hn.Name, status, err)
+		}
+		var rs ringStatus
+		if err := json.Unmarshal(body, &rs); err != nil {
+			t.Fatal(err)
+		}
+		if rs.Self != hn.Name {
+			t.Fatalf("node %s reports self %s", hn.Name, rs.Self)
+		}
+		if rs.VNodes != DefaultVNodes || rs.Replicas != DefaultReplicas {
+			t.Fatalf("ring parameters: %+v", rs)
+		}
+		if i == 0 {
+			first = rs
+		} else if fmt.Sprint(rs.Nodes) != fmt.Sprint(first.Nodes) {
+			t.Fatalf("node sets differ: %v vs %v", rs.Nodes, first.Nodes)
+		}
+	}
+}
+
+// TestFleetMetricsExposition: the fleet block renders on every node with
+// the gauges the dashboards key on, alongside the inner daemon's block.
+func TestFleetMetricsExposition(t *testing.T) {
+	h := startFleet(t, HarnessConfig{})
+	ctx := testCtx(t)
+
+	// Generate one artifact so counters move.
+	if status, _, err := h.Post(ctx, h.Alive()[0].URL, server.GenRequest{Query: "metrics-seed"}); err != nil || status != http.StatusOK {
+		t.Fatalf("seed POST: %d %v", status, err)
+	}
+
+	for _, hn := range h.Alive() {
+		m, err := h.ScrapeNode(ctx, hn.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{
+			"smokescreend_fleet_forwards_total",
+			"smokescreend_fleet_forwards_coalesced_total",
+			"smokescreend_fleet_repairs_total",
+			"smokescreend_fleet_replica_writes_total",
+			"smokescreend_fleet_lease_claims_total",
+			"smokescreend_fleet_lease_expiries_total",
+			"smokescreend_fleet_leases_active",
+			"smokescreend_fleet_ring_nodes",
+			"smokescreend_fleet_ring_vnodes",
+			"smokescreend_fleet_ring_replicas",
+			// And the inner daemon's block must still be present.
+			"smokescreend_http_requests_total",
+			"smokescreend_store_puts_total",
+		} {
+			if _, ok := m[name]; !ok {
+				t.Errorf("node %s: metric %s missing", hn.Name, name)
+			}
+		}
+		if m["smokescreend_fleet_ring_nodes"] != 3 {
+			t.Errorf("ring_nodes = %d, want 3", m["smokescreend_fleet_ring_nodes"])
+		}
+	}
+	totals, err := h.ScrapeFleet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if totals["smokescreend_fleet_replica_writes_total"] < 1 {
+		t.Errorf("no replica writes recorded after a generation")
+	}
+}
+
+// TestFleetSteadyMixed exercises the steady-state scenario end to end.
+func TestFleetSteadyMixed(t *testing.T) {
+	h := startFleet(t, HarnessConfig{})
+	ctx := testCtx(t)
+
+	res, err := h.RunSteady(ctx, 4, 8, 24, "steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("steady run had %d errors of %d requests", res.Errors, res.Requests)
+	}
+	if res.Generations != 8 {
+		t.Fatalf("steady run cost %d generations for 8 keys, want 8", res.Generations)
+	}
+	if res.Forwards == 0 {
+		t.Fatal("no forwards in a mixed run — routing layer inert?")
+	}
+	if res.LocalRequests == 0 {
+		t.Fatal("no local requests in a mixed run")
+	}
+}
+
+// TestNodeConfigValidation pins constructor errors.
+func TestNodeConfigValidation(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := &SyntheticGenerator{}
+	if _, err := NewNode(Config{Nodes: []string{"a"}, Self: "a"}); err == nil {
+		t.Fatal("missing store/generator must be rejected")
+	}
+	if _, err := NewNode(Config{Nodes: []string{"a", "b"}, Self: "c", Store: st, Generator: gen}); err == nil {
+		t.Fatal("self outside the node set must be rejected")
+	}
+	n, err := NewNode(Config{Nodes: []string{"a", "b"}, Self: "a", Store: st, Generator: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.Self() != "a" {
+		t.Fatalf("Self = %q", n.Self())
+	}
+}

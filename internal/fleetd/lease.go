@@ -1,0 +1,149 @@
+package fleetd
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The lease table is the internal/outputs claim/wait protocol lifted
+// behind a transport. In-process, outputs claims a frame with a map entry
+// and a channel and waiters block until the claimant closes it; across
+// nodes a crashed claimant can never close anything, so the claim carries
+// a TTL instead: holders renew while they work, waiters poll with the
+// holder's remaining TTL as the backoff hint, and a dead node's leases
+// expire on their own — the next claim takes the unit over and the work
+// is re-run. Store writes are content-addressed and idempotent, so the
+// worst case of any lease race is duplicate work, never a wrong artifact.
+
+// lease is one held unit.
+type lease struct {
+	owner   string
+	expires time.Time
+	gen     uint64 // increments on every grant; diagnostic only
+}
+
+// LeaseStatus is the wire form of a claim/renew/release outcome.
+type LeaseStatus struct {
+	Unit string `json:"unit"`
+	// Granted reports whether the caller now holds (claim/renew) or
+	// released (release) the unit.
+	Granted bool `json:"granted"`
+	// Holder is the current holder after the operation ("" if none).
+	Holder string `json:"holder,omitempty"`
+	// TTLMillis is the holder's remaining TTL after the operation; a
+	// denied claimant uses it as the wait hint before re-claiming.
+	TTLMillis int64  `json:"ttl_ms"`
+	Gen       uint64 `json:"gen"`
+}
+
+// leaseTable is one node's lease authority state: the leases whose units
+// hash to this node on the ring.
+type leaseTable struct {
+	clock Clock
+
+	mu     sync.Mutex
+	leases map[string]*lease
+
+	claims   atomic.Int64 // grants (fresh, takeover, or holder re-claim)
+	denials  atomic.Int64 // claims refused because another owner holds
+	expiries atomic.Int64 // expired leases observed (taken over or reaped)
+	renewals atomic.Int64 // successful renews
+	releases atomic.Int64 // successful releases
+}
+
+func newLeaseTable(clock Clock) *leaseTable {
+	return &leaseTable{clock: clock, leases: make(map[string]*lease)}
+}
+
+// claim grants unit to owner for ttl. A claim by the current holder
+// extends the lease (so every goroutine of one node shares the claim,
+// exactly as every goroutine of one process shares an outputs claim); an
+// expired lease is taken over; a live lease held elsewhere is denied with
+// the holder's remaining TTL as the retry hint.
+func (lt *leaseTable) claim(unit, owner string, ttl time.Duration) LeaseStatus {
+	now := lt.clock.Now()
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	l, ok := lt.leases[unit]
+	if ok && now.Before(l.expires) && l.owner != owner {
+		lt.denials.Add(1)
+		return LeaseStatus{Unit: unit, Granted: false, Holder: l.owner, TTLMillis: int64(l.expires.Sub(now) / time.Millisecond), Gen: l.gen}
+	}
+	var gen uint64 = 1
+	if ok {
+		if !now.Before(l.expires) && l.owner != owner {
+			// Takeover of a dead holder's lease: the expiry path the
+			// node-kill test pins.
+			lt.expiries.Add(1)
+		}
+		gen = l.gen + 1
+	}
+	lt.leases[unit] = &lease{owner: owner, expires: now.Add(ttl), gen: gen}
+	lt.claims.Add(1)
+	return LeaseStatus{Unit: unit, Granted: true, Holder: owner, TTLMillis: int64(ttl / time.Millisecond), Gen: gen}
+}
+
+// renew extends a lease the caller still holds. A renew of an expired or
+// reassigned lease is denied — the holder has lost the unit and must
+// re-claim (and re-check the store) rather than assume it still owns the
+// generation.
+func (lt *leaseTable) renew(unit, owner string, ttl time.Duration) LeaseStatus {
+	now := lt.clock.Now()
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	l, ok := lt.leases[unit]
+	if !ok {
+		return LeaseStatus{Unit: unit, Granted: false}
+	}
+	if !now.Before(l.expires) {
+		// Expired before anyone re-claimed it: reap it now so the table
+		// does not accumulate dead units.
+		lt.expiries.Add(1)
+		delete(lt.leases, unit)
+		return LeaseStatus{Unit: unit, Granted: false}
+	}
+	if l.owner != owner {
+		return LeaseStatus{Unit: unit, Granted: false, Holder: l.owner, TTLMillis: int64(l.expires.Sub(now) / time.Millisecond), Gen: l.gen}
+	}
+	l.expires = now.Add(ttl)
+	lt.renewals.Add(1)
+	return LeaseStatus{Unit: unit, Granted: true, Holder: owner, TTLMillis: int64(ttl / time.Millisecond), Gen: l.gen}
+}
+
+// release drops a lease the caller holds; releasing a lease held by
+// someone else (or nobody) is a refused no-op, so a slow node that lost
+// its lease to expiry can never release the new holder's claim.
+func (lt *leaseTable) release(unit, owner string) LeaseStatus {
+	now := lt.clock.Now()
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	l, ok := lt.leases[unit]
+	if !ok {
+		return LeaseStatus{Unit: unit, Granted: false}
+	}
+	if l.owner != owner {
+		if !now.Before(l.expires) {
+			lt.expiries.Add(1)
+			delete(lt.leases, unit)
+		}
+		return LeaseStatus{Unit: unit, Granted: false, Holder: l.owner, Gen: l.gen}
+	}
+	delete(lt.leases, unit)
+	lt.releases.Add(1)
+	return LeaseStatus{Unit: unit, Granted: true, Gen: l.gen}
+}
+
+// active returns the number of unexpired leases held right now.
+func (lt *leaseTable) active() int {
+	now := lt.clock.Now()
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	n := 0
+	for _, l := range lt.leases {
+		if now.Before(l.expires) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,259 @@
+package fleetd
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually stepped Clock. After-channels fire when
+// Advance moves the clock past their deadline; nothing in a fake-clock
+// test ever sleeps on the wall clock.
+type fakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	at := c.now.Add(d)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: at, ch: ch})
+	return ch
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	now := c.now
+	var due []chan time.Time
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !now.Before(w.at) {
+			due = append(due, w.ch)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+	c.mu.Unlock()
+	for _, ch := range due {
+		ch <- now
+	}
+}
+
+func TestLeaseClaimDenyExtend(t *testing.T) {
+	clock := newFakeClock()
+	lt := newLeaseTable(clock)
+
+	st := lt.claim("gen/k1", "node-a", time.Second)
+	if !st.Granted || st.Holder != "node-a" || st.Gen != 1 {
+		t.Fatalf("fresh claim: %+v", st)
+	}
+	// Another owner is denied while the lease is live, with the
+	// remaining TTL as the wait hint.
+	clock.Advance(400 * time.Millisecond)
+	st = lt.claim("gen/k1", "node-b", time.Second)
+	if st.Granted {
+		t.Fatalf("live lease must deny another owner: %+v", st)
+	}
+	if st.Holder != "node-a" || st.TTLMillis != 600 {
+		t.Fatalf("denial hint: %+v, want holder node-a ttl 600", st)
+	}
+	// The holder re-claiming extends — node-level sharing, exactly as
+	// every goroutine of one process shares an in-process claim.
+	st = lt.claim("gen/k1", "node-a", time.Second)
+	if !st.Granted || st.Gen != 2 {
+		t.Fatalf("holder re-claim must extend: %+v", st)
+	}
+	if got := lt.denials.Load(); got != 1 {
+		t.Fatalf("denials = %d, want 1", got)
+	}
+	if got := lt.expiries.Load(); got != 0 {
+		t.Fatalf("expiries = %d, want 0", got)
+	}
+}
+
+func TestLeaseExpiryTakeover(t *testing.T) {
+	clock := newFakeClock()
+	lt := newLeaseTable(clock)
+
+	lt.claim("gen/k1", "node-a", time.Second)
+	if lt.active() != 1 {
+		t.Fatalf("active = %d, want 1", lt.active())
+	}
+	// node-a dies: no renewal, the clock walks past the TTL.
+	clock.Advance(1001 * time.Millisecond)
+	if lt.active() != 0 {
+		t.Fatalf("expired lease still counted active")
+	}
+	st := lt.claim("gen/k1", "node-b", time.Second)
+	if !st.Granted || st.Holder != "node-b" {
+		t.Fatalf("takeover of expired lease: %+v", st)
+	}
+	if st.Gen != 2 {
+		t.Fatalf("takeover gen = %d, want 2", st.Gen)
+	}
+	if got := lt.expiries.Load(); got != 1 {
+		t.Fatalf("expiries = %d, want 1 (the takeover)", got)
+	}
+	// The dead node coming back cannot release the new holder's lease.
+	st = lt.release("gen/k1", "node-a")
+	if st.Granted {
+		t.Fatalf("stale owner released the new holder's lease: %+v", st)
+	}
+	// And its renew is denied.
+	st = lt.renew("gen/k1", "node-a", time.Second)
+	if st.Granted {
+		t.Fatalf("stale owner renewed the new holder's lease: %+v", st)
+	}
+}
+
+func TestLeaseRenewSchedule(t *testing.T) {
+	clock := newFakeClock()
+	lt := newLeaseTable(clock)
+
+	lt.claim("gen/k1", "node-a", 900*time.Millisecond)
+	// Renew at TTL/3 cadence: the lease never expires while renewed.
+	for i := 0; i < 5; i++ {
+		clock.Advance(300 * time.Millisecond)
+		st := lt.renew("gen/k1", "node-a", 900*time.Millisecond)
+		if !st.Granted {
+			t.Fatalf("renewal %d failed: %+v", i, st)
+		}
+	}
+	if got := lt.renewals.Load(); got != 5 {
+		t.Fatalf("renewals = %d, want 5", got)
+	}
+	// Stop renewing; the lease dies one TTL later and the renew both
+	// fails and reaps it.
+	clock.Advance(901 * time.Millisecond)
+	st := lt.renew("gen/k1", "node-a", 900*time.Millisecond)
+	if st.Granted {
+		t.Fatalf("renew of expired lease granted: %+v", st)
+	}
+	if got := lt.expiries.Load(); got != 1 {
+		t.Fatalf("expiries = %d, want 1 (the reap)", got)
+	}
+	if lt.active() != 0 {
+		t.Fatalf("reaped lease still active")
+	}
+}
+
+func TestLeaseRelease(t *testing.T) {
+	clock := newFakeClock()
+	lt := newLeaseTable(clock)
+
+	lt.claim("gen/k1", "node-a", time.Second)
+	st := lt.release("gen/k1", "node-a")
+	if !st.Granted {
+		t.Fatalf("holder release refused: %+v", st)
+	}
+	// The unit is immediately claimable by anyone.
+	st = lt.claim("gen/k1", "node-b", time.Second)
+	if !st.Granted {
+		t.Fatalf("claim after release refused: %+v", st)
+	}
+	// Releasing an unheld unit is a refused no-op.
+	st = lt.release("gen/other", "node-a")
+	if st.Granted {
+		t.Fatalf("release of unheld unit granted: %+v", st)
+	}
+	if got := lt.releases.Load(); got != 1 {
+		t.Fatalf("releases = %d, want 1", got)
+	}
+}
+
+func TestFlightGroupCoalesces(t *testing.T) {
+	g := newFlightGroup()
+	const waiters = 16
+	started := make(chan struct{})
+	release := make(chan struct{})
+	calls := 0
+	var wg sync.WaitGroup
+	results := make([]any, waiters)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, err, followed := g.do("k", func() (any, error) {
+			close(started)
+			<-release
+			calls++
+			return "payload", nil
+		})
+		if err != nil || followed {
+			t.Errorf("leader: err=%v followed=%v", err, followed)
+		}
+		results[0] = v
+	}()
+	<-started
+	for i := 1; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, followed := g.do("k", func() (any, error) {
+				t.Error("follower executed the flight fn")
+				return nil, nil
+			})
+			if err != nil || !followed {
+				t.Errorf("follower %d: err=%v followed=%v", i, err, followed)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Every follower must be parked on the leader's flight before the
+	// leader completes, or a late follower would start its own flight.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g.mu.Lock()
+		parked := 0
+		if f := g.flights["k"]; f != nil {
+			parked = f.waiters
+		}
+		g.mu.Unlock()
+		if parked == waiters-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d followers parked", parked)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if calls != 1 {
+		t.Fatalf("flight fn ran %d times, want 1", calls)
+	}
+	for i, v := range results {
+		if v != "payload" {
+			t.Fatalf("result %d = %v, want payload", i, v)
+		}
+	}
+	// After completion the key flies again.
+	_, _, followed := g.do("k", func() (any, error) { return "again", nil })
+	if followed {
+		t.Fatal("fresh flight reported followed")
+	}
+}

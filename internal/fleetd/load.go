@@ -1,0 +1,378 @@
+package fleetd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"smokescreen/internal/server"
+)
+
+// Load scenarios for the in-process fleet. Each drives the harness the
+// way production traffic would — through the nodes' HTTP listeners — and
+// returns a LoadResult whose counters come from the generator's ground
+// truth and the fleet's own /metrics, so the same runs serve as tests
+// (assert the invariants), benchmarks (publish the rates), and the smoke
+// script (eyeball the JSON).
+
+// LoadResult is one scenario's outcome.
+type LoadResult struct {
+	Scenario string `json:"scenario"`
+	// Requests/Errors count client-visible operations; an error is a
+	// transport failure or an unexpected status.
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	// DurationMillis is the scenario's wall time.
+	DurationMillis float64 `json:"duration_ms"`
+	// P50Millis/P99Millis are client-observed latency percentiles.
+	P50Millis float64 `json:"p50_ms"`
+	P99Millis float64 `json:"p99_ms"`
+	// RequestsPerSec is Requests / Duration.
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	// Generations counts generator invocations fleet-wide during the
+	// scenario (the herd invariant: one per key).
+	Generations int `json:"generations"`
+	// Fleet-layer counters summed across live nodes (deltas over the
+	// scenario).
+	Forwards      int64 `json:"forwards"`
+	Coalesced     int64 `json:"coalesced"`
+	LocalRequests int64 `json:"local_requests"`
+	Repairs       int64 `json:"repairs"`
+	LeaseExpiries int64 `json:"lease_expiries"`
+	LeaseWaits    int64 `json:"lease_waits"`
+}
+
+// loadRun accumulates per-request latencies thread-safely.
+type loadRun struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	errors    int64
+}
+
+func (lr *loadRun) record(d time.Duration, ok bool) {
+	lr.mu.Lock()
+	defer lr.mu.Unlock()
+	lr.latencies = append(lr.latencies, d)
+	if !ok {
+		lr.errors++
+	}
+}
+
+func (lr *loadRun) percentile(p float64) time.Duration {
+	if len(lr.latencies) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), lr.latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// snapshot captures per-node counters a scenario reports deltas of.
+// Per-node (not summed) so that a node killed mid-scenario drops out of
+// BOTH sides of the delta instead of making fleet totals go backwards.
+func (h *Harness) snapshot(ctx context.Context) (map[string]map[string]int64, int) {
+	per := make(map[string]map[string]int64)
+	for _, hn := range h.Alive() {
+		m, err := h.ScrapeNode(ctx, hn.URL)
+		if err != nil {
+			continue
+		}
+		per[hn.Name] = m
+	}
+	return per, h.Counter.Total()
+}
+
+func (h *Harness) finish(ctx context.Context, res *LoadResult, lr *loadRun, start time.Time, before map[string]map[string]int64, gensBefore int) {
+	elapsed := h.clock.Now().Sub(start)
+	res.DurationMillis = float64(elapsed) / float64(time.Millisecond)
+	res.Errors = lr.errors
+	res.P50Millis = float64(lr.percentile(0.50)) / float64(time.Millisecond)
+	res.P99Millis = float64(lr.percentile(0.99)) / float64(time.Millisecond)
+	if elapsed > 0 {
+		res.RequestsPerSec = float64(res.Requests) / elapsed.Seconds()
+	}
+	res.Generations = h.Counter.Total() - gensBefore
+	after, _ := h.snapshot(ctx)
+	delta := func(name string) int64 {
+		var d int64
+		for node, m := range after {
+			d += m[name] - before[node][name]
+		}
+		return d
+	}
+	res.Forwards = delta("smokescreend_fleet_forwards_total")
+	res.Coalesced = delta("smokescreend_fleet_forwards_coalesced_total")
+	res.LocalRequests = delta("smokescreend_fleet_local_requests_total")
+	res.Repairs = delta("smokescreend_fleet_repairs_total")
+	res.LeaseExpiries = delta("smokescreend_fleet_lease_expiries_total")
+	res.LeaseWaits = delta("smokescreend_fleet_lease_waits_total")
+}
+
+// RunHotKeyHerd slams every node with concurrent sync POSTs for ONE key.
+// The fleet must collapse the herd to a single generation: routing-layer
+// singleflight on the forwarding nodes, the lease on the replicas, and
+// the jobSet on the generating node each absorb a layer of duplication.
+func (h *Harness) RunHotKeyHerd(ctx context.Context, clients int, queryText string) (LoadResult, error) {
+	if clients <= 0 {
+		clients = 32
+	}
+	nodes := h.Alive()
+	if len(nodes) == 0 {
+		return LoadResult{}, fmt.Errorf("fleetd: no live nodes")
+	}
+	before, gensBefore := h.snapshot(ctx)
+	res := LoadResult{Scenario: "herd", Requests: int64(clients)}
+	lr := &loadRun{}
+	start := h.clock.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			t0 := h.clock.Now()
+			status, _, err := h.Post(ctx, nodes[c%len(nodes)].URL, server.GenRequest{Query: queryText})
+			lr.record(h.clock.Now().Sub(t0), err == nil && status == http.StatusOK)
+		}(c)
+	}
+	wg.Wait()
+	h.finish(ctx, &res, lr, start, before, gensBefore)
+	return res, nil
+}
+
+// RunSteady drives a mixed steady-state workload: a population of keys
+// is generated once, then clients issue mostly GETs with periodic
+// re-POSTs (all store hits after the first). This is the service's
+// throughput shape: forwarded vs local hits in ring proportion.
+func (h *Harness) RunSteady(ctx context.Context, clients, keys, requestsPerClient int, queryPrefix string) (LoadResult, error) {
+	if clients <= 0 {
+		clients = 8
+	}
+	if keys <= 0 {
+		keys = 16
+	}
+	if requestsPerClient <= 0 {
+		requestsPerClient = 50
+	}
+	nodes := h.Alive()
+	if len(nodes) == 0 {
+		return LoadResult{}, fmt.Errorf("fleetd: no live nodes")
+	}
+	queries := make([]string, keys)
+	keyIDs := make([]string, keys)
+	for i := range queries {
+		queries[i] = fmt.Sprintf("%s-%d", queryPrefix, i)
+		keyIDs[i] = SyntheticKey(queries[i])
+	}
+	before, gensBefore := h.snapshot(ctx)
+	res := LoadResult{Scenario: "steady"}
+	lr := &loadRun{}
+	start := h.clock.Now()
+
+	// Warm phase: generate the population (counted as requests too).
+	var wg sync.WaitGroup
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := h.clock.Now()
+			status, _, err := h.Post(ctx, nodes[i%len(nodes)].URL, server.GenRequest{Query: queries[i]})
+			lr.record(h.clock.Now().Sub(t0), err == nil && status == http.StatusOK)
+		}(i)
+	}
+	wg.Wait()
+	res.Requests += int64(keys)
+
+	// Steady phase: 1 POST per 8 GETs, deterministic key walk per client.
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for j := 0; j < requestsPerClient; j++ {
+				i := (c*requestsPerClient + j) % keys
+				url := nodes[(c+j)%len(nodes)].URL
+				t0 := h.clock.Now()
+				var status int
+				var err error
+				if j%8 == 7 {
+					status, _, err = h.Post(ctx, url, server.GenRequest{Query: queries[i]})
+				} else {
+					status, _, err = h.Get(ctx, url, keyIDs[i])
+				}
+				lr.record(h.clock.Now().Sub(t0), err == nil && status == http.StatusOK)
+			}
+		}(c)
+	}
+	wg.Wait()
+	res.Requests += int64(clients * requestsPerClient)
+	h.finish(ctx, &res, lr, start, before, gensBefore)
+	return res, nil
+}
+
+// pickKillTarget finds a query whose primary replica is NOT the lease
+// authority for its generation unit, so killing the generating node
+// leaves the authority alive to arbitrate the takeover — the expiry path
+// under test. It also wants a surviving second replica.
+func (h *Harness) pickKillTarget() (queryText, victim, survivor string, err error) {
+	ring := h.Ring()
+	for i := 0; i < 4096; i++ {
+		q := fmt.Sprintf("kill-%d", i)
+		key := SyntheticKey(q)
+		reps := ring.Replicas(key)
+		if len(reps) < 2 {
+			continue
+		}
+		if auth := ring.Owner("gen/" + key); auth != reps[0] {
+			return q, reps[0], reps[1], nil
+		}
+	}
+	return "", "", "", fmt.Errorf("fleetd: no kill target found (ring too small?)")
+}
+
+// RunKillDuringGeneration proves lease expiry: a sync POST lands on the
+// key's primary replica, the node is killed mid-generation (its lease is
+// never released), and a re-POST to a survivor completes once the lease
+// expires and the survivor takes the unit over. Requires a GenDelay long
+// enough to land the kill (>= ~10x ClaimPoll).
+func (h *Harness) RunKillDuringGeneration(ctx context.Context) (LoadResult, error) {
+	queryText, victim, survivor, err := h.pickKillTarget()
+	if err != nil {
+		return LoadResult{}, err
+	}
+	victimURL, survivorURL := h.URLFor(victim), h.URLFor(survivor)
+	if victimURL == "" || survivorURL == "" {
+		return LoadResult{}, fmt.Errorf("fleetd: kill target nodes not live")
+	}
+	key := SyntheticKey(queryText)
+	before, gensBefore := h.snapshot(ctx)
+	res := LoadResult{Scenario: "kill", Requests: 2}
+	lr := &loadRun{}
+	start := h.clock.Now()
+
+	// First POST: blocks in the victim's (slow) generation.
+	firstDone := make(chan struct{})
+	go func() {
+		defer close(firstDone)
+		_, _, _ = h.Post(ctx, victimURL, server.GenRequest{Query: queryText})
+		// Outcome deliberately ignored: this request is supposed to die
+		// with its node.
+	}()
+
+	// Wait for the victim to start generating, then kill it.
+	for h.Counter.Key(key) == 0 {
+		select {
+		case <-ctx.Done():
+			return res, ctx.Err()
+		case <-h.clock.After(2 * time.Millisecond):
+		}
+	}
+	if got := h.Counter.NodeFor(key); got != victim {
+		// Placement said the primary generates; if routing ever changes
+		// this scenario must be rethought, so fail loudly.
+		return res, fmt.Errorf("fleetd: expected %s to generate %s, got %s", victim, key, got)
+	}
+	h.Kill(victim)
+	<-firstDone
+
+	// Recovery POST: must complete on the survivor after lease expiry.
+	t0 := h.clock.Now()
+	status, _, err := h.Post(ctx, survivorURL, server.GenRequest{Query: queryText})
+	lr.record(h.clock.Now().Sub(t0), err == nil && status == http.StatusOK)
+	if err != nil {
+		h.finish(ctx, &res, lr, start, before, gensBefore)
+		return res, fmt.Errorf("fleetd: recovery POST failed: %w", err)
+	}
+	if status != http.StatusOK {
+		h.finish(ctx, &res, lr, start, before, gensBefore)
+		return res, fmt.Errorf("fleetd: recovery POST returned %d", status)
+	}
+	h.finish(ctx, &res, lr, start, before, gensBefore)
+	return res, nil
+}
+
+// RunCancelPropagation proves cross-node cancellation: an async POST is
+// forwarded to a replica, the resulting job is DELETEd through a
+// DIFFERENT node (proxied by job-id prefix), and the job reaches the
+// canceled state. Requires a GenDelay long enough to cancel into.
+func (h *Harness) RunCancelPropagation(ctx context.Context) (LoadResult, error) {
+	nodes := h.Alive()
+	if len(nodes) < 2 {
+		return LoadResult{}, fmt.Errorf("fleetd: cancel scenario needs >= 2 live nodes")
+	}
+	queryText := "cancel-target"
+	before, gensBefore := h.snapshot(ctx)
+	res := LoadResult{Scenario: "cancel"}
+	lr := &loadRun{}
+	start := h.clock.Now()
+
+	t0 := h.clock.Now()
+	status, body, err := h.Post(ctx, nodes[0].URL, server.GenRequest{Query: queryText, Async: true})
+	lr.record(h.clock.Now().Sub(t0), err == nil && status == http.StatusAccepted)
+	res.Requests++
+	if err != nil || status != http.StatusAccepted {
+		h.finish(ctx, &res, lr, start, before, gensBefore)
+		return res, fmt.Errorf("fleetd: async POST returned %d (%v)", status, err)
+	}
+	var job struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &job); err != nil || job.ID == "" {
+		h.finish(ctx, &res, lr, start, before, gensBefore)
+		return res, fmt.Errorf("fleetd: async POST returned no job id: %v", err)
+	}
+
+	// Cancel through the LAST node — for a >= 2-node fleet at least one
+	// of (POST entry, DELETE entry) is not the job's owner, so the proxy
+	// path is exercised.
+	cancelURL := nodes[len(nodes)-1].URL
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, cancelURL+"/v1/jobs/"+job.ID, nil)
+	if err != nil {
+		return res, err
+	}
+	t0 = h.clock.Now()
+	status, _, err = h.do(req)
+	lr.record(h.clock.Now().Sub(t0), err == nil && status == http.StatusOK)
+	res.Requests++
+	if err != nil || status != http.StatusOK {
+		h.finish(ctx, &res, lr, start, before, gensBefore)
+		return res, fmt.Errorf("fleetd: cross-node DELETE returned %d (%v)", status, err)
+	}
+
+	// Poll (through yet another entry point) until the job is terminal.
+	pollURL := nodes[len(nodes)/2].URL
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, pollURL+"/v1/jobs/"+job.ID, nil)
+		if err != nil {
+			return res, err
+		}
+		status, body, err := h.do(req)
+		res.Requests++
+		if err != nil || status != http.StatusOK {
+			h.finish(ctx, &res, lr, start, before, gensBefore)
+			return res, fmt.Errorf("fleetd: cross-node job poll returned %d (%v)", status, err)
+		}
+		var st struct {
+			State string `json:"state"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return res, err
+		}
+		switch st.State {
+		case "canceled":
+			h.finish(ctx, &res, lr, start, before, gensBefore)
+			return res, nil
+		case "done", "failed":
+			h.finish(ctx, &res, lr, start, before, gensBefore)
+			return res, fmt.Errorf("fleetd: job ended %q, want canceled", st.State)
+		}
+		select {
+		case <-ctx.Done():
+			return res, ctx.Err()
+		case <-h.clock.After(5 * time.Millisecond):
+		}
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 
 	"smokescreen/internal/profile"
@@ -14,11 +16,34 @@ import (
 
 // Client talks to a smokescreend daemon. The zero HTTPClient uses
 // http.DefaultClient; BaseURL is e.g. "http://127.0.0.1:8040".
+//
+// Every request retries transient failures — transport errors and the
+// daemon's backpressure statuses (429 queue-full, 503 draining, 504) —
+// with jittered exponential backoff, honoring a 429's Retry-After as the
+// floor of the next delay. All endpoints are safe to retry: GETs and
+// DELETEs are idempotent by design, and POST /v1/profiles is
+// content-addressed (a replayed request coalesces onto the in-flight job
+// or hits the store). A 502 — generation genuinely failed — is NOT
+// retried: replaying it would re-run a deterministic failure.
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
 	// PollInterval spaces job-status polls after a 202 (default 100ms).
 	PollInterval time.Duration
+	// MaxRetries caps retry attempts after the first try (default 3;
+	// negative disables retries).
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff (default 50ms); the
+	// pre-jitter delay for retry k is base<<k, capped at RetryMaxDelay
+	// (default 2s).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+
+	// sleepFn and jitterFn are test seams: the backoff-schedule unit
+	// test replaces them to run on a fake clock. Nil means real sleep
+	// and equal-jitter.
+	sleepFn  func(ctx context.Context, d time.Duration) error
+	jitterFn func(d time.Duration) time.Duration
 }
 
 func (c *Client) http() *http.Client {
@@ -26,6 +51,147 @@ func (c *Client) http() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
+}
+
+func (c *Client) maxRetries() int {
+	if c.MaxRetries < 0 {
+		return 0
+	}
+	if c.MaxRetries == 0 {
+		return 3
+	}
+	return c.MaxRetries
+}
+
+// backoff returns the jittered delay before retry attempt (0-based).
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.RetryBaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	ceiling := c.RetryMaxDelay
+	if ceiling <= 0 {
+		ceiling = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= ceiling || d <= 0 {
+			d = ceiling
+			break
+		}
+	}
+	if d > ceiling {
+		d = ceiling
+	}
+	if c.jitterFn != nil {
+		return c.jitterFn(d)
+	}
+	return equalJitter(d)
+}
+
+// equalJitter keeps half the deterministic delay and randomizes the
+// rest: enough spread to de-synchronize a herd of clients retrying the
+// same 429, while never collapsing the delay to ~0 the way full jitter
+// can.
+func equalJitter(d time.Duration) time.Duration {
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// sleep waits d or until ctx is done.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.sleepFn != nil {
+		return c.sleepFn(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// retryableStatus: the daemon's "try again later" statuses. 429 is the
+// bounded queue pushing back, 503 is drain, 504 an intermediary timeout.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// retryAfterHint parses a Retry-After header (delta-seconds or HTTP
+// date) into a wait duration; 0 when absent or unparseable.
+func retryAfterHint(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// doReq issues one API request with the retry policy. body is retained
+// so retries replay identical bytes.
+func (c *Client) doReq(ctx context.Context, method, url string, body []byte, contentType string) (*http.Response, error) {
+	retries := c.maxRetries()
+	for attempt := 0; ; attempt++ {
+		var reader io.Reader
+		if body != nil {
+			reader = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, url, reader)
+		if err != nil {
+			return nil, err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.http().Do(req)
+		var delay time.Duration
+		var lastErr error
+		switch {
+		case err == nil && !retryableStatus(resp.StatusCode):
+			return resp, nil
+		case err == nil:
+			hint := retryAfterHint(resp)
+			lastErr = apiError(resp) // drains and summarizes the body
+			resp.Body.Close()
+			if attempt >= retries {
+				return nil, lastErr
+			}
+			delay = c.backoff(attempt)
+			if hint > delay {
+				// The server knows its own backlog better than our
+				// schedule does; its hint floors the wait.
+				delay = hint
+			}
+		default:
+			lastErr = err
+			if attempt >= retries {
+				return nil, lastErr
+			}
+			delay = c.backoff(attempt)
+		}
+		if err := c.sleep(ctx, delay); err != nil {
+			return nil, fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+		}
+	}
 }
 
 // apiError decodes a JSON error body into a Go error.
@@ -49,12 +215,7 @@ func (c *Client) GenerateRaw(ctx context.Context, req GenRequest) ([]byte, strin
 	if err != nil {
 		return nil, "", err
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/profiles", bytes.NewReader(body))
-	if err != nil {
-		return nil, "", err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(httpReq)
+	resp, err := c.doReq(ctx, http.MethodPost, c.BaseURL+"/v1/profiles", body, "application/json")
 	if err != nil {
 		return nil, "", err
 	}
@@ -96,11 +257,7 @@ func (c *Client) Generate(ctx context.Context, req GenRequest) (*profile.Profile
 
 // GetProfile fetches a stored profile verbatim by key.
 func (c *Client) GetProfile(ctx context.Context, key string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/profiles/"+key, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.doReq(ctx, http.MethodGet, c.BaseURL+"/v1/profiles/"+key, nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -113,11 +270,7 @@ func (c *Client) GetProfile(ctx context.Context, key string) ([]byte, error) {
 
 // Job fetches one job's status.
 func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.doReq(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id, nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -137,11 +290,7 @@ func (c *Client) Job(ctx context.Context, id string) (*JobStatus, error) {
 // a no-op; a running job may still report "running" until its pipeline
 // unwinds — poll Job to observe the canceled state.
 func (c *Client) CancelJob(ctx context.Context, id string) (*JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/jobs/"+id, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.doReq(ctx, http.MethodDelete, c.BaseURL+"/v1/jobs/"+id, nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -163,12 +312,7 @@ func (c *Client) StartStream(ctx context.Context, req StreamRequest) (*StreamSta
 	if err != nil {
 		return nil, err
 	}
-	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/streams", bytes.NewReader(body))
-	if err != nil {
-		return nil, err
-	}
-	httpReq.Header.Set("Content-Type", "application/json")
-	resp, err := c.http().Do(httpReq)
+	resp, err := c.doReq(ctx, http.MethodPost, c.BaseURL+"/v1/streams", body, "application/json")
 	if err != nil {
 		return nil, err
 	}
@@ -186,11 +330,7 @@ func (c *Client) StartStream(ctx context.Context, req StreamRequest) (*StreamSta
 // Stream fetches one stream job's status, including the live windowed
 // profile and drift state.
 func (c *Client) Stream(ctx context.Context, id string) (*StreamStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/streams/"+id, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.doReq(ctx, http.MethodGet, c.BaseURL+"/v1/streams/"+id, nil, "")
 	if err != nil {
 		return nil, err
 	}
@@ -209,11 +349,7 @@ func (c *Client) Stream(ctx context.Context, id string) (*StreamStatus, error) {
 // /v1/streams/{id}). Like CancelJob, the returned status reflects the
 // moment of the request; poll Stream to observe the canceled state.
 func (c *Client) CancelStream(ctx context.Context, id string) (*StreamStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.BaseURL+"/v1/streams/"+id, nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := c.http().Do(req)
+	resp, err := c.doReq(ctx, http.MethodDelete, c.BaseURL+"/v1/streams/"+id, nil, "")
 	if err != nil {
 		return nil, err
 	}

@@ -36,6 +36,12 @@ type GenRequest struct {
 	Async bool `json:"async,omitempty"`
 }
 
+// Normalize fills defaulted fields in place, exactly as the POST handler
+// does before keying. Routing layers (internal/fleetd) call it so that a
+// request forwarded between nodes canonicalizes to the same key and the
+// same wire bytes on every hop.
+func (r *GenRequest) Normalize() { r.normalize() }
+
 // normalize fills defaulted fields in place.
 func (r *GenRequest) normalize() {
 	if r.Seed == 0 {

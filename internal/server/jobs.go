@@ -78,9 +78,11 @@ type jobSet struct {
 	active  map[string]*Job
 	// historyLimit bounds byID; oldest terminal jobs are evicted first.
 	historyLimit int
+	// idPrefix namespaces generated ids per node (Config.JobIDPrefix).
+	idPrefix string
 }
 
-func newJobSet(historyLimit int) *jobSet {
+func newJobSet(historyLimit int, idPrefix string) *jobSet {
 	if historyLimit <= 0 {
 		historyLimit = 1024
 	}
@@ -88,6 +90,7 @@ func newJobSet(historyLimit int) *jobSet {
 		byID:         make(map[string]*Job),
 		active:       make(map[string]*Job),
 		historyLimit: historyLimit,
+		idPrefix:     idPrefix,
 	}
 }
 
@@ -103,7 +106,7 @@ func (js *jobSet) getOrCreate(key, query string, req GenRequest, now time.Time) 
 	}
 	js.nextID++
 	job = &Job{
-		ID:      jobID(js.nextID),
+		ID:      js.idPrefix + jobID(js.nextID),
 		Key:     key,
 		Query:   query,
 		req:     req,

@@ -9,7 +9,6 @@ import (
 	"smokescreen/internal/detect"
 	"smokescreen/internal/outputs"
 	"smokescreen/internal/plan"
-	"smokescreen/internal/store"
 	"smokescreen/internal/stream"
 	"smokescreen/internal/transport"
 )
@@ -36,7 +35,7 @@ type metrics struct {
 // (untyped samples; no client library in the dependency budget). The
 // store, detector, and transport layers contribute their own counters so
 // one scrape covers the whole daemon.
-func (m *metrics) render(w io.Writer, queueDepth, queueCap int, jobs *jobSet, streams *streamSet, st *store.Store) {
+func (m *metrics) render(w io.Writer, queueDepth, queueCap int, jobs *jobSet, streams *streamSet, st Backend) {
 	queued, running, done, failed, canceled := jobs.counts()
 	stats := st.Stats()
 	tr := transport.Totals()

@@ -35,10 +35,24 @@ import (
 	"smokescreen/internal/store"
 )
 
+// Backend is the artifact storage the server reads and writes. The
+// single-process daemon hands it a *store.Store directly; a fleet node
+// hands it a replicated store (internal/fleetd) whose Get repairs corrupt
+// or missing local copies from peer replicas and whose Put fans the write
+// out to them. Implementations must preserve the store package's error
+// contract: ErrNotFound for never-stored keys and *CorruptError for
+// unusable on-disk entries.
+type Backend interface {
+	Get(key string) ([]byte, error)
+	Put(key string, payload []byte) error
+	Stats() store.Stats
+}
+
 // Config assembles a Server.
 type Config struct {
-	// Store holds generated artifacts. Required.
-	Store *store.Store
+	// Store holds generated artifacts. Required. A plain *store.Store
+	// serves the single-node daemon; fleet nodes wrap it (see Backend).
+	Store Backend
 	// Generator resolves and runs generations. Required.
 	Generator Generator
 	// Workers is the number of concurrent generation jobs (default 2).
@@ -55,6 +69,15 @@ type Config struct {
 	JobTimeout time.Duration
 	// JobHistory bounds remembered terminal jobs (default 1024).
 	JobHistory int
+	// JobIDPrefix namespaces generated job ids ("n0-job-000001"). Fleet
+	// nodes set a per-node prefix so a job handle returned by one node is
+	// never mistaken for another node's job when requests are forwarded.
+	JobIDPrefix string
+	// BaseContext is the parent of every generation job's context; nil
+	// means context.Background(). Canceling it aborts all running jobs at
+	// once — the fleet harness cancels it to simulate a node dying
+	// mid-generation without draining.
+	BaseContext context.Context
 	// Logf receives operational log lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -63,7 +86,7 @@ type Config struct {
 // Close (or Drain) on shutdown.
 type Server struct {
 	cfg     Config
-	store   *store.Store
+	store   Backend
 	gen     Generator
 	jobs    *jobSet
 	queue   chan *Job
@@ -102,11 +125,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.BaseContext == nil {
+		//smokevet:ignore ctxflow: the daemon's job root defaults to the process root; fleet harnesses inject a cancellable BaseContext to simulate node death
+		cfg.BaseContext = context.Background()
+	}
 	s := &Server{
 		cfg:     cfg,
 		store:   cfg.Store,
 		gen:     cfg.Generator,
-		jobs:    newJobSet(cfg.JobHistory),
+		jobs:    newJobSet(cfg.JobHistory, cfg.JobIDPrefix),
 		queue:   make(chan *Job, cfg.QueueDepth),
 		streams: newStreamSet(),
 		stopCh:  make(chan struct{}),
@@ -193,7 +220,7 @@ func (s *Server) enqueue(key, canonical string, req GenRequest) (*Job, error) {
 // threads it through the plan/execute pipeline, so cancellation stops
 // detector work promptly and nothing partial reaches the store.
 func (s *Server) run(job *Job) {
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.JobTimeout)
+	ctx, cancel := context.WithTimeout(s.cfg.BaseContext, s.cfg.JobTimeout)
 	defer cancel()
 	if !s.jobs.start(job, time.Now(), cancel) {
 		// Canceled while queued; the cancel path already finalized it.

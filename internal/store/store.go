@@ -26,6 +26,7 @@
 package store
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -140,10 +141,33 @@ func (s *Store) path(key string) string {
 	return filepath.Join(s.root, key[:2], key+".json")
 }
 
+// EnvelopePath returns the on-disk location of key's envelope without
+// touching it. Fleet tests and repair tooling use it to inspect (or
+// deliberately damage) a specific replica's shard.
+func (s *Store) EnvelopePath(key string) string { return s.path(key) }
+
+// Invalidate drops key's cached payload so the next Get re-reads — and
+// re-validates — the disk copy, the cold-cache state a process restart
+// would produce.
+func (s *Store) Invalidate(key string) {
+	s.mu.Lock()
+	s.cache.remove(key)
+	s.mu.Unlock()
+}
+
 // Put stores payload under key, replacing any previous artifact. The
 // write is atomic: payload is wrapped in a checksummed envelope, written
 // to a temp file in the destination shard, fsynced, and renamed into
 // place.
+//
+// The payload is canonicalized (JSON-compacted) first and the CANONICAL
+// bytes are what gets checksummed, cached, stored, and later served.
+// This is load-bearing: the envelope encoder compacts a RawMessage as it
+// writes, so checksumming the caller's pretty-printed bytes would mint an
+// envelope whose own checksum never matches its own disk payload — every
+// cold read (and every replica copy in a fleet) would misreport the
+// artifact as corrupt. Canonical bytes are also what make equal artifacts
+// byte-identical across fleet replicas regardless of who generated them.
 func (s *Store) Put(key string, payload []byte) error {
 	if err := validKey(key); err != nil {
 		return err
@@ -151,20 +175,52 @@ func (s *Store) Put(key string, payload []byte) error {
 	if len(payload) == 0 {
 		return fmt.Errorf("store: empty payload for key %s", key)
 	}
-	sum := sha256.Sum256(payload)
+	var compacted bytes.Buffer
+	if err := json.Compact(&compacted, payload); err != nil {
+		// Payload must itself be valid JSON to ride in a RawMessage.
+		return fmt.Errorf("store: payload for %s is not valid JSON: %w", key, err)
+	}
+	canonical := compacted.Bytes()
+	sum := sha256.Sum256(canonical)
 	env := envelope{
 		Version:     envelopeVersion,
 		Key:         key,
 		PayloadSHA:  hex.EncodeToString(sum[:]),
 		CreatedUnix: time.Now().Unix(),
-		Payload:     json.RawMessage(payload),
+		Payload:     json.RawMessage(canonical),
 	}
-	data, err := json.Marshal(&env)
+	data, err := marshalEnvelope(&env)
 	if err != nil {
-		// Payload must itself be valid JSON to ride in a RawMessage.
-		return fmt.Errorf("store: payload for %s is not valid JSON: %w", key, err)
+		return fmt.Errorf("store: encoding envelope for %s: %w", key, err)
 	}
+	if err := s.writeEnvelope(key, data); err != nil {
+		return err
+	}
+	s.puts.Add(1)
 
+	s.mu.Lock()
+	s.cache.put(key, append([]byte(nil), canonical...))
+	s.mu.Unlock()
+	return nil
+}
+
+// marshalEnvelope encodes an envelope with HTML escaping OFF, so the
+// payload lands on disk byte-for-byte as checksummed: the default
+// json.Marshal would rewrite <, > and & inside the (already canonical)
+// payload, silently breaking the checksum for payloads containing them.
+func marshalEnvelope(env *envelope) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(env); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// writeEnvelope atomically publishes raw envelope bytes at key: temp file
+// in the destination shard, fsync, rename.
+func (s *Store) writeEnvelope(key string, data []byte) error {
 	dir := filepath.Dir(s.path(key))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("store: creating shard: %w", err)
@@ -193,12 +249,55 @@ func (s *Store) Put(key string, payload []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("store: publishing %s: %w", key, err)
 	}
-	s.puts.Add(1)
+	return nil
+}
 
+// GetEnvelope returns the raw on-disk envelope bytes for key after
+// validating them — the transfer unit of fleet replication and read
+// repair. Moving whole envelopes (rather than re-wrapping payloads)
+// makes a replica copy byte-identical to the original file, creation
+// time and checksum included, so repaired replicas are indistinguishable
+// from first-hand writes.
+func (s *Store) GetEnvelope(key string) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	path := s.path(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrNotFound, key)
+		}
+		return nil, fmt.Errorf("store: reading %s: %w", key, err)
+	}
+	if _, err := decodeEnvelope(key, path, data); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// PutEnvelope ingests envelope bytes produced by another store's
+// GetEnvelope, replacing any previous artifact at key. The envelope is
+// fully re-validated first — version, key match, payload checksum — so a
+// transfer torn or tampered in flight surfaces as *CorruptError and never
+// reaches disk: repair is a verified byte copy. The validated payload is
+// returned so repairing readers can serve it without a second read.
+func (s *Store) PutEnvelope(key string, data []byte) ([]byte, error) {
+	if err := validKey(key); err != nil {
+		return nil, err
+	}
+	payload, err := decodeEnvelope(key, s.path(key), data)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.writeEnvelope(key, data); err != nil {
+		return nil, err
+	}
+	s.puts.Add(1)
 	s.mu.Lock()
 	s.cache.put(key, append([]byte(nil), payload...))
 	s.mu.Unlock()
-	return nil
+	return append([]byte(nil), payload...), nil
 }
 
 // Get returns a copy of the artifact payload stored under key. It returns

@@ -339,3 +339,179 @@ func TestDelete(t *testing.T) {
 		t.Fatalf("double delete: %v", err)
 	}
 }
+
+// TestEnvelopeTransferRoundTrip pins the fleet replication transfer unit:
+// GetEnvelope on one store, PutEnvelope on another, byte-identical file.
+func TestEnvelopeTransferRoundTrip(t *testing.T) {
+	src, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("envelope-roundtrip")
+	payload := payloadFor(7)
+	if err := src.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	env, err := src.GetEnvelope(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.PutEnvelope(key, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("PutEnvelope returned %s, want %s", got, payload)
+	}
+	// The replica file is byte-identical to the original — creation time
+	// and checksum travel with the envelope.
+	srcFile, err := os.ReadFile(src.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstFile, err := os.ReadFile(dst.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(srcFile, dstFile) {
+		t.Fatal("replica envelope differs from the original file")
+	}
+	if served, err := dst.Get(key); err != nil || !bytes.Equal(served, payload) {
+		t.Fatalf("replica Get = %s, %v", served, err)
+	}
+}
+
+// TestPutEnvelopeRejectsTampered extends the torn-write tests across the
+// transfer boundary: a corrupted envelope must never reach a replica's
+// disk, and the failure is a typed *CorruptError.
+func TestPutEnvelopeRejectsTampered(t *testing.T) {
+	src, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("envelope-tampered")
+	if err := src.Put(key, payloadFor(3)); err != nil {
+		t.Fatal(err)
+	}
+	env, err := src.GetEnvelope(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"torn":      env[:len(env)/2],
+		"bit-flip":  bytes.Replace(env, []byte(`"value":3`), []byte(`"value":4`), 1),
+		"wrong-key": env, // presented under a different key
+	}
+	for name, data := range cases {
+		dst, err := Open(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		putKey := key
+		if name == "wrong-key" {
+			putKey = testKey("some-other-artifact")
+		}
+		var corrupt *CorruptError
+		if _, err := dst.PutEnvelope(putKey, data); !errors.As(err, &corrupt) {
+			t.Errorf("%s: PutEnvelope error = %v, want *CorruptError", name, err)
+		}
+		if _, err := os.Stat(dst.path(putKey)); !os.IsNotExist(err) {
+			t.Errorf("%s: rejected envelope reached disk", name)
+		}
+	}
+}
+
+// TestGetEnvelopeValidates: a corrupt on-disk file must not be served as
+// a transfer source — replication would otherwise spread the corruption.
+func TestGetEnvelopeValidates(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("envelope-validates")
+	if err := s.Put(key, payloadFor(9)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(s.path(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.path(key), raw[:len(raw)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var corrupt *CorruptError
+	if _, err := s.GetEnvelope(key); !errors.As(err, &corrupt) {
+		t.Fatalf("GetEnvelope on torn file = %v, want *CorruptError", err)
+	}
+	if _, err := s.GetEnvelope(testKey("never-stored")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetEnvelope on missing key = %v, want ErrNotFound", err)
+	}
+}
+
+// TestPutPrettyPayloadSurvivesReload pins the canonicalization contract:
+// a pretty-printed payload (what profile.SaveProfile emits) must read
+// back identically from the warm cache, from a cold disk read, and
+// through the envelope transfer path. Before canonicalization, the
+// envelope encoder compacted the payload on write while the checksum
+// covered the indented original — so every cold read of a real profile
+// misreported *CorruptError and a fleet could never replicate one.
+func TestPutPrettyPayloadSurvivesReload(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("pretty")
+	pretty := []byte("{\n  \"version\": 1,\n  \"note\": \"a < b && c > d\",\n  \"points\": [\n    {\"fraction\": 0.05}\n  ]\n}\n")
+	canonical := []byte(`{"version":1,"note":"a < b && c > d","points":[{"fraction":0.05}]}`)
+	if err := s.Put(key, pretty); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.Get(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warm, canonical) {
+		t.Fatalf("warm read = %s, want canonical %s", warm, canonical)
+	}
+	// Cold read: the restart path that used to flag the artifact corrupt.
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s2.Get(key)
+	if err != nil {
+		t.Fatalf("cold read of a pretty-printed payload: %v", err)
+	}
+	if !bytes.Equal(cold, canonical) {
+		t.Fatalf("cold read = %s, want canonical %s", cold, canonical)
+	}
+	// Envelope transfer: replication of the same artifact must validate.
+	env, err := s2.GetEnvelope(key)
+	if err != nil {
+		t.Fatalf("GetEnvelope after pretty Put: %v", err)
+	}
+	replica, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := replica.PutEnvelope(key, env)
+	if err != nil {
+		t.Fatalf("PutEnvelope of transferred envelope: %v", err)
+	}
+	if !bytes.Equal(got, canonical) {
+		t.Fatalf("replica payload = %s, want canonical %s", got, canonical)
+	}
+	// The startup scan must count it as loadable, not corrupt.
+	keys, corrupt := s2.Keys()
+	if len(corrupt) != 0 {
+		t.Fatalf("scan flagged corruption: %v", corrupt)
+	}
+	if len(keys) != 1 || keys[0] != key {
+		t.Fatalf("scan keys = %v", keys)
+	}
+}

@@ -33,6 +33,10 @@ run_stage bench-smoke go test -run '^$' -bench 'Figure4' -benchtime=1x -short .
 # Live streaming ingest end to end: camera -> daemon, windowed profiles,
 # mid-flight cancel, clean drain (scripts/stream_smoke.sh).
 run_stage stream-smoke make stream-smoke
+# Fleet end to end: three real daemons on a shared ring, hot-key herd
+# with exactly one generation fleet-wide, kill -9 of the generating node
+# with replica serving after, clean drain (scripts/fleet_smoke.sh).
+run_stage fleet-smoke make fleet-smoke
 
 total_end=$(date +%s)
 echo "ci: all stages passed in $((total_end - total_start))s"
