@@ -107,11 +107,18 @@ func BenchmarkFigure3(b *testing.B) { benchExperiment(b, "figure3") }
 func BenchmarkFigure4(b *testing.B) { benchExperimentAccel(b, "figure4") }
 func BenchmarkFigure6(b *testing.B) { benchExperimentAccel(b, "figure6") }
 
+// The ladder bench stays inside the accel block: its detect stage runs
+// blur/quantize/occlusion views through the same accelerated substrate,
+// and it reuses the tables Figure4/Figure6 built for the shared rungs.
+func BenchmarkLadderGenerate(b *testing.B) { benchExperimentAccel(b, "ladder") }
+
 // Baseline twins: the historical float + per-frame configuration, kept so
 // BENCH artifacts carry the A/B and regressions in either path stand out.
 func BenchmarkFigure4Baseline(b *testing.B) { benchExperiment(b, "figure4") }
 func BenchmarkFigure5(b *testing.B)         { benchExperiment(b, "figure5") }
 func BenchmarkFigure6Baseline(b *testing.B) { benchExperiment(b, "figure6") }
+func BenchmarkLadderBaseline(b *testing.B)  { benchExperiment(b, "ladder") }
+func BenchmarkAdversarial(b *testing.B)     { benchExperiment(b, "adversarial") }
 func BenchmarkFigure7(b *testing.B)         { benchExperiment(b, "figure7") }
 func BenchmarkFigure8(b *testing.B)         { benchExperiment(b, "figure8") }
 func BenchmarkFigure9(b *testing.B)         { benchExperiment(b, "figure9") }

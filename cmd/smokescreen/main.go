@@ -6,7 +6,8 @@
 //
 //	smokescreen query   [-seed S] "SELECT AVG(count(car)) FROM night-street SAMPLE 0.1"
 //	smokescreen profile [-seed S] [-max-err E] [-step F] [-max-fraction F] "SELECT ..."
-//	smokescreen curve   [-seed S] [-resolution P] [-remove c1,c2] "SELECT ..."
+//	smokescreen curve   [-seed S] [-resolution P] [-remove c1,c2] [-noise S] [-blur L] [-quantize Q] [-occlude D] "SELECT ..."
+//	smokescreen ladder  [-seed S] [-name default] "SELECT ..."
 //	smokescreen datasets
 //
 // The query subcommand executes the query under its own interventions and
@@ -31,6 +32,7 @@ import (
 	"smokescreen"
 	"smokescreen/internal/dataset"
 	"smokescreen/internal/degrade"
+	"smokescreen/internal/plan"
 	"smokescreen/internal/profile"
 	"smokescreen/internal/scene"
 	"smokescreen/internal/server"
@@ -48,6 +50,8 @@ func main() {
 		cmdProfile(os.Args[2:])
 	case "curve":
 		cmdCurve(os.Args[2:])
+	case "ladder":
+		cmdLadder(os.Args[2:])
 	case "choose":
 		cmdChoose(os.Args[2:])
 	case "explain":
@@ -71,7 +75,8 @@ func usage() {
   smokescreen query    "SELECT AVG(count(car)) FROM night-street SAMPLE 0.1"
   smokescreen profile  -max-err 0.1 "SELECT AVG(count(car)) FROM ua-detrac"
   smokescreen profile  -remote http://127.0.0.1:8040 "SELECT AVG(count(car)) FROM small"
-  smokescreen curve    "SELECT AVG(count(car)) FROM small"
+  smokescreen curve    [-resolution P] [-remove c] [-noise S] [-blur L] [-quantize Q] [-occlude D] "SELECT AVG(count(car)) FROM small"
+  smokescreen ladder   [-name default] "SELECT AVG(count(car)) FROM small"
   smokescreen choose   -load cube.json -max-err 0.1
   smokescreen explain  "SELECT AVG(count(car)) FROM small RESOLUTION 160"
   smokescreen accuracy -dataset small -model yolov4 -class car
@@ -286,6 +291,10 @@ func cmdCurve(args []string) {
 	seed := fs.Uint64("seed", 1, "randomness seed")
 	resolution := fs.Int("resolution", 0, "fix the resolution axis (0 = native)")
 	remove := fs.String("remove", "", "comma-separated restricted classes")
+	noise := fs.Float64("noise", 0, "fix the sensor-noise axis (sigma in [0,0.5])")
+	blur := fs.Int("blur", 0, "fix the motion-blur axis (kernel length, 0 = off)")
+	quantize := fs.Int("quantize", 0, "fix the quantization axis (intensity levels, 0 = off)")
+	occlude := fs.Float64("occlude", 0, "fix the occlusion axis (scratch/dirt density in [0,0.5])")
 	q := parseQueryArg(fs, args)
 
 	var restricted []scene.Class
@@ -298,6 +307,14 @@ func cmdCurve(args []string) {
 			restricted = append(restricted, c)
 		}
 	}
+	setting := degrade.Setting{
+		Resolution: *resolution,
+		Restricted: restricted,
+		NoiseSigma: *noise,
+		MotionBlur: *blur,
+		Quantize:   *quantize,
+		Occlusion:  *occlude,
+	}
 	ctx, cancel := interruptCtx()
 	defer cancel()
 	sys := smokescreen.New(smokescreen.WithSeed(*seed))
@@ -305,13 +322,18 @@ func cmdCurve(args []string) {
 	for i := range fractions {
 		fractions[i] = 0.01 * float64(i+1)
 	}
-	opts := profile.SweepOptions{Fractions: fractions, Resolution: *resolution, Restricted: restricted}
-	if *resolution != 0 || len(restricted) > 0 {
+	opts := profile.SweepOptions{Fractions: fractions, Setting: setting}
+	spec, err := sys.Resolve(q)
+	if err != nil {
+		fatal(err)
+	}
+	probe := setting
+	probe.SampleFraction = fractions[0]
+	if err := probe.Validate(spec.Model); err != nil {
+		fatal(err)
+	}
+	if !probe.IsRandomOnly(spec.Model) {
 		// Non-random axes need a correction set; generate one first.
-		spec, err := sys.Resolve(q)
-		if err != nil {
-			fatal(err)
-		}
 		corr, err := profile.ConstructCorrectionCtx(ctx, spec, 0.2, stats.NewStream(*seed))
 		if err != nil {
 			fatal(err)
@@ -326,6 +348,51 @@ func cmdCurve(args []string) {
 	for _, pt := range prof.Points {
 		bar := strings.Repeat("#", int(math.Min(pt.Estimate.ErrBound, 1)*50))
 		fmt.Printf("  f=%-6.3g err<=%-7.4f %s\n", pt.Setting.SampleFraction, pt.Estimate.ErrBound, bar)
+	}
+}
+
+// cmdLadder generates the fidelity-ladder profile of a query: one
+// tradeoff point per tier of the named ladder, loosest first, with every
+// non-random tier's bound repaired through the correction set.
+func cmdLadder(args []string) {
+	fs := flag.NewFlagSet("ladder", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "randomness seed")
+	name := fs.String("name", "default", "ladder to evaluate")
+	q := parseQueryArg(fs, args)
+
+	ctx, cancel := interruptCtx()
+	defer cancel()
+	sys := smokescreen.New(smokescreen.WithSeed(*seed))
+	spec, err := sys.Resolve(q)
+	if err != nil {
+		fatal(err)
+	}
+	ladder, err := plan.LadderByName(*name, spec.Model)
+	if err != nil {
+		fatal(err)
+	}
+	opts := profile.LadderOptions{}
+	for _, tier := range ladder.Tiers {
+		if !tier.Setting.IsRandomOnly(spec.Model) {
+			corr, err := profile.ConstructCorrectionCtx(ctx, spec, 0.2, stats.NewStream(*seed))
+			if err != nil {
+				fatal(err)
+			}
+			opts.Correction = corr.Correction
+			break
+		}
+	}
+	prof, err := sys.LadderProfileCtx(ctx, q, ladder, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fidelity ladder %q for %s\n", ladder.Name, q)
+	for _, pt := range prof.Points {
+		repaired := ""
+		if pt.Repaired {
+			repaired = " (repaired)"
+		}
+		fmt.Printf("  %-10s %-40s err<=%-7.4f%s\n", pt.Tier, pt.Setting, pt.Estimate.ErrBound, repaired)
 	}
 }
 

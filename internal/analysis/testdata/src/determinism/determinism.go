@@ -94,3 +94,39 @@ func sliceOrdered(xs []int) []int {
 	}
 	return out
 }
+
+// The view-cache idiom from internal/degrade: eviction walks the intern
+// map. Summing freed bytes over map entries is order-independent and
+// carries the sanctioned suppression; collecting the evicted view specs
+// into a slice bakes map order into the result and is flagged.
+
+type viewEntry struct{ spec string; bytes int64 }
+
+func evictViews(cache map[string]viewEntry) int64 {
+	var freed int64
+	for k, e := range cache {
+		//smokevet:ignore determinism: summation over map entries is order-independent
+		freed += e.bytes
+		delete(cache, k)
+	}
+	return freed
+}
+
+func evictViewsOrdered(cache map[string]viewEntry) []string {
+	var specs []string
+	for k := range cache {
+		specs = append(specs, k) // want `append to specs is ordered by map iteration`
+		delete(cache, k)
+	}
+	return specs
+}
+
+func evictViewsSorted(cache map[string]viewEntry) []string {
+	var specs []string
+	for k := range cache {
+		specs = append(specs, k)
+		delete(cache, k)
+	}
+	sort.Strings(specs)
+	return specs
+}

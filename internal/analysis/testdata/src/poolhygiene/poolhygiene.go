@@ -59,3 +59,23 @@ func getOrphan() []byte {
 	b := orphanPool.Get().([]byte) // want `escapes via return but package fixture defines no Put for pool "orphanPool"`
 	return b
 }
+
+// The view-render idiom from internal/scene: pixel transforms (motion
+// blur) borrow a padded scratch image from a pool for the widened source
+// render. The transform releases it before returning; stashing the
+// scratch in the long-lived view state leaks a pool slot per render.
+
+var viewScratchPool = sync.Pool{New: func() any { return make([]float32, 0, 1024) }}
+
+type viewState struct{ scratch any }
+
+func renderBlurred(dst []float32) {
+	pad := viewScratchPool.Get().([]float32)
+	defer viewScratchPool.Put(pad)
+	_ = append(pad[:0], dst...)
+}
+
+func (vs *viewState) renderCachingScratch() {
+	pad := viewScratchPool.Get() // want `stored in long-lived state through "pad"`
+	vs.scratch = pad
+}

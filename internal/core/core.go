@@ -263,6 +263,22 @@ func (s *System) SweepProfileCtx(ctx context.Context, q *query.Query, opts profi
 	return profile.SweepFractionsCtx(ctx, spec, opts, stats.NewStream(s.seed).Child(3))
 }
 
+// LadderProfileCtx generates a fidelity-ladder profile for a query: one
+// tradeoff point per tier of the named ladder (plan.LadderByName). The
+// ladder's non-random tiers are repaired with the supplied correction
+// set; pass nil only for all-random ladders. When opts.Parallelism is
+// zero the system's configured parallelism applies.
+func (s *System) LadderProfileCtx(ctx context.Context, q *query.Query, ladder plan.Ladder, opts profile.LadderOptions) (*profile.Profile, error) {
+	spec, err := s.Resolve(q)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = s.parallelism
+	}
+	return profile.GenerateLadderCtx(ctx, spec, ladder, opts, stats.NewStream(s.seed).Child(3))
+}
+
 // Preferences are the public preferences guiding the tradeoff choice.
 type Preferences struct {
 	// MaxError is the largest acceptable analytical error bound.

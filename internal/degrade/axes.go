@@ -1,0 +1,314 @@
+package degrade
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"smokescreen/internal/detect"
+	"smokescreen/internal/scene"
+)
+
+// This file is the intervention-axis registry: the one place that knows
+// which axes exist, whether each is random, how it validates, renders,
+// folds into a pixel-space view, persists into profile keys, and orders
+// for ladder monotonicity. Every layer above — plan candidates, profile
+// persistence, the server, the CLIs — iterates the registry instead of
+// pattern-matching on Setting fields, so adding an intervention is a
+// single Axis entry plus its scene-side transform.
+
+// KeyField is one canonical (label, value) pair an axis contributes to a
+// profile's content address. Labels and value renderings are part of the
+// persistence format: changing them changes every stored key.
+type KeyField struct {
+	Label, Value string
+}
+
+// Axis describes one intervention axis of the Setting vector.
+type Axis struct {
+	// Name is the axis's canonical lowercase identifier.
+	Name string
+	// Random reports whether the axis is a random intervention in the
+	// paper's sense (Section 3.2.5): sampling-like, leaving the output
+	// distribution of processed frames unchanged. Any active non-random
+	// axis routes the setting through Algorithm 3 profile repair.
+	Random bool
+	// Active reports whether the axis deviates from the identity in s.
+	Active func(s Setting, m *detect.Model) bool
+	// Validate checks s's value on this axis against the model's limits.
+	Validate func(s Setting, m *detect.Model) error
+	// Format renders the axis for Setting.String, or "" when inactive.
+	Format func(s Setting) string
+	// Fold accumulates the axis into a pixel-space view; nil for axes that
+	// do not transform pixels at render time (sampling, resolution,
+	// removal — those act on frame choice and detector input size).
+	Fold func(s Setting, vw *scene.View)
+	// Key returns the canonical persistence fields the axis contributes to
+	// a profile key, already in emission order. Legacy axes (resolution,
+	// removal, noise) always emit — their zero renderings are part of every
+	// stored PR 8 key — while newer axes emit only when active, keeping
+	// legacy settings' keys byte-identical.
+	Key func(s Setting) []KeyField
+	// Tighter reports whether next degrades at least as hard as prev on
+	// this axis — the ladder monotonicity order (tier k+1 must be Tighter
+	// on every axis).
+	Tighter func(prev, next Setting, m *detect.Model) bool
+}
+
+// axes is the registry, in canonical order: the sampling axis first, then
+// the non-sampling axes in their String()/persistence order.
+var axes = []Axis{
+	{
+		Name:   "fraction",
+		Random: true,
+		Active: func(s Setting, m *detect.Model) bool { return s.SampleFraction < 1 },
+		Validate: func(s Setting, m *detect.Model) error {
+			if s.SampleFraction <= 0 || s.SampleFraction > 1 {
+				return fmt.Errorf("degrade: sample fraction %v out of (0,1]", s.SampleFraction)
+			}
+			return nil
+		},
+		Format:  func(s Setting) string { return fmt.Sprintf("f=%.4g", s.SampleFraction) },
+		Key:     func(s Setting) []KeyField { return nil },
+		Tighter: func(prev, next Setting, m *detect.Model) bool { return next.SampleFraction <= prev.SampleFraction },
+	},
+	{
+		Name: "resolution",
+		Active: func(s Setting, m *detect.Model) bool {
+			return s.Resolution != 0 && s.Resolution != m.NativeInput
+		},
+		Validate: func(s Setting, m *detect.Model) error {
+			if s.Resolution != 0 && !m.ValidResolution(s.Resolution) {
+				return fmt.Errorf("degrade: resolution %d invalid for %s (multiple of %d, max %d)",
+					s.Resolution, m.Name, m.InputMultiple, m.NativeInput)
+			}
+			return nil
+		},
+		Format: func(s Setting) string {
+			if s.Resolution != 0 {
+				return fmt.Sprintf("p=%dx%d", s.Resolution, s.Resolution)
+			}
+			return "p=native"
+		},
+		Key: func(s Setting) []KeyField {
+			return []KeyField{{"resolution", strconv.Itoa(s.Resolution)}}
+		},
+		Tighter: func(prev, next Setting, m *detect.Model) bool {
+			return next.ResolveResolution(m) <= prev.ResolveResolution(m)
+		},
+	},
+	{
+		Name:   "removal",
+		Active: func(s Setting, m *detect.Model) bool { return len(s.Restricted) > 0 },
+		Validate: func(s Setting, m *detect.Model) error {
+			seen := map[scene.Class]bool{}
+			for _, c := range s.Restricted {
+				if seen[c] {
+					return fmt.Errorf("degrade: duplicate restricted class %v", c)
+				}
+				seen[c] = true
+			}
+			return nil
+		},
+		Format: func(s Setting) string {
+			if len(s.Restricted) == 0 {
+				return "c=none"
+			}
+			names := make([]string, len(s.Restricted))
+			for i, c := range s.Restricted {
+				names[i] = c.String()
+			}
+			return "c=" + strings.Join(names, "+")
+		},
+		Key: func(s Setting) []KeyField {
+			names := make([]string, len(s.Restricted))
+			for i, c := range s.Restricted {
+				names[i] = c.String()
+			}
+			sort.Strings(names)
+			fields := make([]KeyField, len(names))
+			for i, name := range names {
+				fields[i] = KeyField{"restricted", name}
+			}
+			return fields
+		},
+		Tighter: func(prev, next Setting, m *detect.Model) bool {
+			have := map[scene.Class]bool{}
+			for _, c := range next.Restricted {
+				have[c] = true
+			}
+			for _, c := range prev.Restricted {
+				if !have[c] {
+					return false
+				}
+			}
+			return true
+		},
+	},
+	{
+		Name:   "noise",
+		Active: func(s Setting, m *detect.Model) bool { return s.NoiseSigma > 0 },
+		Validate: func(s Setting, m *detect.Model) error {
+			if s.NoiseSigma < 0 || s.NoiseSigma > 0.5 {
+				return fmt.Errorf("degrade: noise sigma %v out of [0,0.5]", s.NoiseSigma)
+			}
+			return nil
+		},
+		Format: func(s Setting) string {
+			if s.NoiseSigma > 0 {
+				return fmt.Sprintf("noise=%.3g", s.NoiseSigma)
+			}
+			return ""
+		},
+		Fold: func(s Setting, vw *scene.View) { vw.ExtraNoise = float32(s.NoiseSigma) },
+		Key: func(s Setting) []KeyField {
+			return []KeyField{{"noise", strconv.FormatFloat(s.NoiseSigma, 'g', -1, 64)}}
+		},
+		Tighter: func(prev, next Setting, m *detect.Model) bool { return next.NoiseSigma >= prev.NoiseSigma },
+	},
+	{
+		Name:   "blur",
+		Active: func(s Setting, m *detect.Model) bool { return s.MotionBlur > 1 },
+		Validate: func(s Setting, m *detect.Model) error {
+			if s.MotionBlur < 0 || s.MotionBlur > scene.MaxBlurLen {
+				return fmt.Errorf("degrade: motion blur length %d out of [0,%d]", s.MotionBlur, scene.MaxBlurLen)
+			}
+			return nil
+		},
+		Format: func(s Setting) string {
+			if s.MotionBlur > 1 {
+				return fmt.Sprintf("blur=%d", s.MotionBlur)
+			}
+			return ""
+		},
+		Fold: func(s Setting, vw *scene.View) { vw.BlurLen = s.MotionBlur },
+		Key: func(s Setting) []KeyField {
+			if s.MotionBlur <= 1 {
+				return nil
+			}
+			return []KeyField{{"blur", strconv.Itoa(s.MotionBlur)}}
+		},
+		Tighter: func(prev, next Setting, m *detect.Model) bool {
+			return effectiveBlur(next) >= effectiveBlur(prev)
+		},
+	},
+	{
+		Name:   "quantize",
+		Active: func(s Setting, m *detect.Model) bool { return s.Quantize >= 2 },
+		Validate: func(s Setting, m *detect.Model) error {
+			if s.Quantize < 0 || s.Quantize == 1 || s.Quantize > 256 {
+				return fmt.Errorf("degrade: quantization levels %d not 0 or in [2,256]", s.Quantize)
+			}
+			return nil
+		},
+		Format: func(s Setting) string {
+			if s.Quantize >= 2 {
+				return fmt.Sprintf("quant=%d", s.Quantize)
+			}
+			return ""
+		},
+		Fold: func(s Setting, vw *scene.View) { vw.Levels = s.Quantize },
+		Key: func(s Setting) []KeyField {
+			if s.Quantize < 2 {
+				return nil
+			}
+			return []KeyField{{"quantize", strconv.Itoa(s.Quantize)}}
+		},
+		Tighter: func(prev, next Setting, m *detect.Model) bool {
+			return effectiveLevels(next) <= effectiveLevels(prev)
+		},
+	},
+	{
+		Name:   "occlusion",
+		Active: func(s Setting, m *detect.Model) bool { return s.Occlusion > 0 },
+		Validate: func(s Setting, m *detect.Model) error {
+			if s.Occlusion < 0 || s.Occlusion > 0.5 {
+				return fmt.Errorf("degrade: occlusion density %v out of [0,0.5]", s.Occlusion)
+			}
+			return nil
+		},
+		Format: func(s Setting) string {
+			if s.Occlusion > 0 {
+				return fmt.Sprintf("occl=%.3g", s.Occlusion)
+			}
+			return ""
+		},
+		Fold: func(s Setting, vw *scene.View) { vw.Occlusion = s.Occlusion },
+		Key: func(s Setting) []KeyField {
+			if s.Occlusion <= 0 {
+				return nil
+			}
+			return []KeyField{{"occlusion", strconv.FormatFloat(s.Occlusion, 'g', -1, 64)}}
+		},
+		Tighter: func(prev, next Setting, m *detect.Model) bool { return next.Occlusion >= prev.Occlusion },
+	},
+}
+
+// effectiveBlur maps the identity renderings 0 and 1 to one value so the
+// ladder order treats them as equal.
+func effectiveBlur(s Setting) int {
+	if s.MotionBlur <= 1 {
+		return 1
+	}
+	return s.MotionBlur
+}
+
+// effectiveLevels maps "no quantization" to one more than the maximum so
+// fewer levels is always tighter.
+func effectiveLevels(s Setting) int {
+	if s.Quantize < 2 {
+		return 257
+	}
+	return s.Quantize
+}
+
+// Axes returns the registered intervention axes in canonical order. The
+// slice is shared: callers must not mutate it.
+func Axes() []Axis { return axes }
+
+// View folds the setting's pixel-transforming axes into the canonical
+// scene view the corpus is observed through (the zero View when only
+// frame-choice axes are active).
+func (s Setting) View() scene.View {
+	var vw scene.View
+	for _, ax := range axes {
+		if ax.Fold != nil {
+			ax.Fold(s, &vw)
+		}
+	}
+	// Fold maps identity renderings (blur length 1) to their zero forms so
+	// equal views compare equal.
+	if vw.BlurLen == 1 {
+		vw.BlurLen = 0
+	}
+	return vw
+}
+
+// ViewSpec renders the canonical specification of the setting's pixel
+// view: the stable per-axis clauses of every active pixel axis, or "" for
+// a direct observation. It is the view-cache key alongside the corpus.
+func (s Setting) ViewSpec() string {
+	var parts []string
+	for _, ax := range axes {
+		if ax.Fold == nil {
+			continue
+		}
+		if clause := ax.Format(s); clause != "" {
+			parts = append(parts, clause)
+		}
+	}
+	return strings.Join(parts, " ")
+}
+
+// KeyFields returns the canonical persistence fields of the setting's
+// non-sampling axes, in registry order. Legacy axes always emit so stored
+// PR 8 keys are reproduced byte-for-byte; newer axes emit only when
+// active.
+func (s Setting) KeyFields() []KeyField {
+	var fields []KeyField
+	for _, ax := range axes {
+		fields = append(fields, ax.Key(s)...)
+	}
+	return fields
+}

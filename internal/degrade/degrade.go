@@ -6,11 +6,17 @@
 //   - reduced frame resolution (non-random): process frames at p x p;
 //   - image removal (non-random): delete every frame containing a
 //     restricted object class, using stored prior presence information
-//     (paper Section 5.1).
+//     (paper Section 5.1);
+//   - pixel-space capture interventions (all non-random): added sensor
+//     noise, horizontal motion blur, intensity quantization (JPEG-style
+//     compression), and lens scratch/dirt occlusion, applied to the corpus
+//     as a render-time view (scene.View).
 //
-// A Setting is the paper's (f, p, c) triple; Apply materialises it against
-// a corpus into a Plan: the admissible frame pool and the sampled frame
-// indices a query processor may touch.
+// A Setting extends the paper's (f, p, c) triple with the pixel axes; the
+// axis registry in axes.go is the single source of truth for which axes
+// exist and how each validates, renders, persists and orders. Apply
+// materialises a setting against a corpus into a Plan: the admissible
+// frame pool and the sampled frame indices a query processor may touch.
 package degrade
 
 import (
@@ -18,7 +24,6 @@ import (
 	"fmt"
 	"sort"
 	"strings"
-	"sync"
 
 	"smokescreen/internal/detect"
 	"smokescreen/internal/outputs"
@@ -43,15 +48,30 @@ type Setting struct {
 	// privacy methods). Zero means none. Non-random: it biases detector
 	// outputs, so bounds require profile repair.
 	NoiseSigma float64
+	// MotionBlur is the horizontal motion-blur streak length in native
+	// pixels (a deliberately long exposure); 0 and 1 mean none. Non-random.
+	MotionBlur int
+	// Quantize is the number of uniform intensity levels frames are
+	// quantized to (JPEG-style compression); 0 means none, otherwise at
+	// least 2. Non-random.
+	Quantize int
+	// Occlusion is the lens scratch/dirt density in [0, 0.5]; 0 means
+	// none. Non-random.
+	Occlusion float64
 }
 
 // IsRandomOnly reports whether the setting consists solely of random
-// interventions (reduced frame sampling). Non-random interventions —
-// reduced resolution or image removal — change the distribution of model
+// interventions (reduced frame sampling). Non-random interventions — any
+// active non-random axis in the registry: reduced resolution, image
+// removal, or a pixel-space transform — change the distribution of model
 // outputs and require profile repair (paper Section 3.2.5).
 func (s Setting) IsRandomOnly(m *detect.Model) bool {
-	return len(s.Restricted) == 0 && s.NoiseSigma == 0 &&
-		(s.Resolution == 0 || s.Resolution == m.NativeInput)
+	for _, ax := range axes {
+		if !ax.Random && ax.Active(s, m) {
+			return false
+		}
+	}
+	return true
 }
 
 // ResolveResolution returns the model input resolution this setting uses.
@@ -62,48 +82,31 @@ func (s Setting) ResolveResolution(m *detect.Model) int {
 	return s.Resolution
 }
 
-// Validate checks the setting against a model's input constraints.
+// Validate checks the setting against a model's input constraints by
+// running every registered axis's validator.
 func (s Setting) Validate(m *detect.Model) error {
-	if s.SampleFraction <= 0 || s.SampleFraction > 1 {
-		return fmt.Errorf("degrade: sample fraction %v out of (0,1]", s.SampleFraction)
-	}
-	if s.Resolution != 0 && !m.ValidResolution(s.Resolution) {
-		return fmt.Errorf("degrade: resolution %d invalid for %s (multiple of %d, max %d)",
-			s.Resolution, m.Name, m.InputMultiple, m.NativeInput)
-	}
-	seen := map[scene.Class]bool{}
-	for _, c := range s.Restricted {
-		if seen[c] {
-			return fmt.Errorf("degrade: duplicate restricted class %v", c)
+	for _, ax := range axes {
+		if err := ax.Validate(s, m); err != nil {
+			return err
 		}
-		seen[c] = true
-	}
-	if s.NoiseSigma < 0 || s.NoiseSigma > 0.5 {
-		return fmt.Errorf("degrade: noise sigma %v out of [0,0.5]", s.NoiseSigma)
 	}
 	return nil
 }
 
-// String renders the setting in the (f, p, c) notation of the paper.
+// String renders the setting in the (f, p, c) notation of the paper,
+// extended with one clause per active pixel axis; the rendering of legacy
+// settings is unchanged.
 func (s Setting) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "f=%.4g", s.SampleFraction)
-	if s.Resolution != 0 {
-		fmt.Fprintf(&b, " p=%dx%d", s.Resolution, s.Resolution)
-	} else {
-		b.WriteString(" p=native")
-	}
-	if len(s.Restricted) == 0 {
-		b.WriteString(" c=none")
-	} else {
-		names := make([]string, len(s.Restricted))
-		for i, c := range s.Restricted {
-			names[i] = c.String()
+	for _, ax := range axes {
+		clause := ax.Format(s)
+		if clause == "" {
+			continue
 		}
-		fmt.Fprintf(&b, " c=%s", strings.Join(names, "+"))
-	}
-	if s.NoiseSigma > 0 {
-		fmt.Fprintf(&b, " noise=%.3g", s.NoiseSigma)
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(clause)
 	}
 	return b.String()
 }
@@ -224,58 +227,13 @@ func SampleOutputsCtx(ctx context.Context, v *scene.Video, m *detect.Model, clas
 	return outputs.At(ctx, EffectiveVideo(v, p.Setting), m, class, p.Resolution, p.Sampled)
 }
 
-// noised views are cached so repeated estimator trials share one detector
-// output cache per (corpus, sigma).
-var (
-	noisedMu    sync.Mutex
-	noisedCache = map[noisedKey]*scene.Video{}
-)
-
-type noisedKey struct {
-	video *scene.Video
-	sigma float64
-}
-
-// EffectiveVideo returns the corpus as the setting's capture pipeline sees
-// it: the original video, or a noised view under the noise-addition
-// intervention.
-func EffectiveVideo(v *scene.Video, s Setting) *scene.Video {
-	if s.NoiseSigma <= 0 {
-		return v
-	}
-	key := noisedKey{video: v, sigma: s.NoiseSigma}
-	noisedMu.Lock()
-	defer noisedMu.Unlock()
-	if nv, ok := noisedCache[key]; ok {
-		return nv
-	}
-	nv := v.WithNoise(float32(s.NoiseSigma))
-	noisedCache[key] = nv
-	return nv
-}
-
 // EvictVideo drops every detect-side cached artifact derived from the
-// corpus — detector-output tables, render-cache frames, and bounded
-// delta-detection accounts — including the cached noised views
-// EffectiveVideo created for noise-addition settings, which
-// detect.EvictVideo cannot reach because it keys on corpus identity and a
-// noised view is a distinct *scene.Video.
-// Returns the accounted bytes freed. This is the per-corpus memory-bounding
-// hook fleet deployments should call when a camera rotates out.
+// corpus — detector-output tables, render-cache frames, bounded
+// delta-detection accounts, and every cached view EffectiveVideo created
+// for its pixel-axis settings (see viewcache.go; detect.EvictVideo reaches
+// them through the registered view-cache hook). Returns the accounted
+// bytes freed. This is the per-corpus memory-bounding hook fleet
+// deployments should call when a camera rotates out.
 func EvictVideo(v *scene.Video) int64 {
-	freed := detect.EvictVideo(v)
-	noisedMu.Lock()
-	var views []*scene.Video
-	for key, nv := range noisedCache {
-		if key.video == v {
-			//smokevet:ignore determinism: eviction order only affects the order bytes are freed; the returned sum is order-independent and no profile bytes flow from it
-			views = append(views, nv)
-			delete(noisedCache, key)
-		}
-	}
-	noisedMu.Unlock()
-	for _, nv := range views {
-		freed += detect.EvictVideo(nv)
-	}
-	return freed
+	return detect.EvictVideo(v)
 }

@@ -1,0 +1,94 @@
+package degrade
+
+import (
+	"sync"
+
+	"smokescreen/internal/detect"
+	"smokescreen/internal/scene"
+)
+
+// The view cache interns the derived videos EffectiveVideo creates, one
+// per (corpus, canonical view spec), so repeated estimator trials under
+// the same pixel-axis setting share a single detector-output cache: every
+// detect-side cache keys on the *scene.Video pointer, and interning makes
+// the pointer canonical for the view. The cache registers with
+// detect.RegisterViewCache so ResetCaches drops it, EvictVideo(corpus)
+// frees every view of that corpus (recursively evicting each view's own
+// detector artifacts), and Stats byte-accounts the views' lazily
+// materialized rasters.
+var (
+	viewMu    sync.Mutex
+	viewCache = map[viewKey]*scene.Video{}
+)
+
+type viewKey struct {
+	video *scene.Video
+	spec  string
+}
+
+func init() {
+	detect.RegisterViewCache(resetViews, evictViews, fillViewStats)
+}
+
+// EffectiveVideo returns the corpus as the setting's capture pipeline sees
+// it: the original video when no pixel axis is active, otherwise the
+// interned view observed through the setting's transforms (noise, motion
+// blur, quantization, occlusion).
+func EffectiveVideo(v *scene.Video, s Setting) *scene.Video {
+	vw := s.View()
+	if vw.IsZero() {
+		return v
+	}
+	key := viewKey{video: v, spec: s.ViewSpec()}
+	viewMu.Lock()
+	defer viewMu.Unlock()
+	if nv, ok := viewCache[key]; ok {
+		return nv
+	}
+	nv := v.WithView(vw)
+	viewCache[key] = nv
+	return nv
+}
+
+// resetViews drops every cached view. The views' own detector artifacts
+// are dropped by the same ResetCaches sweep, so no recursion is needed.
+func resetViews() {
+	viewMu.Lock()
+	defer viewMu.Unlock()
+	viewCache = map[viewKey]*scene.Video{}
+}
+
+// evictViews releases every cached view derived from v (all views when v
+// is nil) and recursively evicts each view's own detector-derived caches;
+// views carry no sub-views, so the recursion terminates after one level.
+// Returns the accounted bytes freed, including the views' materialized
+// rasters.
+func evictViews(v *scene.Video) int64 {
+	viewMu.Lock()
+	var views []*scene.Video
+	for key, nv := range viewCache {
+		if v == nil || key.video == v {
+			//smokevet:ignore determinism: eviction order only affects the order bytes are freed; the returned sum is order-independent and no profile bytes flow from it
+			views = append(views, nv)
+			delete(viewCache, key)
+		}
+	}
+	viewMu.Unlock()
+	var freed int64
+	for _, nv := range views {
+		freed += detect.PerEntryOverhead + nv.CachedRasterBytes()
+		freed += detect.EvictVideo(nv)
+	}
+	return freed
+}
+
+// fillViewStats populates the view-cache fields of a CacheStats report.
+func fillViewStats(s *detect.CacheStats) {
+	viewMu.Lock()
+	defer viewMu.Unlock()
+	s.ViewVideos = len(viewCache)
+	for _, nv := range viewCache {
+		//smokevet:ignore determinism: summation over map entries is order-independent
+		s.ViewBytes += detect.PerEntryOverhead + nv.CachedRasterBytes()
+	}
+}

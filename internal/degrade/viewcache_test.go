@@ -1,0 +1,154 @@
+package degrade
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/outputs"
+	"smokescreen/internal/raster"
+	"smokescreen/internal/scene"
+)
+
+// pixelSettings covers every pixel axis and their composition; each
+// produces a distinct interned view of the corpus.
+var pixelSettings = []Setting{
+	{SampleFraction: 0.1, NoiseSigma: 0.2},
+	{SampleFraction: 0.1, MotionBlur: 7},
+	{SampleFraction: 0.1, Quantize: 16},
+	{SampleFraction: 0.1, Occlusion: 0.2},
+	{SampleFraction: 0.1, NoiseSigma: 0.1, MotionBlur: 9, Quantize: 32, Occlusion: 0.1},
+}
+
+// TestEvictVideoFreesEveryView is the memory-bounding contract: after
+// creating and exercising every kind of pixel-axis view of a corpus, one
+// EvictVideo(corpus) drops the views from the intern table, their
+// render/output caches, and their accounted bytes — nothing survives.
+func TestEvictVideoFreesEveryView(t *testing.T) {
+	detect.ResetCaches()
+	t.Cleanup(detect.ResetCaches)
+
+	v := dataset.MustLoad("small")
+	m := detect.YOLOv4Sim()
+	views := make([]*scene.Video, 0, len(pixelSettings))
+	for _, s := range pixelSettings {
+		ev := EffectiveVideo(v, s)
+		if ev == v {
+			t.Fatalf("setting %v produced no view", s)
+		}
+		views = append(views, ev)
+		if _, err := outputs.At(context.Background(), ev, m, scene.Car, 320, []int{0, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := detect.Stats()
+	if cs.ViewVideos != len(pixelSettings) {
+		t.Fatalf("ViewVideos = %d, want %d", cs.ViewVideos, len(pixelSettings))
+	}
+	if cs.ViewBytes <= 0 {
+		t.Fatalf("ViewBytes = %d, want > 0 (views rendered backgrounds and masks)", cs.ViewBytes)
+	}
+	if cs.TotalBytes() < cs.ViewBytes {
+		t.Fatal("TotalBytes does not include ViewBytes")
+	}
+
+	freed := EvictVideo(v)
+	if freed <= 0 {
+		t.Fatal("eviction freed nothing")
+	}
+	after := detect.Stats()
+	if after.ViewVideos != 0 || after.ViewBytes != 0 {
+		t.Fatalf("views survived eviction: %d videos, %d bytes", after.ViewVideos, after.ViewBytes)
+	}
+	if after.TotalBytes() != 0 {
+		t.Fatalf("caches retained %d bytes after evicting the corpus", after.TotalBytes())
+	}
+	for i, s := range pixelSettings {
+		if EffectiveVideo(v, s) == views[i] {
+			t.Fatalf("view for %v survived eviction", s)
+		}
+	}
+}
+
+// TestEvictOtherVideoKeepsViews: eviction is per-corpus — views of a
+// different corpus are untouched.
+func TestEvictOtherVideoKeepsViews(t *testing.T) {
+	detect.ResetCaches()
+	t.Cleanup(detect.ResetCaches)
+
+	small := dataset.MustLoad("small")
+	other := dataset.MustLoad("night-street")
+	s := Setting{SampleFraction: 0.1, MotionBlur: 7}
+	ev := EffectiveVideo(small, s)
+	if EvictVideo(other) < 0 {
+		t.Fatal("negative freed bytes")
+	}
+	if EffectiveVideo(small, s) != ev {
+		t.Fatal("evicting another corpus dropped this corpus's view")
+	}
+}
+
+// TestDetectionDeterministicUnderViews pins the end-to-end determinism
+// contract on the detection hot path through a pixel-transformed view:
+// per-frame detections are identical across raster parallelism levels,
+// both on the float path and under the quantized uint8 raster path.
+func TestDetectionDeterministicUnderViews(t *testing.T) {
+	prevPar := raster.Parallelism()
+	prevQuant := detect.Quantized()
+	t.Cleanup(func() {
+		raster.SetParallelism(prevPar)
+		detect.SetQuantized(prevQuant)
+		detect.ResetCaches()
+	})
+
+	v := dataset.MustLoad("small")
+	m := detect.YOLOv4Sim()
+	setting := Setting{SampleFraction: 0.1, MotionBlur: 9, Quantize: 32, Occlusion: 0.1}
+
+	counts := func(workers int, quantized bool) []float64 {
+		raster.SetParallelism(workers)
+		detect.SetQuantized(quantized)
+		detect.ResetCaches()
+		ev := EffectiveVideo(v, setting)
+		out := make([]float64, 0, 30)
+		for i := 0; i < 30; i++ {
+			out = append(out, float64(detect.CountClass(m.DetectFrame(ev, i, 320), scene.Car)))
+		}
+		return out
+	}
+
+	for _, quantized := range []bool{false, true} {
+		base := counts(1, quantized)
+		for _, workers := range []int{2, 4, 8} {
+			got := counts(workers, quantized)
+			for i := range base {
+				if math.Float64bits(base[i]) != math.Float64bits(got[i]) {
+					t.Fatalf("quantized=%v: frame %d count differs between 1 and %d workers: %v vs %v",
+						quantized, i, workers, base[i], got[i])
+				}
+			}
+		}
+	}
+}
+
+// TestViewSpecCanonical: the cache key renders only active pixel axes in
+// registry order, so equal views intern to one entry.
+func TestViewSpecCanonical(t *testing.T) {
+	s := Setting{NoiseSigma: 0.1, MotionBlur: 7, Quantize: 32, Occlusion: 0.25}
+	if got, want := s.ViewSpec(), "noise=0.1 blur=7 quant=32 occl=0.25"; got != want {
+		t.Errorf("ViewSpec = %q, want %q", got, want)
+	}
+	if got := (Setting{SampleFraction: 0.5, Resolution: 160}).ViewSpec(); got != "" {
+		t.Errorf("frame-choice axes leaked into the view spec: %q", got)
+	}
+	// Identity blur renders nothing; the interned view is shared.
+	a := Setting{SampleFraction: 0.1, NoiseSigma: 0.2}
+	b := Setting{SampleFraction: 0.9, NoiseSigma: 0.2, MotionBlur: 1}
+	v := dataset.MustLoad("small")
+	t.Cleanup(detect.ResetCaches)
+	if EffectiveVideo(v, a) != EffectiveVideo(v, b) {
+		t.Error("settings with equal views interned separately")
+	}
+}

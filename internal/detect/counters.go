@@ -47,7 +47,8 @@ type cacheHook struct {
 }
 
 var (
-	hooks atomic.Pointer[cacheHook]
+	hooks     atomic.Pointer[cacheHook]
+	viewHooks atomic.Pointer[cacheHook]
 )
 
 // RegisterOutputCache wires an external detector-output cache into
@@ -58,6 +59,17 @@ func RegisterOutputCache(reset func(), evict func(v *scene.Video) int64, fill fu
 	hooks.Store(&cacheHook{reset: reset, evict: evict, fill: fill})
 }
 
+// RegisterViewCache wires the degraded-view cache (internal/degrade's
+// per-(corpus, view spec) derived videos) into ResetCaches, EvictVideo,
+// and Stats, mirroring RegisterOutputCache. Its evict hook runs before the
+// base caches are dropped and is expected to call EvictVideo recursively
+// on each derived view it releases, so that the view's own detector
+// outputs, backgrounds and rendered frames are freed in the same sweep
+// (views carry no sub-views, so the recursion is one level deep).
+func RegisterViewCache(reset func(), evict func(v *scene.Video) int64, fill func(s *CacheStats)) {
+	viewHooks.Store(&cacheHook{reset: reset, evict: evict, fill: fill})
+}
+
 // ResetCaches clears every detector-derived cache — the output column
 // store (via its registered hook), downsampled backgrounds, the render
 // cache — and the invocation counter. Tests and the
@@ -65,6 +77,9 @@ func RegisterOutputCache(reset func(), evict func(v *scene.Video) int64, fill fu
 // behaviour; long-running deployments that want to bound memory should
 // prefer the per-corpus EvictVideo hook.
 func ResetCaches() {
+	if h := viewHooks.Load(); h != nil && h.reset != nil {
+		h.reset()
+	}
 	if h := hooks.Load(); h != nil && h.reset != nil {
 		h.reset()
 	}
@@ -82,6 +97,9 @@ func ResetCaches() {
 // Concurrent output reads for the same corpus simply recompute.
 func EvictVideo(v *scene.Video) int64 {
 	var freed int64
+	if h := viewHooks.Load(); h != nil && h.evict != nil {
+		freed += h.evict(v)
+	}
 	if h := hooks.Load(); h != nil && h.evict != nil {
 		freed += h.evict(v)
 	}
@@ -122,6 +140,12 @@ type CacheStats struct {
 	DeltaTilesReused      int64
 	DeltaTilesRedetected  int64
 	DeltaCandidatesReused int64
+	// ViewVideos / ViewBytes cover the degraded-view cache: derived
+	// per-(corpus, view spec) videos and their lazily materialized rasters
+	// (transformed backgrounds, integral tables, occlusion masks). Filled
+	// by the registered view cache.
+	ViewVideos int
+	ViewBytes  int64
 }
 
 // perEntryOverhead approximates the fixed cost of one cache entry: the
@@ -136,7 +160,7 @@ const PerEntryOverhead = perEntryOverhead
 
 // TotalBytes returns the total accounted size of all detector caches.
 func (s CacheStats) TotalBytes() int64 {
-	return s.FullBytes + s.SparseBytes + s.BackgroundBytes + s.RenderBytes + s.DeltaBytes
+	return s.FullBytes + s.SparseBytes + s.BackgroundBytes + s.RenderBytes + s.DeltaBytes + s.ViewBytes
 }
 
 // Stats reports the current size of the detector caches. Fleet deployments
@@ -146,6 +170,9 @@ func (s CacheStats) TotalBytes() int64 {
 func Stats() CacheStats {
 	var s CacheStats
 	if h := hooks.Load(); h != nil && h.fill != nil {
+		h.fill(&s)
+	}
+	if h := viewHooks.Load(); h != nil && h.fill != nil {
 		h.fill(&s)
 	}
 	n, bytes := backgroundStats()

@@ -166,15 +166,21 @@ func objectSig(o *scene.Object) uint64 {
 // frameTileSigs fills dst with per-tile signatures of the frame: the seed
 // value mixed, in stored (draw) order, with the signature of every object
 // whose bbox spans the tile. Objects fully outside the frame contribute
-// nothing, matching the renderer's clipping.
-func frameTileSigs(dst []uint64, f *scene.Frame, tilesW int, w, h int) {
+// nothing, matching the renderer's clipping. spill dilates each bbox
+// horizontally by the video view's pixel reach (motion blur smears an
+// object's contrast up to that many columns beyond its bbox), so tiles
+// whose pixels a view transform can touch are attributed to the object.
+func frameTileSigs(dst []uint64, f *scene.Frame, tilesW int, w, h, spill int) {
 	for i := range dst {
 		dst[i] = tileSigSeed
 	}
 	frameRect := raster.RectWH(0, 0, w, h)
 	for idx := range f.Objects {
 		o := &f.Objects[idx]
-		box := o.BBox.Intersect(frameRect)
+		box := o.BBox
+		box.MinX -= spill
+		box.MaxX += spill
+		box = box.Intersect(frameRect)
 		if box.Empty() {
 			continue
 		}
@@ -225,6 +231,13 @@ type DeltaRun struct {
 	sigmaEff float64
 	tau      float64
 
+	// spill is the video view's horizontal pixel reach (blur smear);
+	// viewPixels records whether the view transforms pixels at all, which
+	// disables bounded translation splices (their background-delta model
+	// assumes raw pixels).
+	spill      int
+	viewPixels bool
+
 	tilesW    int
 	prevFrame int
 	curSigs   []uint64
@@ -255,17 +268,20 @@ func (m *Model) NewDeltaRun(v *scene.Video, p int) *DeltaRun {
 	sigmaEff := effectiveNoise(float64(cfg.Lighting.NoiseSigma), sx)
 	tilesW := (cfg.Width + DeltaTileSize - 1) / DeltaTileSize
 	tilesH := (cfg.Height + DeltaTileSize - 1) / DeltaTileSize
+	vw := v.View()
 	return &DeltaRun{
-		m:         m,
-		v:         v,
-		p:         p,
-		mode:      mode,
-		tol:       DeltaTolerance(),
-		sx:        sx,
-		sy:        sy,
-		sigmaEff:  sigmaEff,
-		tau:       m.threshold(sigmaEff),
-		tilesW:    tilesW,
+		m:          m,
+		v:          v,
+		p:          p,
+		mode:       mode,
+		tol:        DeltaTolerance(),
+		sx:         sx,
+		sy:         sy,
+		sigmaEff:   sigmaEff,
+		tau:        m.threshold(sigmaEff),
+		spill:      vw.Spill(),
+		viewPixels: vw.PixelTransforms(),
+		tilesW:     tilesW,
 		prevFrame: -1,
 		curSigs:   make([]uint64, tilesW*tilesH),
 		entries:   map[int]*deltaEntry{},
@@ -286,7 +302,7 @@ func (r *DeltaRun) DetectFrame(i int) []Detection {
 	cfg := &v.Config
 	frame := v.Frame(i)
 
-	frameTileSigs(r.curSigs, frame, r.tilesW, cfg.Width, cfg.Height)
+	frameTileSigs(r.curSigs, frame, r.tilesW, cfg.Width, cfg.Height, r.spill)
 	if !(r.prevFrame >= 0 && i == r.prevFrame+1) {
 		r.keyframes++
 	}
@@ -617,6 +633,15 @@ func (r *DeltaRun) boundedReuse(i int, frame *scene.Frame, obj *scene.Object, e 
 		bMean = 0
 		bPix = 2 * r.sigmaEff
 	} else {
+		// Translation splices model the patch delta as "same object over
+		// shifted raw background". A pixel-transforming view breaks that
+		// model — blur mixes object and background, occlusion pins pixels,
+		// quantization is non-linear in position — so only still (bitwise
+		// identical, which deterministic transforms preserve) reuse is
+		// admissible under such views.
+		if r.viewPixels {
+			return candidate{}, false
+		}
 		// Horizontal translation: the opaque foreground is
 		// position-independent, so only the background under the footprint
 		// changes — texture (±TextureAmp per pixel), lane markings where

@@ -241,8 +241,8 @@ func checkCleanTilesIdentical(t *testing.T, v *scene.Video, i int) (clean, dirty
 	tilesH := (cfg.Height + DeltaTileSize - 1) / DeltaTileSize
 	prev := make([]uint64, tilesW*tilesH)
 	cur := make([]uint64, tilesW*tilesH)
-	frameTileSigs(prev, v.Frame(i), tilesW, cfg.Width, cfg.Height)
-	frameTileSigs(cur, v.Frame(i+1), tilesW, cfg.Width, cfg.Height)
+	frameTileSigs(prev, v.Frame(i), tilesW, cfg.Width, cfg.Height, 0)
+	frameTileSigs(cur, v.Frame(i+1), tilesW, cfg.Width, cfg.Height, 0)
 	for ty := 0; ty < tilesH; ty++ {
 		for tx := 0; tx < tilesW; tx++ {
 			if prev[ty*tilesW+tx] != cur[ty*tilesW+tx] {

@@ -201,6 +201,7 @@ func register(id string, r Runner) {
 var presentationOrder = []string{
 	"calibration",
 	"figure3", "figure4", "figure5", "figure6", "figure7", "figure8", "figure9", "figure10",
+	"ladder", "adversarial",
 	"timing", "claims", "ablations", "modelaccuracy", "bandwidth",
 }
 

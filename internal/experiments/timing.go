@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"smokescreen/internal/degrade"
 	"smokescreen/internal/detect"
 	"smokescreen/internal/estimate"
 	"smokescreen/internal/profile"
@@ -48,7 +49,7 @@ func Timing(cfg Config) (*Report, error) {
 	for ri, p := range resolutions {
 		_, err := profile.SweepFractions(spec, profile.SweepOptions{
 			Fractions:  fractions,
-			Resolution: p,
+			Setting:    degrade.Setting{Resolution: p},
 			Correction: corr,
 		}, root.ChildN(2, uint64(ri)))
 		if err != nil {
@@ -65,7 +66,7 @@ func Timing(cfg Config) (*Report, error) {
 	for ri, p := range resolutions {
 		if _, err := profile.SweepFractions(spec, profile.SweepOptions{
 			Fractions:  fractions,
-			Resolution: p,
+			Setting:    degrade.Setting{Resolution: p},
 			Correction: corr,
 		}, root.ChildN(2, uint64(ri))); err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package fleetd
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -407,5 +408,51 @@ func TestNodeConfigValidation(t *testing.T) {
 	defer n.Close()
 	if n.Self() != "a" {
 		t.Fatalf("Self = %q", n.Self())
+	}
+}
+
+// TestFleetVersionSkewUnknownField: a request from a newer client
+// carrying a field this build does not know must be rejected with a
+// typed 400 on every node — including the non-replica forwarding edge —
+// never silently truncated into a different (wrong, and then cached
+// forever) artifact.
+func TestFleetVersionSkewUnknownField(t *testing.T) {
+	h := startFleet(t, HarnessConfig{})
+	ctx := testCtx(t)
+
+	skewed := []byte(`{"query": "skew-query", "tier_overrides": {"full": 0.5}}`)
+	for _, hn := range h.Alive() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, hn.URL+"/v1/profiles", bytes.NewReader(skewed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		status, body, err := h.do(req)
+		if err != nil {
+			t.Fatalf("POST via %s: %v", hn.Name, err)
+		}
+		if status != http.StatusBadRequest {
+			t.Fatalf("POST via %s: status %d, want 400", hn.Name, status)
+		}
+		var resp struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		if err := json.Unmarshal(body, &resp); err != nil {
+			t.Fatalf("POST via %s: non-JSON error body %q", hn.Name, body)
+		}
+		if resp.Code != "unknown_field" {
+			t.Fatalf("POST via %s: code %q, want unknown_field (body %s)", hn.Name, resp.Code, body)
+		}
+	}
+	// Nothing was generated or cached under the skewed request's key.
+	if got := h.Counter.Total(); got != 0 {
+		t.Fatalf("skewed requests triggered %d generations, want 0", got)
+	}
+	// The same request without the unknown field is accepted: the strict
+	// decoder rejects skew, not the request shape.
+	status, _, err := h.Post(ctx, h.Alive()[0].URL, server.GenRequest{Query: "skew-query"})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("clean request rejected: %d %v", status, err)
 	}
 }

@@ -286,6 +286,12 @@ func fleetWriteError(w http.ResponseWriter, status int, err error) {
 	fleetWriteJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// fleetWriteErrorCode mirrors the inner server's coded error shape, so
+// clients see one contract whether they hit a node or the daemon.
+func fleetWriteErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	fleetWriteJSON(w, status, map[string]string{"error": err.Error(), "code": code})
+}
+
 // writeProfileBytes mirrors the inner server's profile response shape.
 func (n *Node) writeProfileBytes(w http.ResponseWriter, key string, payload []byte) {
 	w.Header().Set("Content-Type", "application/json")
@@ -441,9 +447,18 @@ func (n *Node) handlePostProfile(w http.ResponseWriter, r *http.Request) {
 		fleetWriteError(w, http.StatusBadRequest, fmt.Errorf("fleetd: reading request: %w", err))
 		return
 	}
-	var req server.GenRequest
-	if err := json.Unmarshal(raw, &req); err != nil {
-		fleetWriteError(w, http.StatusBadRequest, fmt.Errorf("fleetd: decoding request: %w", err))
+	req, err := server.DecodeGenRequest(bytes.NewReader(raw))
+	if err != nil {
+		// Strict decoding on the fleet edge, not just the inner server:
+		// a version-skewed field must be rejected before the request is
+		// re-marshalled for forwarding, or the field would be silently
+		// dropped and a different (wrong) artifact generated and cached.
+		var unknown *server.UnknownFieldError
+		if errors.As(err, &unknown) {
+			fleetWriteErrorCode(w, http.StatusBadRequest, "unknown_field", err)
+			return
+		}
+		fleetWriteError(w, http.StatusBadRequest, fmt.Errorf("fleetd: %w", err))
 		return
 	}
 	if req.Query == "" {

@@ -1,0 +1,174 @@
+package plan
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"smokescreen/internal/dataset"
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/detect"
+	"smokescreen/internal/scene"
+	"smokescreen/internal/stats"
+)
+
+func TestDefaultLadderValidates(t *testing.T) {
+	m := detect.YOLOv4Sim()
+	l := DefaultLadder(m)
+	if err := l.Validate(m); err != nil {
+		t.Fatalf("built-in ladder invalid: %v", err)
+	}
+	if len(l.Tiers) != 4 {
+		t.Fatalf("default ladder has %d tiers", len(l.Tiers))
+	}
+	if byName, err := LadderByName("", m); err != nil || byName.Name != "default" {
+		t.Fatalf("LadderByName(\"\") = %v, %v", byName.Name, err)
+	}
+	if _, err := LadderByName("nope", m); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("unknown ladder error = %v", err)
+	}
+}
+
+// TestLadderMonotonicity: loosening any single axis on the lower rung is
+// rejected, and the error names the axis and the offending tiers.
+func TestLadderMonotonicity(t *testing.T) {
+	m := detect.YOLOv4Sim()
+	strict := degrade.Setting{
+		SampleFraction: 0.1, Resolution: 320,
+		Restricted: []scene.Class{scene.Person, scene.Face},
+		NoiseSigma: 0.1, MotionBlur: 9, Quantize: 16, Occlusion: 0.2,
+	}
+	loosen := map[string]func(*degrade.Setting){
+		"fraction":   func(s *degrade.Setting) { s.SampleFraction = 0.5 },
+		"resolution": func(s *degrade.Setting) { s.Resolution = m.NativeInput },
+		"removal":    func(s *degrade.Setting) { s.Restricted = []scene.Class{scene.Person} },
+		"noise":      func(s *degrade.Setting) { s.NoiseSigma = 0.01 },
+		"blur":       func(s *degrade.Setting) { s.MotionBlur = 3 },
+		"quantize":   func(s *degrade.Setting) { s.Quantize = 64 },
+		"occlusion":  func(s *degrade.Setting) { s.Occlusion = 0.05 },
+	}
+	for axis, mutate := range loosen {
+		loosened := strict
+		loosened.Restricted = append([]scene.Class(nil), strict.Restricted...)
+		mutate(&loosened)
+		l := Ladder{Name: "x", Tiers: []Tier{
+			{Name: "strict", Setting: strict},
+			{Name: "looser", Setting: loosened},
+		}}
+		err := l.Validate(m)
+		if err == nil {
+			t.Errorf("axis %s: loosened bottom rung accepted", axis)
+			continue
+		}
+		for _, want := range []string{axis, "looser", "strict"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("axis %s: error %q does not name %q", axis, err, want)
+			}
+		}
+	}
+	// The strict setting stacked on itself is monotone.
+	same := Ladder{Name: "x", Tiers: []Tier{
+		{Name: "a", Setting: strict}, {Name: "b", Setting: strict},
+	}}
+	if err := same.Validate(m); err != nil {
+		t.Errorf("equal consecutive tiers rejected: %v", err)
+	}
+}
+
+func TestLadderStructuralErrors(t *testing.T) {
+	m := detect.YOLOv4Sim()
+	cases := map[string]Ladder{
+		"empty":   {Name: "x"},
+		"unnamed": {Name: "x", Tiers: []Tier{{Setting: degrade.Setting{SampleFraction: 0.1}}}},
+		"duplicate": {Name: "x", Tiers: []Tier{
+			{Name: "a", Setting: degrade.Setting{SampleFraction: 0.1}},
+			{Name: "a", Setting: degrade.Setting{SampleFraction: 0.1}},
+		}},
+		"invalid tier": {Name: "x", Tiers: []Tier{
+			{Name: "a", Setting: degrade.Setting{SampleFraction: 0.1, MotionBlur: scene.MaxBlurLen + 2}},
+		}},
+	}
+	for name, l := range cases {
+		if l.Validate(m) == nil {
+			t.Errorf("%s: invalid ladder accepted", name)
+		}
+	}
+}
+
+// TestBuildLadderDeterministicPlans: tier randomness is keyed by tier
+// index, so rebuilding yields identical frame samples, and units dedup
+// tiers sharing a (view, resolution) pair.
+func TestBuildLadderDeterministic(t *testing.T) {
+	v := dataset.MustLoad("small")
+	m := detect.YOLOv4Sim()
+	l := DefaultLadder(m)
+	build := func() *LadderPlan {
+		lp, err := BuildLadder(context.Background(), v, m, l, stats.NewStream(11))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lp
+	}
+	a, b := build(), build()
+	if len(a.Tasks) != len(l.Tiers) {
+		t.Fatalf("%d tasks for %d tiers", len(a.Tasks), len(l.Tiers))
+	}
+	for i := range a.Tasks {
+		pa, pb := a.Tasks[i].Plan, b.Tasks[i].Plan
+		if (pa == nil) != (pb == nil) {
+			t.Fatalf("tier %d feasibility differs across builds", i)
+		}
+		if pa == nil {
+			continue
+		}
+		if len(pa.Sampled) != len(pb.Sampled) {
+			t.Fatalf("tier %d sample size differs", i)
+		}
+		for j := range pa.Sampled {
+			if pa.Sampled[j] != pb.Sampled[j] {
+				t.Fatalf("tier %d frame sample not deterministic", i)
+			}
+		}
+	}
+}
+
+func TestLadderUnitsDedup(t *testing.T) {
+	v := dataset.MustLoad("small")
+	m := detect.YOLOv4Sim()
+	// Two tiers share (clean view, native resolution); the third has its
+	// own blurred view. Expect exactly two units, and the shared unit's
+	// frames to be the union of both tiers' samples.
+	l := Ladder{Name: "t", Tiers: []Tier{
+		{Name: "a", Setting: degrade.Setting{SampleFraction: 0.3}},
+		{Name: "b", Setting: degrade.Setting{SampleFraction: 0.1}},
+		{Name: "c", Setting: degrade.Setting{SampleFraction: 0.05, MotionBlur: 7}},
+	}}
+	lp, err := BuildLadder(context.Background(), v, m, l, stats.NewStream(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := lp.Units()
+	if len(units) != 2 {
+		t.Fatalf("%d units, want 2 (shared clean view + blurred view)", len(units))
+	}
+	want := map[int]struct{}{}
+	for _, task := range lp.Tasks[:2] {
+		for _, f := range task.Plan.Sampled {
+			want[f] = struct{}{}
+		}
+	}
+	if len(units[0].Frames) != len(want) {
+		t.Fatalf("shared unit has %d frames, want union of %d", len(units[0].Frames), len(want))
+	}
+	for _, f := range units[0].Frames {
+		if _, ok := want[f]; !ok {
+			t.Fatalf("unit frame %d not in any tier sample", f)
+		}
+	}
+	if units[1].Setting.MotionBlur != 7 {
+		t.Fatalf("blurred unit setting = %+v", units[1].Setting)
+	}
+	if units[1].Setting.SampleFraction != 0 || units[1].Setting.Resolution != 0 {
+		t.Fatal("unit setting leaked frame-choice axes")
+	}
+}

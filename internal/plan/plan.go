@@ -28,9 +28,12 @@ import (
 // sweep. Fractions must be validated (non-empty, ascending) by the caller;
 // BuildSweep materialises plans only for feasible fractions.
 type SweepSpec struct {
-	Fractions  []float64
-	Resolution int // 0 means the model's native input
-	Restricted []scene.Class
+	Fractions []float64
+	// Base freezes every non-sampling intervention axis of the sweep —
+	// resolution, removal, and the pixel axes (noise, blur, quantization,
+	// occlusion) — via the degrade axis registry. Its SampleFraction is
+	// ignored; each task takes its fraction from Fractions.
+	Base degrade.Setting
 }
 
 // Task is one planned profile-point evaluation: the estimator input is
@@ -70,16 +73,13 @@ func (s *Sweep) Frames() []int {
 func BuildSweep(ctx context.Context, v *scene.Video, m *detect.Model, spec SweepSpec, stream *stats.Stream) (*Sweep, error) {
 	defer PlanTimer()()
 
-	admissible, err := degrade.AdmissibleFramesCtx(ctx, v, spec.Restricted)
+	admissible, err := degrade.AdmissibleFramesCtx(ctx, v, spec.Base.Restricted)
 	if err != nil {
 		return nil, err
 	}
 	perm := stream.Perm(len(admissible))
-	base := degrade.Setting{
-		SampleFraction: spec.Fractions[0],
-		Resolution:     spec.Resolution,
-		Restricted:     spec.Restricted,
-	}
+	base := spec.Base
+	base.SampleFraction = spec.Fractions[0]
 	resolution := base.ResolveResolution(m)
 	n := v.NumFrames()
 
@@ -96,8 +96,10 @@ func BuildSweep(ctx context.Context, v *scene.Video, m *detect.Model, spec Sweep
 		if want > len(admissible) {
 			break // remaining (larger) fractions are infeasible too
 		}
+		setting := spec.Base
+		setting.SampleFraction = f
 		p := &degrade.Plan{
-			Setting:    degrade.Setting{SampleFraction: f, Resolution: spec.Resolution, Restricted: spec.Restricted},
+			Setting:    setting,
 			Resolution: resolution,
 			Admissible: admissible,
 			Total:      n,
@@ -143,9 +145,11 @@ func BuildHypercube(ctx context.Context, v *scene.Video, m *detect.Model, fracti
 	for ci := range h.Combos {
 		for ri := range h.Resolutions {
 			sw, err := BuildSweep(ctx, v, m, SweepSpec{
-				Fractions:  fractions,
-				Resolution: h.Resolutions[ri],
-				Restricted: h.Combos[ci],
+				Fractions: fractions,
+				Base: degrade.Setting{
+					Resolution: h.Resolutions[ri],
+					Restricted: h.Combos[ci],
+				},
 			}, stream.ChildN(uint64(ci), uint64(ri)))
 			if err != nil {
 				return nil, err

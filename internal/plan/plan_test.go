@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"smokescreen/internal/dataset"
+	"smokescreen/internal/degrade"
 	"smokescreen/internal/detect"
 	"smokescreen/internal/scene"
 	"smokescreen/internal/stats"
@@ -115,8 +116,8 @@ func TestBuildSweepInfeasibleFractions(t *testing.T) {
 	// The small corpus is dense daytime traffic: restricting "person"
 	// leaves a small admissible pool, so large fractions are infeasible.
 	sw, err := BuildSweep(context.Background(), v, m, SweepSpec{
-		Fractions:  []float64{0.01, 0.9},
-		Restricted: []scene.Class{scene.Person},
+		Fractions: []float64{0.01, 0.9},
+		Base:      degrade.Setting{Restricted: []scene.Class{scene.Person}},
 	}, stats.NewStream(1))
 	if err != nil {
 		t.Fatal(err)
@@ -150,9 +151,11 @@ func TestBuildHypercubeCellStreams(t *testing.T) {
 		for ri := range h.Resolutions {
 			cell := h.CellAt(ci, ri)
 			want, err := BuildSweep(context.Background(), v, m, SweepSpec{
-				Fractions:  fractions,
-				Resolution: h.Resolutions[ri],
-				Restricted: h.Combos[ci],
+				Fractions: fractions,
+				Base: degrade.Setting{
+					Resolution: h.Resolutions[ri],
+					Restricted: h.Combos[ci],
+				},
 			}, stream.ChildN(uint64(ci), uint64(ri)))
 			if err != nil {
 				t.Fatal(err)
@@ -236,8 +239,8 @@ func TestBuildSweepCancelled(t *testing.T) {
 	detect.ResetCaches()
 	t.Cleanup(detect.ResetCaches)
 	_, err := BuildSweep(ctx, v, m, SweepSpec{
-		Fractions:  []float64{0.01},
-		Restricted: []scene.Class{scene.Face},
+		Fractions: []float64{0.01},
+		Base:      degrade.Setting{Restricted: []scene.Class{scene.Face}},
 	}, stats.NewStream(1))
 	if err == nil {
 		t.Fatal("cancelled planning should fail (presence protocol runs under ctx)")

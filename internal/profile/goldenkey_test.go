@@ -1,0 +1,107 @@
+package profile
+
+import (
+	"testing"
+
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/estimate"
+	"smokescreen/internal/scene"
+)
+
+// TestCanonicalKeyGolden pins the canonical keys of two representative
+// legacy (noise-only) profile families to the exact digests the pre-axis-
+// registry encoder produced. The axis registry's key emission must keep
+// these byte-for-byte: stored fleet artifacts are content-addressed by
+// them, and a silent change would orphan every archived profile. Never
+// update these constants to make the test pass — fix the encoder.
+func TestCanonicalKeyGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		spec KeySpec
+		want string
+	}{
+		{
+			name: "defaults",
+			spec: KeySpec{
+				VideoName:  "night-street",
+				FrameCount: 10800,
+				ModelName:  "mask-rcnn",
+				Query:      "SELECT AVG(count(car)) FROM night-street USING mask-rcnn SAMPLE 0.01",
+				Family: Family{
+					Fractions: []float64{0.01, 0.02, 0.05},
+				},
+				Params: estimate.Params{Delta: 0.05, R: 0.99},
+				Seed:   1,
+			},
+			want: "531d9ddb6d4901e64cf16bbc2abc88c403e7c91a6c5f5cfebf47d051e69144d3",
+		},
+		{
+			name: "all-legacy-axes",
+			spec: KeySpec{
+				VideoName:  "night-street",
+				FrameCount: 10800,
+				ModelName:  "mask-rcnn",
+				Query:      "SELECT MAX(count(car)) FROM ua-detrac USING yolov4 RESOLUTION 320 REMOVE person,face NOISE 0.1",
+				Family: Family{
+					Fractions: []float64{0.01, 0.02, 0.05},
+					Setting: degrade.Setting{
+						Resolution: 320,
+						Restricted: []scene.Class{scene.Person, scene.Face},
+						NoiseSigma: 0.1,
+					},
+					EarlyStopDelta: 0.005,
+				},
+				Params: estimate.Params{Delta: 0.05, R: 0.99},
+				Seed:   1,
+			},
+			want: "b8c7d9d405541738df21ac978363281c24f4b74e5a8ec322e99ecd58cf365da4",
+		},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.CanonicalKey(); got != tc.want {
+			t.Errorf("%s: canonical key drifted:\n got  %s\n want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCanonicalKeyNewAxesExtend checks the other half of the
+// compatibility contract: activating a new axis (blur, quantization,
+// occlusion) or naming a ladder extends the hash input, so the key
+// changes — distinct artifacts never share an address.
+func TestCanonicalKeyNewAxesExtend(t *testing.T) {
+	base := KeySpec{
+		VideoName:  "small",
+		FrameCount: 1200,
+		ModelName:  "yolov4",
+		Query:      "SELECT AVG(count(car)) FROM small",
+		Family:     Family{Fractions: []float64{0.02, 0.05}},
+		Params:     estimate.Params{Delta: 0.05, R: 0.99},
+		Seed:       1,
+	}
+	key := base.CanonicalKey()
+	seen := map[string]string{"base": key}
+	variants := map[string]func(*KeySpec){
+		"blur":      func(k *KeySpec) { k.Family.Setting.MotionBlur = 7 },
+		"quantize":  func(k *KeySpec) { k.Family.Setting.Quantize = 32 },
+		"occlusion": func(k *KeySpec) { k.Family.Setting.Occlusion = 0.2 },
+		"ladder":    func(k *KeySpec) { k.Ladder = "default" },
+	}
+	for name, mutate := range variants {
+		changed := base
+		mutate(&changed)
+		got := changed.CanonicalKey()
+		for other, prev := range seen {
+			if got == prev {
+				t.Errorf("activating %s collides with %s key", name, other)
+			}
+		}
+		seen[name] = got
+	}
+	// Inactive new axes must hash to the legacy bytes: the zero values of
+	// blur/quantize/occlusion emit nothing.
+	inert := base
+	inert.Family.Setting.MotionBlur = 1 // identity blur renders nothing
+	if inert.CanonicalKey() != key {
+		t.Error("identity blur changed the key; legacy settings must hash unchanged")
+	}
+}

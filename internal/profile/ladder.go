@@ -1,0 +1,112 @@
+package profile
+
+import (
+	"context"
+	"fmt"
+
+	"smokescreen/internal/degrade"
+	"smokescreen/internal/estimate"
+	"smokescreen/internal/outputs"
+	"smokescreen/internal/parallel"
+	"smokescreen/internal/plan"
+	"smokescreen/internal/stats"
+)
+
+// LadderOptions configures fidelity-ladder profile generation.
+type LadderOptions struct {
+	// Correction repairs the bounds of non-random tiers (and tightens the
+	// random-only ones). Required whenever any feasible tier carries a
+	// non-random axis — which every built-in ladder does past its first
+	// rung.
+	Correction *estimate.Correction
+	// Parallelism bounds the worker goroutines that materialise work units
+	// and estimate tiers concurrently: 1 is sequential, 0 or negative means
+	// one worker per CPU. Tier randomness derives from tier indices at plan
+	// time and every estimate is a pure function of its plan and the stored
+	// detector columns, so the profile is bit-for-bit identical at any
+	// worker count.
+	Parallelism int
+}
+
+// GenerateLadder produces a fidelity-ladder profile: one tradeoff point
+// per tier, loosest first.
+func GenerateLadder(spec *Spec, l plan.Ladder, opts LadderOptions, stream *stats.Stream) (*Profile, error) {
+	return GenerateLadderCtx(context.Background(), spec, l, opts, stream)
+}
+
+// GenerateLadderCtx runs the plan/execute pipeline over a fidelity
+// ladder. Planning validates the ladder (monotonicity included) and
+// materialises a degradation plan per feasible tier; the detect stage
+// dedups the tiers' detector work by (corpus view, resolution) — tiers
+// observing the same pixel view at the same input size are evaluated once
+// — and fills the column store; the estimate stage then computes each
+// tier's bound from stored columns, repairing non-random tiers with the
+// correction set. Infeasible tiers (sample exceeding the admissible pool)
+// are absent from the profile rather than failing it.
+func GenerateLadderCtx(ctx context.Context, spec *Spec, l plan.Ladder, opts LadderOptions, stream *stats.Stream) (*Profile, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	lp, err := plan.BuildLadder(ctx, spec.Video, spec.Model, l, stream)
+	if err != nil {
+		return nil, err
+	}
+	var tasks []plan.LadderTask
+	needsRepair := false
+	for _, task := range lp.Tasks {
+		if task.Plan == nil {
+			continue
+		}
+		tasks = append(tasks, task)
+		if !task.Tier.Setting.IsRandomOnly(spec.Model) {
+			needsRepair = true
+		}
+	}
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("profile: ladder %q has no feasible tier on %s", l.Name, spec.Video.Config.Name)
+	}
+	if needsRepair && opts.Correction == nil {
+		return nil, fmt.Errorf("profile: ladder %q has non-random tiers; a correction set is required for sound bounds", l.Name)
+	}
+
+	// Detect stage: materialise the deduplicated (view, resolution) work
+	// units. Each unit targets the corpus as its tiers observe it, so the
+	// estimate stage's column reads hit the columns built here.
+	units := lp.Units()
+	stopDetect := plan.DetectTimer()
+	err = parallel.ForCtx(ctx, len(units), opts.Parallelism, func(i int) error {
+		effective := degrade.EffectiveVideo(spec.Video, units[i].Setting)
+		return outputs.Ensure(ctx, effective, spec.Model, spec.Class, units[i].Resolution, units[i].Frames)
+	})
+	stopDetect()
+	if err != nil {
+		return nil, err
+	}
+
+	prof := &Profile{
+		VideoName: spec.Video.Config.Name,
+		ModelName: spec.Model.Name,
+		Class:     spec.Class,
+		Agg:       spec.Agg,
+	}
+	stopEstimate := plan.EstimateTimer()
+	points, err := parallel.MapCtx(ctx, len(tasks), parallel.Workers(opts.Parallelism), func(i int) (Point, error) {
+		task := tasks[i]
+		est, err := spec.estimatePlan(ctx, task.Plan, opts.Correction)
+		if err != nil {
+			return Point{}, fmt.Errorf("profile: ladder %q tier %q: %w", l.Name, task.Tier.Name, err)
+		}
+		return Point{
+			Setting:  task.Plan.Setting,
+			Estimate: est,
+			Repaired: opts.Correction != nil && !task.Tier.Setting.IsRandomOnly(spec.Model),
+			Tier:     task.Tier.Name,
+		}, nil
+	})
+	stopEstimate()
+	if err != nil {
+		return nil, err
+	}
+	prof.Points = points
+	return prof, nil
+}

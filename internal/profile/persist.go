@@ -7,7 +7,6 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
 	"strconv"
 
 	"smokescreen/internal/degrade"
@@ -54,6 +53,10 @@ type KeySpec struct {
 	Query string
 	// Family describes the intervention axis the profile sweeps.
 	Family Family
+	// Ladder names the fidelity ladder when the artifact is a ladder
+	// profile ("" for a fraction sweep; the empty name does not hash, so
+	// legacy sweep keys are unchanged).
+	Ladder string
 	// Params are the estimator knobs (risk delta, extreme quantile r).
 	Params estimate.Params
 	// Seed is the root randomness seed.
@@ -63,10 +66,13 @@ type KeySpec struct {
 // Family is the intervention family of a profile: the swept fractions and
 // the fixed non-sampling axes.
 type Family struct {
-	Fractions      []float64
-	Resolution     int
-	Restricted     []scene.Class
-	NoiseSigma     float64
+	Fractions []float64
+	// Setting fixes the non-sampling axes (resolution, removal, noise,
+	// blur, quantization, occlusion); its SampleFraction is ignored. The
+	// degrade axis registry renders its canonical key fields, emitting the
+	// newer axes only when active so legacy noise-only families keep their
+	// stored keys.
+	Setting        degrade.Setting
 	EarlyStopDelta float64
 }
 
@@ -93,16 +99,16 @@ func (k KeySpec) CanonicalKey() string {
 	for _, f := range fracs {
 		field("fraction", f)
 	}
-	field("resolution", strconv.Itoa(k.Family.Resolution))
-	restricted := make([]string, len(k.Family.Restricted))
-	for i, c := range k.Family.Restricted {
-		restricted[i] = c.String()
+	// The non-sampling axes emit through the degrade axis registry in its
+	// canonical order: the legacy axes (resolution, sorted restricted,
+	// noise) always — reproducing stored PR 8 keys byte-for-byte — and the
+	// newer axes only when active.
+	for _, kf := range k.Family.Setting.KeyFields() {
+		field(kf.Label, kf.Value)
 	}
-	sort.Strings(restricted)
-	for _, name := range restricted {
-		field("restricted", name)
+	if k.Ladder != "" {
+		field("ladder", k.Ladder)
 	}
-	field("noise", strconv.FormatFloat(k.Family.NoiseSigma, 'g', -1, 64))
 	field("earlystop", strconv.FormatFloat(k.Family.EarlyStopDelta, 'g', -1, 64))
 	field("delta", strconv.FormatFloat(k.Params.Delta, 'g', -1, 64))
 	field("r", strconv.FormatFloat(k.Params.R, 'g', -1, 64))
@@ -226,11 +232,15 @@ type persistedPoint struct {
 	Resolution int      `json:"resolution,omitempty"`
 	Restricted []string `json:"restricted,omitempty"`
 	Noise      float64  `json:"noise,omitempty"`
+	Blur       int      `json:"blur,omitempty"`
+	Quantize   int      `json:"quantize,omitempty"`
+	Occlusion  float64  `json:"occlusion,omitempty"`
 	Value      float64  `json:"value"`
 	ErrBound   float64  `json:"err_bound"`
 	Sample     int      `json:"sample"`
 	N          int      `json:"n"`
 	Repaired   bool     `json:"repaired,omitempty"`
+	Tier       string   `json:"tier,omitempty"`
 }
 
 // SaveProfile writes a profile as indented JSON.
@@ -247,11 +257,15 @@ func SaveProfile(w io.Writer, p *Profile) error {
 			Fraction:   pt.Setting.SampleFraction,
 			Resolution: pt.Setting.Resolution,
 			Noise:      pt.Setting.NoiseSigma,
+			Blur:       pt.Setting.MotionBlur,
+			Quantize:   pt.Setting.Quantize,
+			Occlusion:  pt.Setting.Occlusion,
 			Value:      pt.Estimate.Value,
 			ErrBound:   pt.Estimate.ErrBound,
 			Sample:     pt.Estimate.Sample,
 			N:          pt.Estimate.N,
 			Repaired:   pt.Repaired,
+			Tier:       pt.Tier,
 		}
 		for _, c := range pt.Setting.Restricted {
 			pp.Restricted = append(pp.Restricted, c.String())
@@ -286,6 +300,9 @@ func LoadProfile(r io.Reader) (*Profile, error) {
 			SampleFraction: pp.Fraction,
 			Resolution:     pp.Resolution,
 			NoiseSigma:     pp.Noise,
+			MotionBlur:     pp.Blur,
+			Quantize:       pp.Quantize,
+			Occlusion:      pp.Occlusion,
 		}
 		for _, name := range pp.Restricted {
 			c, err := scene.ParseClass(name)
@@ -303,6 +320,7 @@ func LoadProfile(r io.Reader) (*Profile, error) {
 				N:        pp.N,
 			},
 			Repaired: pp.Repaired,
+			Tier:     pp.Tier,
 		})
 	}
 	return p, nil

@@ -131,9 +131,11 @@ func TestCanonicalKeyStable(t *testing.T) {
 		ModelName:  "yolov4",
 		Query:      "SELECT AVG(count(car)) FROM small",
 		Family: Family{
-			Fractions:  []float64{0.02, 0.05, 0.1},
-			Resolution: 320,
-			Restricted: []scene.Class{scene.Person, scene.Face},
+			Fractions: []float64{0.02, 0.05, 0.1},
+			Setting: degrade.Setting{
+				Resolution: 320,
+				Restricted: []scene.Class{scene.Person, scene.Face},
+			},
 		},
 		Params: estimate.Params{Delta: 0.05, R: 0.99},
 		Seed:   1,
@@ -149,7 +151,7 @@ func TestCanonicalKeyStable(t *testing.T) {
 	// Restricted-class order must not matter: the set, not the slice, is
 	// part of the artifact's identity.
 	reordered := spec
-	reordered.Family.Restricted = []scene.Class{scene.Face, scene.Person}
+	reordered.Family.Setting.Restricted = []scene.Class{scene.Face, scene.Person}
 	if reordered.CanonicalKey() != key {
 		t.Fatal("key depends on restricted-class order")
 	}
@@ -162,9 +164,11 @@ func TestCanonicalKeyStable(t *testing.T) {
 		"query":  func(k *KeySpec) { k.Query = "SELECT AVG(count(car)) FROM small" },
 		"family": func(k *KeySpec) {
 			k.Family = Family{
-				Fractions:  []float64{0.02, 0.05, 0.1},
-				Resolution: 320,
-				Restricted: []scene.Class{scene.Person, scene.Face},
+				Fractions: []float64{0.02, 0.05, 0.1},
+				Setting: degrade.Setting{
+					Resolution: 320,
+					Restricted: []scene.Class{scene.Person, scene.Face},
+				},
 			}
 		},
 		"params": func(k *KeySpec) { k.Params = estimate.Params{Delta: 0.05, R: 0.99} },
@@ -186,9 +190,11 @@ func TestCanonicalKeySensitivity(t *testing.T) {
 		ModelName:  "yolov4",
 		Query:      "SELECT AVG(count(car)) FROM small",
 		Family: Family{
-			Fractions:  []float64{0.02, 0.05},
-			Resolution: 320,
-			Restricted: []scene.Class{scene.Person},
+			Fractions: []float64{0.02, 0.05},
+			Setting: degrade.Setting{
+				Resolution: 320,
+				Restricted: []scene.Class{scene.Person},
+			},
 		},
 		Params: estimate.Params{Delta: 0.05, R: 0.99},
 		Seed:   1,
@@ -200,9 +206,13 @@ func TestCanonicalKeySensitivity(t *testing.T) {
 		"model":      func(k *KeySpec) { k.ModelName = "mask-rcnn" },
 		"query":      func(k *KeySpec) { k.Query = "SELECT SUM(count(car)) FROM small" },
 		"fractions":  func(k *KeySpec) { k.Family.Fractions = []float64{0.02, 0.06} },
-		"resolution": func(k *KeySpec) { k.Family.Resolution = 160 },
-		"restricted": func(k *KeySpec) { k.Family.Restricted = []scene.Class{scene.Face} },
-		"noise":      func(k *KeySpec) { k.Family.NoiseSigma = 0.1 },
+		"resolution": func(k *KeySpec) { k.Family.Setting.Resolution = 160 },
+		"restricted": func(k *KeySpec) { k.Family.Setting.Restricted = []scene.Class{scene.Face} },
+		"noise":      func(k *KeySpec) { k.Family.Setting.NoiseSigma = 0.1 },
+		"blur":       func(k *KeySpec) { k.Family.Setting.MotionBlur = 7 },
+		"quantize":   func(k *KeySpec) { k.Family.Setting.Quantize = 32 },
+		"occlusion":  func(k *KeySpec) { k.Family.Setting.Occlusion = 0.2 },
+		"ladder":     func(k *KeySpec) { k.Ladder = "default" },
 		"earlystop":  func(k *KeySpec) { k.Family.EarlyStopDelta = 0.01 },
 		"delta":      func(k *KeySpec) { k.Params.Delta = 0.1 },
 		"r":          func(k *KeySpec) { k.Params.R = 0.95 },
@@ -212,7 +222,7 @@ func TestCanonicalKeySensitivity(t *testing.T) {
 		changed := base
 		// Deep-copy the slices the mutation may share with base.
 		changed.Family.Fractions = append([]float64(nil), base.Family.Fractions...)
-		changed.Family.Restricted = append([]scene.Class(nil), base.Family.Restricted...)
+		changed.Family.Setting.Restricted = append([]scene.Class(nil), base.Family.Setting.Restricted...)
 		mutate(&changed)
 		if changed.CanonicalKey() == key {
 			t.Errorf("mutating %s did not change the key", name)

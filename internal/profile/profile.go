@@ -207,7 +207,8 @@ func (s *Spec) UncorrectedEstimate(setting degrade.Setting, stream *stats.Stream
 type Point struct {
 	Setting  degrade.Setting
 	Estimate estimate.Estimate
-	Repaired bool // bound produced by profile repair
+	Repaired bool   // bound produced by profile repair
+	Tier     string // ladder tier name, when the point is a ladder rung
 }
 
 // Profile is a tradeoff curve: error bounds across one axis of the

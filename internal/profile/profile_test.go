@@ -305,7 +305,7 @@ func TestSweepFractionsValidation(t *testing.T) {
 	if _, err := SweepFractions(s, SweepOptions{Fractions: []float64{0.2, 0.1}}, stats.NewStream(1)); err == nil {
 		t.Fatal("descending fractions accepted")
 	}
-	if _, err := SweepFractions(s, SweepOptions{Fractions: []float64{0.1}, Resolution: 96}, stats.NewStream(1)); err == nil {
+	if _, err := SweepFractions(s, SweepOptions{Fractions: []float64{0.1}, Setting: degrade.Setting{Resolution: 96}}, stats.NewStream(1)); err == nil {
 		t.Fatal("non-random sweep without correction accepted")
 	}
 }

@@ -18,11 +18,12 @@ import (
 type SweepOptions struct {
 	// Fractions to evaluate, ascending. Required.
 	Fractions []float64
-	// Resolution and Restricted fix the non-sampling axes of the sweep.
-	Resolution int
-	Restricted []scene.Class
+	// Setting fixes the non-sampling axes of the sweep — resolution,
+	// removal, and the pixel axes (noise, blur, quantization, occlusion)
+	// — via the degrade axis registry. Its SampleFraction is ignored.
+	Setting degrade.Setting
 	// Correction repairs bounds for non-random settings and tightens
-	// random ones. Required when Resolution or Restricted degrade.
+	// random ones. Required when any non-random axis degrades.
 	Correction *estimate.Correction
 	// EarlyStopDelta stops the sweep when the bound improves by less than
 	// this amount between consecutive fractions (the paper's early
@@ -65,11 +66,8 @@ func SweepFractionsCtx(ctx context.Context, spec *Spec, opts SweepOptions, strea
 			return nil, fmt.Errorf("profile: fractions must be ascending")
 		}
 	}
-	base := degrade.Setting{
-		SampleFraction: opts.Fractions[0],
-		Resolution:     opts.Resolution,
-		Restricted:     opts.Restricted,
-	}
+	base := opts.Setting
+	base.SampleFraction = opts.Fractions[0]
 	if err := base.Validate(spec.Model); err != nil {
 		return nil, err
 	}
@@ -78,9 +76,8 @@ func SweepFractionsCtx(ctx context.Context, spec *Spec, opts SweepOptions, strea
 	}
 
 	sw, err := plan.BuildSweep(ctx, spec.Video, spec.Model, plan.SweepSpec{
-		Fractions:  opts.Fractions,
-		Resolution: opts.Resolution,
-		Restricted: opts.Restricted,
+		Fractions: opts.Fractions,
+		Base:      opts.Setting,
 	}, stream)
 	if err != nil {
 		return nil, err
@@ -110,8 +107,12 @@ func (s *Spec) execSweep(ctx context.Context, sw *plan.Sweep, opts SweepOptions)
 	repaired := opts.Correction != nil && !sw.RandomOnly
 
 	if opts.EarlyStopDelta <= 0 {
+		// The detect stage targets the corpus as the sweep's setting
+		// observes it: for pixel-axis settings that is the cached view, so
+		// the estimate stage's column reads hit the columns built here.
+		effective := degrade.EffectiveVideo(s.Video, sw.Tasks[len(sw.Tasks)-1].Plan.Setting)
 		stopDetect := plan.DetectTimer()
-		err := outputs.Ensure(ctx, s.Video, s.Model, s.Class, sw.Resolution, sw.Frames())
+		err := outputs.Ensure(ctx, effective, s.Model, s.Class, sw.Resolution, sw.Frames())
 		stopDetect()
 		if err != nil {
 			return nil, err
@@ -270,9 +271,11 @@ func GenerateHypercubeCtx(ctx context.Context, spec *Spec, opts HypercubeOptions
 		}
 		if cell.Sweep != nil {
 			prof, err := spec.execSweep(ctx, cell.Sweep, SweepOptions{
-				Fractions:      opts.Fractions,
-				Resolution:     hp.Resolutions[cell.RI],
-				Restricted:     hp.Combos[cell.CI],
+				Fractions: opts.Fractions,
+				Setting: degrade.Setting{
+					Resolution: hp.Resolutions[cell.RI],
+					Restricted: hp.Combos[cell.CI],
+				},
 				Correction:     opts.Correction,
 				EarlyStopDelta: opts.EarlyStopDelta,
 				// The grid is the outer fan-out; keep each sweep sequential

@@ -8,6 +8,7 @@
 //	SELECT MAX(count(car)) FROM ua-detrac USING yolov4 QUANTILE 0.99
 //	SELECT AVG(count(car)) FROM small SAMPLE 0.2 REMOVE person,face
 //	SELECT AVG(count(car)) FROM small NOISE 0.1
+//	SELECT AVG(count(car)) FROM small BLUR 7 QUANTIZE 32 OCCLUDE 0.2
 //
 // Clauses may appear in any order after FROM. Keywords are
 // case-insensitive; dataset, model and class names are lowercase.
@@ -97,6 +98,15 @@ func (q *Query) String() string {
 	if q.Setting.NoiseSigma > 0 {
 		fmt.Fprintf(&b, " NOISE %g", q.Setting.NoiseSigma)
 	}
+	if q.Setting.MotionBlur > 1 {
+		fmt.Fprintf(&b, " BLUR %d", q.Setting.MotionBlur)
+	}
+	if q.Setting.Quantize >= 2 {
+		fmt.Fprintf(&b, " QUANTIZE %d", q.Setting.Quantize)
+	}
+	if q.Setting.Occlusion > 0 {
+		fmt.Fprintf(&b, " OCCLUDE %g", q.Setting.Occlusion)
+	}
 	return b.String()
 }
 
@@ -150,6 +160,25 @@ func Parse(input string) (*Query, error) {
 			q.Setting.NoiseSigma, err = p.nextFloat("noise sigma")
 			if err == nil && (q.Setting.NoiseSigma < 0 || q.Setting.NoiseSigma > 0.5) {
 				err = fmt.Errorf("query: noise sigma %v out of [0,0.5]", q.Setting.NoiseSigma)
+			}
+		case "BLUR":
+			var length float64
+			length, err = p.nextFloat("blur length")
+			q.Setting.MotionBlur = int(length)
+			if err == nil && (length != float64(q.Setting.MotionBlur) || q.Setting.MotionBlur < 0 || q.Setting.MotionBlur > scene.MaxBlurLen) {
+				err = fmt.Errorf("query: blur length %v not an integer in [0,%d]", length, scene.MaxBlurLen)
+			}
+		case "QUANTIZE":
+			var levels float64
+			levels, err = p.nextFloat("quantization levels")
+			q.Setting.Quantize = int(levels)
+			if err == nil && (levels != float64(q.Setting.Quantize) || q.Setting.Quantize < 2 || q.Setting.Quantize > 256) {
+				err = fmt.Errorf("query: quantization levels %v not an integer in [2,256]", levels)
+			}
+		case "OCCLUDE":
+			q.Setting.Occlusion, err = p.nextFloat("occlusion density")
+			if err == nil && (q.Setting.Occlusion < 0 || q.Setting.Occlusion > 0.5) {
+				err = fmt.Errorf("query: occlusion density %v out of [0,0.5]", q.Setting.Occlusion)
 			}
 		case "CONFIDENCE":
 			var pct float64

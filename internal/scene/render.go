@@ -4,9 +4,29 @@ import "smokescreen/internal/raster"
 
 // Background returns the static native-resolution background raster: a
 // vertical luminance gradient (sky-to-road), deterministic clutter texture,
-// and painted lane markings. The background is rendered once per Video and
-// cached; a static surveillance camera sees the same background every frame.
+// and painted lane markings — observed through the video's pixel view, so
+// that detector background subtraction cancels everything static (blur
+// smear of the markings, lens dirt, quantization bands) exactly as it
+// cancels the raw background on a base corpus. The raster is rendered once
+// per Video and cached; a static surveillance camera sees the same
+// background every frame.
 func (v *Video) Background() *raster.Image {
+	if !v.view.PixelTransforms() {
+		return v.rawBackground()
+	}
+	v.bgViewOnce.Do(func() {
+		raw := v.rawBackground()
+		img := raster.New(raw.W, raw.H)
+		full := raster.RectWH(0, 0, raw.W, raw.H)
+		v.applyViewInto(img, raw, full, full)
+		v.bgView = img
+		v.cachedBytes.Add(int64(len(img.Pix)) * 4)
+	})
+	return v.bgView
+}
+
+// rawBackground renders and caches the untransformed static background.
+func (v *Video) rawBackground() *raster.Image {
 	v.bgOnce.Do(func() {
 		cfg := &v.Config
 		img := raster.New(cfg.Width, cfg.Height)
@@ -24,6 +44,7 @@ func (v *Video) Background() *raster.Image {
 			}
 		}
 		v.bg = img
+		v.cachedBytes.Add(int64(len(img.Pix)) * 4)
 	})
 	return v.bg
 }
@@ -35,6 +56,7 @@ func (v *Video) Background() *raster.Image {
 func (v *Video) BackgroundIntegral() *raster.IntegralImage {
 	v.bgIntOnce.Do(func() {
 		v.bgInt = raster.Integral(v.Background())
+		v.cachedBytes.Add(int64((v.Config.Width + 1) * (v.Config.Height + 1) * 8))
 	})
 	return v.bgInt
 }
@@ -73,7 +95,29 @@ func (v *Video) clipRegion(region raster.Rect, who string) raster.Rect {
 }
 
 func (v *Video) renderRegionInto(img *raster.Image, i int, region raster.Rect) {
-	v.backgroundRegionInto(img, region)
+	if !v.view.PixelTransforms() {
+		v.rawRegionInto(img, i, region)
+		return
+	}
+	// Pixel-view path: render the raw composite over a horizontally padded
+	// source region (the blur window's reach, clipped to the frame), then
+	// apply the view transforms into the destination. The pad carries
+	// exactly the out-of-region pixels the blur can pull in, so the result
+	// is bit-identical however the frame is decomposed into regions.
+	left, right := v.view.blurReach()
+	src := region
+	src.MinX = max(src.MinX-left, 0)
+	src.MaxX = min(src.MaxX+right, v.Config.Width)
+	scratch := raster.GetScratch(src.W(), src.H())
+	v.rawRegionInto(scratch, i, src)
+	v.applyViewInto(img, scratch, region, src)
+	raster.PutScratch(scratch)
+}
+
+// rawRegionInto renders the untransformed composite (raw background plus
+// objects) of frame i over region into img.
+func (v *Video) rawRegionInto(img *raster.Image, i int, region raster.Rect) {
+	copyRegionRows(img, v.rawBackground(), region)
 	frame := v.Frame(i)
 	for idx := range frame.Objects {
 		obj := &frame.Objects[idx]
@@ -107,10 +151,15 @@ func (v *Video) BackgroundRegionInto(dst *raster.Image, region raster.Rect) {
 }
 
 func (v *Video) backgroundRegionInto(img *raster.Image, region raster.Rect) {
-	bg := v.Background()
+	copyRegionRows(img, v.Background(), region)
+}
+
+// copyRegionRows copies the native-coordinate region of src into img row
+// by row; img must be sized region.W() x region.H().
+func copyRegionRows(img, src *raster.Image, region raster.Rect) {
 	for y := 0; y < img.H; y++ {
-		srcRow := (region.MinY + y) * bg.W
-		copy(img.Pix[y*img.W:(y+1)*img.W], bg.Pix[srcRow+region.MinX:srcRow+region.MaxX])
+		srcRow := (region.MinY + y) * src.W
+		copy(img.Pix[y*img.W:(y+1)*img.W], src.Pix[srcRow+region.MinX:srcRow+region.MaxX])
 	}
 }
 

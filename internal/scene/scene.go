@@ -15,6 +15,7 @@ package scene
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"smokescreen/internal/raster"
 )
@@ -174,26 +175,36 @@ type Video struct {
 
 	frames []Frame
 
+	// view is the pixel-space transform vector this Video is observed
+	// through; the zero View for a base corpus. See view.go.
+	view View
+
 	bgOnce sync.Once
 	bg     *raster.Image
 
+	bgViewOnce sync.Once
+	bgView     *raster.Image
+
 	bgIntOnce sync.Once
 	bgInt     *raster.IntegralImage
+
+	occOnce sync.Once
+	occ     []bool
+
+	// cachedBytes accounts the lazily materialized rasters above, read by
+	// CachedRasterBytes for the detect cache statistics.
+	cachedBytes atomic.Int64
 }
 
 // WithNoise returns a view of the corpus captured with extra sensor noise
 // added on top of the scene's own: the noise-addition intervention the
 // paper lists alongside sampling, resolution and removal (Section 2.1).
-// The view shares the frame annotations; detectors treat it as a distinct
-// corpus (its outputs are cached separately), and the added noise degrades
-// detection through the same pixel pipeline as everything else.
+// It is shorthand for WithView with only ExtraNoise set.
 func (v *Video) WithNoise(extraSigma float32) *Video {
 	if extraSigma <= 0 {
 		return v
 	}
-	cfg := v.Config
-	cfg.Lighting.NoiseSigma += extraSigma
-	return &Video{Config: cfg, frames: v.frames}
+	return v.WithView(View{ExtraNoise: extraSigma})
 }
 
 // NewVideo wraps hand-built frame annotations in a Video. Generate is the

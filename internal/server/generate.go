@@ -3,16 +3,55 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
+	"strings"
 
 	"smokescreen/internal/core"
-	"smokescreen/internal/degrade"
 	"smokescreen/internal/plan"
 	"smokescreen/internal/profile"
 	"smokescreen/internal/query"
 	"smokescreen/internal/stats"
 )
+
+// UnknownFieldError reports a request body carrying a field this server
+// version does not know. Version skew across a fleet makes this a real
+// operational case — a newer client (or a newer node forwarding a request)
+// must get a diagnosable, typed rejection instead of a silently truncated
+// request that generates (and caches, content-addressed forever) the
+// wrong artifact.
+type UnknownFieldError struct {
+	Err error
+}
+
+func (e *UnknownFieldError) Error() string { return e.Err.Error() }
+func (e *UnknownFieldError) Unwrap() error { return e.Err }
+
+// DecodeGenRequest strictly decodes a profile-generation request:
+// unknown fields are a typed UnknownFieldError, and trailing garbage
+// after the JSON document is rejected. Every HTTP surface that accepts a
+// GenRequest (the single-node daemon and the fleet nodes) decodes through
+// this one function so skew behaves identically on every hop.
+func DecodeGenRequest(r io.Reader) (GenRequest, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var req GenRequest
+	if err := dec.Decode(&req); err != nil {
+		// encoding/json has no typed unknown-field error; the message
+		// prefix is its documented rendering.
+		if strings.Contains(err.Error(), "unknown field") {
+			return GenRequest{}, &UnknownFieldError{Err: fmt.Errorf("server: decoding request: %w", err)}
+		}
+		return GenRequest{}, fmt.Errorf("server: decoding request: %w", err)
+	}
+	var trailing struct{}
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return GenRequest{}, fmt.Errorf("server: decoding request: trailing data after JSON body")
+	}
+	return req, nil
+}
 
 // GenRequest is the wire form of a profile-generation request: the
 // analytical query plus the sweep and estimator knobs that shape the
@@ -31,6 +70,10 @@ type GenRequest struct {
 	MaxFraction float64 `json:"max_fraction,omitempty"`
 	// EarlyStop enables the paper's early stopping (0 = off).
 	EarlyStop float64 `json:"early_stop,omitempty"`
+	// Ladder names a fidelity ladder; when set the artifact is a ladder
+	// profile (one point per tier) instead of a fraction sweep, and the
+	// query's own intervention clauses must be empty — tiers carry them.
+	Ladder string `json:"ladder,omitempty"`
 	// Async asks POST /v1/profiles to return 202 with a job id instead of
 	// waiting for generation to finish.
 	Async bool `json:"async,omitempty"`
@@ -94,9 +137,6 @@ func (g *SystemGenerator) resolve(req GenRequest) (*query.Query, *profile.Spec, 
 	sort.Slice(q.Setting.Restricted, func(i, j int) bool {
 		return q.Setting.Restricted[i].String() < q.Setting.Restricted[j].String()
 	})
-	if q.Setting.NoiseSigma != 0 {
-		return nil, nil, nil, fmt.Errorf("server: NOISE queries are not supported by the profile service (fraction sweeps fix resolution and removal only)")
-	}
 	if req.Step <= 0 || req.MaxFraction <= 0 || req.MaxFraction > 1 || req.Step > req.MaxFraction {
 		return nil, nil, nil, fmt.Errorf("server: invalid sweep [step %v, max %v]", req.Step, req.MaxFraction)
 	}
@@ -104,6 +144,14 @@ func (g *SystemGenerator) resolve(req GenRequest) (*query.Query, *profile.Spec, 
 	spec, err := sys.Resolve(q)
 	if err != nil {
 		return nil, nil, nil, err
+	}
+	if req.Ladder != "" {
+		if _, err := plan.LadderByName(req.Ladder, spec.Model); err != nil {
+			return nil, nil, nil, err
+		}
+		if q.Setting.Resolution != 0 || len(q.Setting.Restricted) > 0 || q.Setting.ViewSpec() != "" {
+			return nil, nil, nil, fmt.Errorf("server: ladder requests take their intervention axes from the ladder's tiers; drop the query's RESOLUTION/REMOVE/NOISE/BLUR/QUANTIZE/OCCLUDE clauses")
+		}
 	}
 	return q, spec, plan.CandidateFractions(req.Step, req.MaxFraction), nil
 }
@@ -122,10 +170,10 @@ func (g *SystemGenerator) Key(req GenRequest) (string, string, error) {
 		Query:      q.String(),
 		Family: profile.Family{
 			Fractions:      fractions,
-			Resolution:     q.Setting.Resolution,
-			Restricted:     q.Setting.Restricted,
+			Setting:        q.Setting,
 			EarlyStopDelta: req.EarlyStop,
 		},
+		Ladder: req.Ladder,
 		Params: q.Params(),
 		Seed:   req.Seed,
 	}
@@ -147,17 +195,16 @@ func (g *SystemGenerator) Generate(ctx context.Context, req GenRequest) ([]byte,
 		limit = 0.2
 	}
 	sys := core.New(core.WithSeed(req.Seed), core.WithParallelism(g.Parallelism))
+	if req.Ladder != "" {
+		return g.generateLadder(ctx, sys, q, spec, req, limit)
+	}
 	opts := profile.SweepOptions{
 		Fractions:      fractions,
-		Resolution:     q.Setting.Resolution,
-		Restricted:     q.Setting.Restricted,
+		Setting:        q.Setting,
 		EarlyStopDelta: req.EarlyStop,
 	}
-	base := degrade.Setting{
-		SampleFraction: fractions[0],
-		Resolution:     q.Setting.Resolution,
-		Restricted:     q.Setting.Restricted,
-	}
+	base := q.Setting
+	base.SampleFraction = fractions[0]
 	if !base.IsRandomOnly(spec.Model) {
 		// Non-random axes need a correction set for sound bounds.
 		corr, err := profile.ConstructCorrectionCtx(ctx, spec, limit, stats.NewStream(req.Seed).Child(1))
@@ -179,6 +226,44 @@ func (g *SystemGenerator) Generate(ctx context.Context, req GenRequest) ([]byte,
 	if err := ctx.Err(); err != nil {
 		// Cancel raced the sweep's completion; drop the result rather than
 		// publish after the caller's deadline.
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := profile.SaveProfile(&buf, prof); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// generateLadder produces a ladder-profile payload: one point per tier of
+// the request's named ladder. A correction set is constructed when any
+// tier carries non-random axes (every built-in ladder does past its first
+// rung).
+func (g *SystemGenerator) generateLadder(ctx context.Context, sys *core.System, q *query.Query, spec *profile.Spec, req GenRequest, limit float64) ([]byte, error) {
+	ladder, err := plan.LadderByName(req.Ladder, spec.Model)
+	if err != nil {
+		return nil, err
+	}
+	opts := profile.LadderOptions{Parallelism: g.Parallelism}
+	for _, tier := range ladder.Tiers {
+		if tier.Setting.IsRandomOnly(spec.Model) {
+			continue
+		}
+		corr, err := profile.ConstructCorrectionCtx(ctx, spec, limit, stats.NewStream(req.Seed).Child(1))
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			return nil, fmt.Errorf("server: constructing correction set: %w", err)
+		}
+		opts.Correction = corr.Correction
+		break
+	}
+	prof, err := sys.LadderProfileCtx(ctx, q, ladder, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var buf bytes.Buffer

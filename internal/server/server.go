@@ -307,6 +307,13 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// writeErrorCode writes a JSON error body carrying a stable machine-
+// readable code alongside the human-readable message, for errors clients
+// are expected to branch on (e.g. version skew).
+func writeErrorCode(w http.ResponseWriter, status int, code string, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error(), "code": code})
+}
+
 // writeProfile serves stored profile JSON verbatim — every caller of the
 // same key receives byte-identical bytes.
 func (s *Server) writeProfile(w http.ResponseWriter, key string, payload []byte) {
@@ -338,9 +345,14 @@ func (s *Server) handleGetProfile(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePostProfile(w http.ResponseWriter, r *http.Request) {
-	var req GenRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("server: decoding request: %w", err))
+	req, err := DecodeGenRequest(r.Body)
+	if err != nil {
+		var unknown *UnknownFieldError
+		if errors.As(err, &unknown) {
+			writeErrorCode(w, http.StatusBadRequest, "unknown_field", err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if req.Query == "" {

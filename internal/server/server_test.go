@@ -328,6 +328,36 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestUnknownFieldRejected: version skew — a request with a field this
+// server version does not know gets a typed 400 ("unknown_field") rather
+// than a silently truncated decode that would cache the wrong artifact.
+func TestUnknownFieldRejected(t *testing.T) {
+	gen := &fakeGenerator{}
+	_, ts, _ := newTestServer(t, gen, nil)
+	body := `{"query":"SELECT AVG(count(car)) FROM small","ladder_rungs":4}`
+	resp, err := http.Post(ts.URL+"/v1/profiles", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var got struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != "unknown_field" {
+		t.Fatalf("code %q, want unknown_field (error %q)", got.Code, got.Error)
+	}
+	if !strings.Contains(got.Error, "ladder_rungs") {
+		t.Fatalf("error %q does not name the offending field", got.Error)
+	}
+}
+
 func TestDrainDuringInflightJob(t *testing.T) {
 	// SIGTERM mid-job (Drain is what the daemon's signal handler calls):
 	// the in-flight generation completes, its artifact lands in the store
@@ -616,9 +646,29 @@ func TestSystemGeneratorKeyCanonicalization(t *testing.T) {
 	if k5 == k1 {
 		t.Fatal("seed not part of the key")
 	}
-	// NOISE is rejected up front.
-	if _, _, err := gen.Key(GenRequest{Query: "SELECT AVG(count(car)) FROM small NOISE 0.1"}); err == nil {
-		t.Fatal("NOISE query accepted")
+	// Pixel-axis clauses are first-class: each produces its own artifact.
+	k6, _, err := gen.Key(GenRequest{Query: "SELECT AVG(count(car)) FROM small NOISE 0.1 BLUR 7 QUANTIZE 32 OCCLUDE 0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k6 == k1 {
+		t.Fatal("pixel-axis clauses not part of the key")
+	}
+	// A ladder request is a distinct artifact from the plain sweep, and an
+	// unknown ladder is rejected up front.
+	k7, _, err := gen.Key(GenRequest{Query: "SELECT AVG(count(car)) FROM small", Ladder: "default"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k7 == k1 {
+		t.Fatal("ladder not part of the key")
+	}
+	if _, _, err := gen.Key(GenRequest{Query: "SELECT AVG(count(car)) FROM small", Ladder: "nope"}); err == nil {
+		t.Fatal("unknown ladder accepted")
+	}
+	// Ladder requests reject per-query intervention clauses: tiers own them.
+	if _, _, err := gen.Key(GenRequest{Query: "SELECT AVG(count(car)) FROM small RESOLUTION 160", Ladder: "default"}); err == nil {
+		t.Fatal("ladder request with RESOLUTION clause accepted")
 	}
 }
 

@@ -25,11 +25,12 @@ run_stage lint       make lint
 run_stage test       make test
 run_stage test-race  make test-race
 run_stage fuzz-smoke make fuzz-smoke
-# One short-mode pass over the Figure 4 benchmarks: the pattern matches
-# both BenchmarkFigure4 (quantized + delta detection on) and
-# BenchmarkFigure4Baseline (both off), so each CI run exercises the A/B
-# accelerator configs end to end without paying full benchmark time.
-run_stage bench-smoke go test -run '^$' -bench 'Figure4' -benchtime=1x -short .
+# One short-mode pass over the Figure 4 and ladder benchmarks: the
+# pattern matches both accelerated variants (quantized + delta detection
+# on) and their Baseline twins (both off), so each CI run exercises the
+# A/B accelerator configs — including ladder-tier view generation — end
+# to end without paying full benchmark time.
+run_stage bench-smoke go test -run '^$' -bench 'Figure4|Ladder' -benchtime=1x -short .
 # Live streaming ingest end to end: camera -> daemon, windowed profiles,
 # mid-flight cancel, clean drain (scripts/stream_smoke.sh).
 run_stage stream-smoke make stream-smoke
