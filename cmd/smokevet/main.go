@@ -2,14 +2,18 @@
 // (internal/analysis) over a set of packages and reports findings in the
 // familiar file:line:col form. It is the `make lint` gate that turns the
 // codebase's load-bearing conventions — deterministic generation paths,
-// pooled-scratch hygiene, end-to-end context flow, atomic-only counters —
-// into mechanically enforced rules (DESIGN.md §10).
+// pooled-scratch hygiene, end-to-end context flow, atomic-only counters,
+// goroutine accounting, lock ordering, axis-registry exhaustiveness, and
+// error contracts — into mechanically enforced rules (DESIGN.md §10, §15).
 //
 // Usage:
 //
 //	go run ./cmd/smokevet ./...            # whole repo (what make lint runs)
 //	go run ./cmd/smokevet ./internal/raster/   # one package
 //	go run ./cmd/smokevet -a determinism ./internal/profile/
+//	go run ./cmd/smokevet -json ./...          # machine-readable findings
+//	go run ./cmd/smokevet -baseline lint-baseline.json ./...   # ratchet mode
+//	go run ./cmd/smokevet -write-baseline lint-baseline.json ./...
 //	go run ./cmd/smokevet -list
 //
 // smokevet is a standalone loader rather than a `go vet -vettool`
@@ -18,10 +22,12 @@
 // type-checks packages itself with the standard library. Findings are
 // suppressed line-by-line with `//smokevet:ignore <reason>` (optionally
 // `//smokevet:ignore <analyzer>: <reason>`); a suppression without a
-// reason is itself a finding.
+// reason is itself a finding, and a suppression that silences nothing is
+// reported as stale unless the audit is disabled with -audit=false.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,13 +36,27 @@ import (
 	"smokescreen/internal/analysis"
 )
 
+// jsonFinding is the -json wire form of one diagnostic.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	var (
-		list = flag.Bool("list", false, "list analyzers and exit")
-		only = flag.String("a", "", "comma-separated analyzer names to run (default all)")
+		list          = flag.Bool("list", false, "list analyzers and exit")
+		only          = flag.String("a", "", "comma-separated analyzer names to run (default all)")
+		verbose       = flag.Bool("v", false, "print per-analyzer timing to stderr")
+		jsonOut       = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		baselinePath  = flag.String("baseline", "", "ratchet mode: fail only on findings not in this baseline file")
+		writeBaseline = flag.String("write-baseline", "", "write the run's findings to this baseline file and exit clean")
+		audit         = flag.Bool("audit", true, "report stale smokevet:ignore suppressions (forced off with -a)")
 	)
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: smokevet [-list] [-a name,name] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: smokevet [-list] [-a name,name] [-v] [-json] [-baseline file | -write-baseline file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -63,6 +83,9 @@ func main() {
 			}
 			analyzers = append(analyzers, a)
 		}
+		// With a filtered roster every suppression for an excluded
+		// analyzer would look stale, so the audit only runs on full suites.
+		*audit = false
 	}
 
 	patterns := flag.Args()
@@ -74,16 +97,103 @@ func main() {
 		fmt.Fprintln(os.Stderr, "smokevet:", err)
 		os.Exit(2)
 	}
-	diags, err := analysis.Run(pkgs, analyzers)
+	res, err := analysis.RunSuite(pkgs, analyzers, analysis.RunOptions{AuditSuppressions: *audit})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "smokevet:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d.String())
+	diags := res.Diagnostics
+
+	if *verbose {
+		for _, t := range res.Timings {
+			fmt.Fprintf(os.Stderr, "smokevet: %-14s %8.1fms\n", t.Name, float64(t.Duration.Microseconds())/1000)
+		}
+	}
+
+	// Baseline paths are keyed relative to the working directory, which
+	// is the module root under `make lint-ratchet`.
+	root, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "smokevet:", err)
+		os.Exit(2)
+	}
+
+	if *writeBaseline != "" {
+		f, err := os.Create(*writeBaseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smokevet:", err)
+			os.Exit(2)
+		}
+		b := analysis.NewBaseline(root, diags)
+		if err := analysis.WriteBaseline(f, b); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smokevet:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "smokevet: wrote %d baseline entr%s (%d finding(s)) to %s\n",
+			len(b.Entries), plural(len(b.Entries), "y", "ies"), len(diags), *writeBaseline)
+		return
+	}
+
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smokevet:", err)
+			os.Exit(2)
+		}
+		b, err := analysis.LoadBaseline(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "smokevet:", err)
+			os.Exit(2)
+		}
+		fresh, stale := b.Apply(root, diags)
+		for _, e := range stale {
+			fmt.Fprintf(os.Stderr, "smokevet: stale baseline entry (%d unused): %s [%s] %s — regenerate with -write-baseline to ratchet down\n",
+				e.Count, e.File, e.Analyzer, e.Message)
+		}
+		diags = fresh
+	}
+
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "smokevet:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "smokevet: %d finding(s)\n", len(diags))
+		if *baselinePath != "" {
+			fmt.Fprintf(os.Stderr, "smokevet: %d finding(s) not in baseline %s\n", len(diags), *baselinePath)
+		} else {
+			fmt.Fprintf(os.Stderr, "smokevet: %d finding(s)\n", len(diags))
+		}
 		os.Exit(1)
 	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

@@ -54,32 +54,45 @@ func (r *FixtureResult) String() string {
 	return b.String()
 }
 
-// RunFixture loads the single package in dir and runs one analyzer over
-// it (bypassing the analyzer's package Match, so fixtures exercise the
-// check regardless of their synthetic import path), comparing findings
-// against the package's want comments.
+// RunFixture loads the fixture tree rooted at dir — the root package plus
+// any sub-package fixtures in immediate subdirectories — and runs one
+// analyzer over every package in dependency order (bypassing the
+// analyzer's package Match, so fixtures exercise the check regardless of
+// their synthetic import paths), comparing findings against the tree's
+// want comments. Facts flow between the tree's packages exactly as in a
+// real run, so cross-package rules are pinned by fixtures too.
 func RunFixture(l *Loader, a *Analyzer, dir string) (*FixtureResult, error) {
-	pkg, err := l.LoadDir(dir)
+	pkgs, err := l.LoadFixtureTree(dir)
 	if err != nil {
 		return nil, err
 	}
-	if len(pkg.TypeErrors) > 0 {
-		return nil, fmt.Errorf("fixture %s does not type-check: %v", dir, pkg.TypeErrors[0])
-	}
-	diags, err := runOne(pkg, a)
-	if err != nil {
+	facts := newFactStore()
+	if err := facts.register([]*Analyzer{a}); err != nil {
 		return nil, err
 	}
-	for _, pos := range pkg.Suppressions.malformed {
-		diags = append(diags, Diagnostic{
-			Analyzer: "smokevet",
-			Pos:      pkg.Fset.Position(pos),
-			Message:  "smokevet:ignore without a reason; write //smokevet:ignore <reason>",
-		})
-	}
-	expects, err := collectWants(pkg.Fset, pkg.Files)
-	if err != nil {
-		return nil, err
+	var diags []Diagnostic
+	var expects []*expectation
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			return nil, fmt.Errorf("fixture %s does not type-check: %v", pkg.Path, pkg.TypeErrors[0])
+		}
+		ds, err := runOne(pkg, a, facts)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+		for _, pos := range pkg.Suppressions.malformed {
+			diags = append(diags, Diagnostic{
+				Analyzer: "smokevet",
+				Pos:      pkg.Fset.Position(pos),
+				Message:  "smokevet:ignore without a reason; write //smokevet:ignore <reason>",
+			})
+		}
+		es, err := collectWants(pkg.Fset, pkg.Files)
+		if err != nil {
+			return nil, err
+		}
+		expects = append(expects, es...)
 	}
 
 	res := &FixtureResult{}

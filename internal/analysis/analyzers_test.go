@@ -25,6 +25,10 @@ func TestDeterminismFixture(t *testing.T)   { runFixtureTest(t, Determinism) }
 func TestPoolhygieneFixture(t *testing.T)   { runFixtureTest(t, Poolhygiene) }
 func TestCtxflowFixture(t *testing.T)       { runFixtureTest(t, Ctxflow) }
 func TestAtomiccounterFixture(t *testing.T) { runFixtureTest(t, Atomiccounter) }
+func TestGoroleakFixture(t *testing.T)      { runFixtureTest(t, Goroleak) }
+func TestLockorderFixture(t *testing.T)     { runFixtureTest(t, Lockorder) }
+func TestAxisregFixture(t *testing.T)       { runFixtureTest(t, Axisreg) }
+func TestErrcontractFixture(t *testing.T)   { runFixtureTest(t, Errcontract) }
 
 // TestFixturesDetectDisabledCheck pins the property the acceptance bar
 // depends on: a neutered analyzer (Run reports nothing) must FAIL its
@@ -46,7 +50,10 @@ func TestFixturesDetectDisabledCheck(t *testing.T) {
 // TestAnalyzersRegistered pins the suite roster: dropping an analyzer from
 // the registry would silently stop enforcing its invariant repo-wide.
 func TestAnalyzersRegistered(t *testing.T) {
-	want := map[string]bool{"determinism": true, "poolhygiene": true, "ctxflow": true, "atomiccounter": true}
+	want := map[string]bool{
+		"determinism": true, "poolhygiene": true, "ctxflow": true, "atomiccounter": true,
+		"goroleak": true, "lockorder": true, "axisreg": true, "errcontract": true,
+	}
 	got := Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Axisreg enforces the PR 9 registry contract: internal/degrade/axes.go
+// is the ONE place that knows which intervention axes exist. Every other
+// layer iterates the registry (Axes, ClauseFor, per-axis hooks) instead
+// of pattern-matching axis names or Setting fields — otherwise adding an
+// axis means auditing every switch in the repo, and the one you miss
+// silently treats the new axis as identity (the exact "derived signal
+// consumed far from its source" failure the registry was built to kill).
+//
+// Two patterns are flagged outside axes.go:
+//
+//  1. A switch whose cases name two or more axes as string literals
+//     (case-insensitively: "RESOLUTION", "noise", ...). One axis name is
+//     an honest special case; two is a hand-rolled registry copy that a
+//     new axis will not appear in.
+//  2. A function that reads three or more distinct axis fields of
+//     degrade.Setting (SampleFraction, Resolution, Restricted,
+//     NoiseSigma, MotionBlur, Quantize, Occlusion). Writes — assignment
+//     targets and composite literals — are exempt: constructing a
+//     Setting is normal; dispatching on its shape is the registry's job.
+//
+// The thresholds (2 literals, 3 fields) keep single-axis code paths —
+// "is the resolution axis active?" — out of scope: those are uses of an
+// axis, not enumerations of the axis vector.
+
+// axisNames are the canonical registry names (axes.go order).
+var axisNames = map[string]bool{
+	"fraction":   true,
+	"resolution": true,
+	"removal":    true,
+	"noise":      true,
+	"blur":       true,
+	"quantize":   true,
+	"occlusion":  true,
+}
+
+// axisFields are the Setting fields that carry one axis each.
+var axisFields = map[string]bool{
+	"SampleFraction": true,
+	"Resolution":     true,
+	"Restricted":     true,
+	"NoiseSigma":     true,
+	"MotionBlur":     true,
+	"Quantize":       true,
+	"Occlusion":      true,
+}
+
+// Axisreg is the registry-exhaustiveness analyzer.
+var Axisreg = &Analyzer{
+	Name: "axisreg",
+	Doc: "flag hand-rolled copies of the degradation-axis registry: switches over axis names " +
+		"and functions dispatching on 3+ Setting axis fields outside internal/degrade/axes.go",
+	Match: func(path string) bool {
+		return path == "smokescreen" || strings.HasPrefix(path, "smokescreen/") ||
+			strings.HasPrefix(path, "fixture/")
+	},
+	Run: runAxisreg,
+}
+
+func runAxisreg(pass *Pass) error {
+	for _, f := range pass.Files {
+		if filepath.Base(pass.Fset.Position(f.Pos()).Filename) == "axes.go" {
+			continue // the registry itself
+		}
+		checkAxisSwitches(pass, f)
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkAxisFieldFanout(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkAxisSwitches applies pattern 1 to one file.
+func checkAxisSwitches(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok {
+			return true
+		}
+		names := map[string]bool{}
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			for _, e := range cc.List {
+				lit, ok := ast.Unparen(e).(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					continue
+				}
+				if low := strings.ToLower(s); axisNames[low] {
+					names[low] = true
+				}
+			}
+		}
+		if len(names) >= 2 {
+			pass.Report(sw.Pos(),
+				"switch enumerates degradation axes by name (%s): iterate the degrade axis registry instead, so a new axis cannot be silently skipped",
+				joinSorted(names))
+		}
+		return true
+	})
+}
+
+// checkAxisFieldFanout applies pattern 2 to one declared function.
+func checkAxisFieldFanout(pass *Pass, fd *ast.FuncDecl) {
+	written := settingWrites(pass, fd)
+	read := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := settingAxisField(pass, sel)
+		if field == "" || written[sel] {
+			return true
+		}
+		read[field] = true
+		return true
+	})
+	if len(read) >= 3 {
+		pass.Report(fd.Name.Pos(),
+			"%s dispatches on %d Setting axis fields (%s): iterate the degrade axis registry instead of pattern-matching the axis vector",
+			fd.Name.Name, len(read), joinSorted(read))
+	}
+}
+
+// settingWrites collects the Setting-field selectors the function only
+// assigns to (including compound assignments and ++/--).
+func settingWrites(pass *Pass, fd *ast.FuncDecl) map[*ast.SelectorExpr]bool {
+	out := map[*ast.SelectorExpr]bool{}
+	mark := func(e ast.Expr) {
+		if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+			out[sel] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		}
+		return true
+	})
+	return out
+}
+
+// settingAxisField returns the axis-field name when sel selects one of
+// degrade.Setting's axis fields (fixture Settings — a type named Setting
+// in a fixture package — count too, so the analyzer's own fixtures work).
+func settingAxisField(pass *Pass, sel *ast.SelectorExpr) string {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	if !axisFields[s.Obj().Name()] {
+		return ""
+	}
+	t := s.Recv()
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	obj := named.Obj()
+	if obj.Name() != "Setting" || obj.Pkg() == nil {
+		return ""
+	}
+	path := obj.Pkg().Path()
+	if path != "smokescreen/internal/degrade" && !strings.HasPrefix(path, "fixture/") {
+		return ""
+	}
+	return s.Obj().Name()
+}
+
+func joinSorted(set map[string]bool) string {
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return strings.Join(out, ", ")
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"sort"
+)
+
+// Lint baseline: the ratchet that lets the smokevet gate tighten without
+// a flag-day cleanup. A baseline records the findings a repository has
+// accepted (for the moment); `smokevet -baseline lint-baseline.json`
+// fails only on findings NOT in the baseline, so new code is held to the
+// full standard while grandfathered debt neither blocks CI nor silently
+// grows. Shrinking the file is the only way its numbers move in CI —
+// hence "ratchet".
+//
+// Entries are keyed by (analyzer, root-relative file, message) with a
+// count, deliberately NOT by line number: unrelated edits shift lines
+// constantly, and a line-keyed baseline would misclassify every shifted
+// legacy finding as new. The message includes enough position-free
+// context (lock names, function names, field lists) to keep collisions
+// between distinct findings in one file rare; when two findings do
+// collide they share a count, which still ratchets — fixing one lowers
+// the observed count below the allowance only until the file is
+// regenerated.
+
+// baselineVersion guards the JSON schema.
+const baselineVersion = 1
+
+// BaselineEntry is one accepted finding class.
+type BaselineEntry struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string `json:"analyzer"`
+	// File is the finding's file as a slash-separated path relative to
+	// the module root, so the baseline is stable across checkouts.
+	File string `json:"file"`
+	// Message is the exact diagnostic message.
+	Message string `json:"message"`
+	// Count is how many findings with this key are accepted.
+	Count int `json:"count"`
+}
+
+// Baseline is the committed set of accepted findings.
+type Baseline struct {
+	Version int             `json:"version"`
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// baselineKey identifies a finding class.
+type baselineKey struct {
+	analyzer, file, message string
+}
+
+// relFile maps an absolute diagnostic filename to the baseline's
+// root-relative slash form. Filenames outside root (or already relative)
+// pass through in slash form rather than picking up ".." runs.
+func relFile(root, filename string) string {
+	if root != "" && filepath.IsAbs(filename) {
+		if rel, err := filepath.Rel(root, filename); err == nil && filepath.IsLocal(rel) {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(filename)
+}
+
+// NewBaseline folds a run's diagnostics into a baseline, keyed relative
+// to root. Entries are sorted so the artifact diffs cleanly.
+func NewBaseline(root string, diags []Diagnostic) *Baseline {
+	counts := map[baselineKey]int{}
+	for _, d := range diags {
+		counts[baselineKey{d.Analyzer, relFile(root, d.Pos.Filename), d.Message}]++
+	}
+	b := &Baseline{Version: baselineVersion, Entries: []BaselineEntry{}}
+	for k, n := range counts {
+		b.Entries = append(b.Entries, BaselineEntry{Analyzer: k.analyzer, File: k.file, Message: k.message, Count: n})
+	}
+	sort.Slice(b.Entries, func(i, j int) bool {
+		a, c := b.Entries[i], b.Entries[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Analyzer != c.Analyzer {
+			return a.Analyzer < c.Analyzer
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// WriteBaseline writes the baseline as indented JSON.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// LoadBaseline reads a baseline written by WriteBaseline.
+func LoadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("analysis: decoding baseline: %w", err)
+	}
+	if b.Version != baselineVersion {
+		return nil, fmt.Errorf("analysis: unsupported baseline version %d", b.Version)
+	}
+	return &b, nil
+}
+
+// Apply splits a run's diagnostics against the baseline: fresh holds the
+// findings exceeding their baseline allowance (these fail the gate), and
+// stale holds baseline entries whose allowance is no longer fully used
+// (the debt they grandfather has shrunk or vanished, so the committed
+// file should be regenerated to ratchet down). Within one key the
+// earliest diagnostics in position order consume the allowance; which of
+// several identical findings is called "new" is arbitrary anyway, and
+// taking the tail keeps the output stable.
+func (b *Baseline) Apply(root string, diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	allowance := map[baselineKey]int{}
+	for _, e := range b.Entries {
+		allowance[baselineKey{e.Analyzer, e.File, e.Message}] += e.Count
+	}
+	for _, d := range diags {
+		k := baselineKey{d.Analyzer, relFile(root, d.Pos.Filename), d.Message}
+		if allowance[k] > 0 {
+			allowance[k]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		k := baselineKey{e.Analyzer, e.File, e.Message}
+		if allowance[k] > 0 {
+			left := e.Count
+			if allowance[k] < left {
+				left = allowance[k]
+			}
+			stale = append(stale, BaselineEntry{Analyzer: e.Analyzer, File: e.File, Message: e.Message, Count: left})
+			allowance[k] -= left
+		}
+	}
+	return fresh, stale
+}

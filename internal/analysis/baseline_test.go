@@ -1,0 +1,110 @@
+package analysis
+
+import (
+	"bytes"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func diag(analyzer, file string, line int, msg string) Diagnostic {
+	return Diagnostic{
+		Analyzer: analyzer,
+		Pos:      token.Position{Filename: file, Line: line, Column: 1},
+		Message:  msg,
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		diag("goroleak", "/repo/internal/a/a.go", 10, "leaky"),
+		diag("goroleak", "/repo/internal/a/a.go", 40, "leaky"),
+		diag("axisreg", "/repo/internal/b/b.go", 5, "switchy"),
+	}
+	b := NewBaseline("/repo", diags)
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2 (duplicate messages fold into a count)", len(b.Entries))
+	}
+	var buf bytes.Buffer
+	if err := WriteBaseline(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBaseline(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("loaded entries = %d, want 2", len(got.Entries))
+	}
+	// Paths must be root-relative slash form, so the artifact is stable
+	// across checkout locations.
+	for _, e := range got.Entries {
+		if strings.HasPrefix(e.File, "/") {
+			t.Errorf("entry file %q is absolute, want root-relative", e.File)
+		}
+	}
+	if got.Entries[0].File != "internal/a/a.go" || got.Entries[0].Count != 2 {
+		t.Errorf("entry[0] = %+v, want internal/a/a.go count 2", got.Entries[0])
+	}
+}
+
+func TestBaselineVersionGuard(t *testing.T) {
+	if _, err := LoadBaseline(strings.NewReader(`{"version": 99, "entries": []}`)); err == nil {
+		t.Fatal("LoadBaseline accepted an unknown version")
+	}
+}
+
+func TestBaselineApplySplitsFreshAndStale(t *testing.T) {
+	old := []Diagnostic{
+		diag("goroleak", "/repo/a.go", 10, "leaky"),
+		diag("goroleak", "/repo/a.go", 40, "leaky"),
+		diag("axisreg", "/repo/b.go", 5, "switchy"),
+	}
+	b := NewBaseline("/repo", old)
+
+	// One "leaky" fixed (count drops 2 -> 1), "switchy" unchanged, and a
+	// brand-new finding appears — only the new one should fail the gate,
+	// and the half-used allowance should surface as stale.
+	now := []Diagnostic{
+		diag("goroleak", "/repo/a.go", 12, "leaky"),
+		diag("axisreg", "/repo/b.go", 5, "switchy"),
+		diag("errcontract", "/repo/c.go", 7, "== sentinel"),
+	}
+	fresh, stale := b.Apply("/repo", now)
+	if len(fresh) != 1 || fresh[0].Analyzer != "errcontract" {
+		t.Fatalf("fresh = %+v, want exactly the errcontract finding", fresh)
+	}
+	if len(stale) != 1 || stale[0].Message != "leaky" || stale[0].Count != 1 {
+		t.Fatalf("stale = %+v, want one unused 'leaky' allowance", stale)
+	}
+
+	// Line drift alone must not produce fresh findings: the key has no
+	// line component, which is the point of the ratchet surviving edits.
+	drifted := []Diagnostic{
+		diag("goroleak", "/repo/a.go", 999, "leaky"),
+		diag("goroleak", "/repo/a.go", 1000, "leaky"),
+		diag("axisreg", "/repo/b.go", 123, "switchy"),
+	}
+	fresh, stale = b.Apply("/repo", drifted)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Fatalf("after pure line drift: fresh=%v stale=%v, want none", fresh, stale)
+	}
+
+	// A count above the allowance fails by exactly the excess.
+	grown := append(drifted, diag("goroleak", "/repo/a.go", 50, "leaky"))
+	fresh, _ = b.Apply("/repo", grown)
+	if len(fresh) != 1 || fresh[0].Message != "leaky" {
+		t.Fatalf("fresh = %+v, want one excess 'leaky'", fresh)
+	}
+}
+
+func TestBaselineEmptyFailsEverything(t *testing.T) {
+	b := NewBaseline("/repo", nil)
+	if len(b.Entries) != 0 {
+		t.Fatalf("empty baseline has %d entries", len(b.Entries))
+	}
+	fresh, stale := b.Apply("/repo", []Diagnostic{diag("goroleak", "/repo/a.go", 1, "leaky")})
+	if len(fresh) != 1 || len(stale) != 0 {
+		t.Fatalf("fresh=%v stale=%v, want the finding fresh and nothing stale", fresh, stale)
+	}
+}

@@ -34,6 +34,27 @@ import (
 // production Clock implementation carries reasoned
 // //smokevet:ignore ctxflow suppressions — it is the sole sanctioned
 // wall-clock read.
+//
+// A fourth rule is cross-package, built on fact propagation: when the
+// analyzer visits a package it exports a HasCtxVariantFact for every
+// exported function or method F whose package also declares an exported
+// context-taking sibling FCtx (the compat-wrapper convention: Sweep /
+// SweepCtx, Generate / GenerateCtx). In every downstream package, a
+// function that holds a context but calls F instead of FCtx is flagged —
+// the call compiles, runs, and silently detaches the entire callee
+// subtree from cancellation, which is exactly the class of cross-
+// component failure no single-package check can see.
+
+// HasCtxVariantFact marks an exported function whose package declares an
+// exported context-taking sibling named <Name>Ctx. Calling the fact-
+// carrying function while holding a context severs cancellation; the
+// variant must be called instead.
+type HasCtxVariantFact struct {
+	// Variant is the sibling's name (e.g. "SweepCtx").
+	Variant string
+}
+
+func (*HasCtxVariantFact) AFact() {}
 
 // clockInjectedPackages lists packages whose time must flow through an
 // injected Clock interface (fixture/ctxflow keeps the rule pinned by the
@@ -57,13 +78,15 @@ var Ctxflow = &Analyzer{
 	Match: func(path string) bool {
 		return strings.HasPrefix(path, "smokescreen/internal/") || strings.HasPrefix(path, "fixture/")
 	},
-	Run: runCtxflow,
+	Run:       runCtxflow,
+	FactTypes: []Fact{(*HasCtxVariantFact)(nil)},
 }
 
 func runCtxflow(pass *Pass) error {
 	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
 		return nil
 	}
+	exportCtxVariants(pass)
 	clockInjected := pass.Pkg != nil && clockInjectedPackages[pass.Pkg.Path()]
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
@@ -79,6 +102,82 @@ func runCtxflow(pass *Pass) error {
 		}
 	}
 	return nil
+}
+
+// exportCtxVariants walks the package's exported functions and methods,
+// attaching a HasCtxVariantFact to each one that has an exported
+// context-taking <Name>Ctx sibling (package-level siblings for
+// functions, same-receiver siblings for methods).
+func exportCtxVariants(pass *Pass) {
+	if pass.Pkg == nil || pass.ExportObjectFact == nil {
+		return
+	}
+	scope := pass.Pkg.Scope()
+	exportIfVariant := func(fn, sibling types.Object) {
+		variant, ok := sibling.(*types.Func)
+		if !ok || !variant.Exported() {
+			return
+		}
+		fsig, ok := fn.Type().(*types.Signature)
+		if !ok || hasContextParam(fsig) {
+			return // fn already takes a ctx; nothing to redirect
+		}
+		vsig, ok := variant.Type().(*types.Signature)
+		if !ok || !hasContextParam(vsig) {
+			return
+		}
+		pass.ExportObjectFact(fn, &HasCtxVariantFact{Variant: variant.Name()})
+	}
+	for _, name := range scope.Names() {
+		switch obj := scope.Lookup(name).(type) {
+		case *types.Func:
+			if !obj.Exported() {
+				continue
+			}
+			if sib := scope.Lookup(name + "Ctx"); sib != nil {
+				exportIfVariant(obj, sib)
+			}
+		case *types.TypeName:
+			named, ok := obj.Type().(*types.Named)
+			if !ok {
+				continue
+			}
+			methods := map[string]*types.Func{}
+			for i := 0; i < named.NumMethods(); i++ {
+				m := named.Method(i)
+				methods[m.Name()] = m
+			}
+			for mname, m := range methods {
+				if !m.Exported() {
+					continue
+				}
+				if sib, ok := methods[mname+"Ctx"]; ok {
+					exportIfVariant(m, sib)
+				}
+			}
+		}
+	}
+}
+
+// checkCtxVariantCall applies rule 4 at one call site known to be inside
+// a ctx-holding function: a cross-package callee carrying a
+// HasCtxVariantFact is the compat wrapper; the ctx-taking variant must
+// be called instead.
+func checkCtxVariantCall(pass *Pass, call *ast.CallExpr) {
+	if pass.ImportObjectFact == nil {
+		return
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg {
+		return
+	}
+	var fact HasCtxVariantFact
+	if !pass.ImportObjectFact(fn, &fact) {
+		return
+	}
+	pass.Report(call.Pos(),
+		"call to %s.%s from a function that holds a context: %s roots its work in context.Background — call %s with the caller's ctx so cancellation crosses the package boundary",
+		fn.Pkg().Name(), fn.Name(), fn.Name(), fact.Variant)
 }
 
 // checkClockInjection applies rule 3 to one file of a clock-injected
@@ -145,6 +244,9 @@ func checkBackgroundUse(pass *Pass, fd *ast.FuncDecl) {
 		case *ast.CallExpr:
 			name := backgroundOrTODO(pass, n)
 			if name == "" {
+				if depth > 0 {
+					checkCtxVariantCall(pass, n)
+				}
 				return true
 			}
 			if name == "TODO" {

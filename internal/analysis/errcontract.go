@@ -1,0 +1,326 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Errcontract enforces the typed-error contract around the persistence
+// path. The store wraps corruption as *store.CorruptError, bounds
+// violations surface as profile.ErrOutOfRange, misses as
+// store.ErrNotFound — and every one of them may arrive wrapped (fmt
+// .Errorf("%w"), the fleet transport, the replicated-store read path).
+// Code that compares with == or pattern-matches the message text works
+// in the unit test and silently misclassifies the same error once a
+// wrapping layer is inserted — corruption read as a miss is exactly how
+// a degraded profile gets served as authoritative.
+//
+// Four rules, everywhere in the module:
+//
+//  1. A module-local error sentinel (package-level `var Err...`) must be
+//     matched with errors.Is, never compared with == / !=.
+//  2. A module-local error type (e.g. *store.CorruptError) must be
+//     matched with errors.As, never via type assertion or type switch.
+//  3. err.Error() text must not be compared or substring-matched —
+//     message text is not API.
+//  4. An error returned by the store or outputs packages (the
+//     persistence path) must not be discarded: no bare call statement,
+//     no blank assignment, no go/defer that drops it.
+
+// Errcontract is the typed-error-contract analyzer.
+var Errcontract = &Analyzer{
+	Name: "errcontract",
+	Doc: "enforce errors.Is/errors.As for module error sentinels and types, forbid matching " +
+		"on error text, and forbid discarding persistence-path (store/outputs) errors",
+	Match: func(path string) bool {
+		return path == "smokescreen" || strings.HasPrefix(path, "smokescreen/") ||
+			strings.HasPrefix(path, "fixture/")
+	},
+	Run: runErrcontract,
+}
+
+// persistencePackages are the packages whose returned errors carry the
+// corruption/miss signal.
+var persistencePackages = map[string]bool{
+	"smokescreen/internal/store":   true,
+	"smokescreen/internal/outputs": true,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runErrcontract(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				checkSentinelCompare(pass, n)
+				checkErrorTextCompare(pass, n)
+			case *ast.TypeAssertExpr:
+				if n.Type != nil { // nil Type = inside a type switch header
+					checkErrorAssert(pass, n.X, n.Type, n.Pos())
+				}
+			case *ast.TypeSwitchStmt:
+				checkErrorTypeSwitch(pass, n)
+			case *ast.CallExpr:
+				checkErrorTextHelper(pass, n)
+			case *ast.ExprStmt:
+				if call, ok := n.X.(*ast.CallExpr); ok {
+					checkDiscardedPersistence(pass, call, "call statement")
+				}
+			case *ast.GoStmt:
+				checkDiscardedPersistence(pass, n.Call, "go statement")
+			case *ast.DeferStmt:
+				checkDiscardedPersistence(pass, n.Call, "defer statement")
+			case *ast.AssignStmt:
+				checkBlankedPersistence(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// moduleLocal reports whether the package belongs to this module (or a
+// fixture standing in for one).
+func moduleLocal(pkg *types.Package) bool {
+	if pkg == nil {
+		return false
+	}
+	path := pkg.Path()
+	return path == "smokescreen" || strings.HasPrefix(path, "smokescreen/") ||
+		strings.HasPrefix(path, "fixture/")
+}
+
+// errorSentinel resolves e to a module-local package-level `var Err...`
+// of error type, or nil.
+func errorSentinel(pass *Pass, e ast.Expr) *types.Var {
+	obj := objectOf(pass.Info, ast.Unparen(e))
+	v, ok := obj.(*types.Var)
+	if !ok || !isPackageLevel(v) || !strings.HasPrefix(v.Name(), "Err") {
+		return nil
+	}
+	if !moduleLocal(v.Pkg()) || !types.AssignableTo(v.Type(), errorType) {
+		return nil
+	}
+	return v
+}
+
+// checkSentinelCompare applies rule 1 to one == / != expression.
+func checkSentinelCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, pair := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+		sentinel := errorSentinel(pass, pair[0])
+		if sentinel == nil {
+			continue
+		}
+		if id, ok := ast.Unparen(pair[1]).(*ast.Ident); ok && id.Name == "nil" {
+			continue // `x == nil` on the sentinel itself is not a match attempt
+		}
+		op := "=="
+		if be.Op == token.NEQ {
+			op = "!="
+		}
+		pass.Report(be.Pos(),
+			"%s comparison with %s.%s: a wrapped sentinel never compares equal — use errors.Is so the match survives %%w wrapping",
+			op, pkgName(sentinel.Pkg()), sentinel.Name())
+		return
+	}
+}
+
+func pkgName(pkg *types.Package) string {
+	if pkg == nil {
+		return "?"
+	}
+	return pkg.Name()
+}
+
+// moduleErrorType resolves a type expression to a module-local named
+// error type (possibly behind a pointer), or nil.
+func moduleErrorType(pass *Pass, e ast.Expr) *types.TypeName {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	if !types.AssignableTo(t, errorType) {
+		return nil
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	if !moduleLocal(named.Obj().Pkg()) {
+		return nil
+	}
+	return named.Obj()
+}
+
+// checkErrorAssert applies rule 2 to one x.(T).
+func checkErrorAssert(pass *Pass, x ast.Expr, typ ast.Expr, pos token.Pos) {
+	xt, ok := pass.Info.Types[x]
+	if !ok || xt.Type == nil || !types.Identical(xt.Type, errorType) {
+		return
+	}
+	tn := moduleErrorType(pass, typ)
+	if tn == nil {
+		return
+	}
+	pass.Report(pos,
+		"type assertion on %s.%s: a wrapped error never matches — use errors.As so the typed payload survives %%w wrapping",
+		pkgName(tn.Pkg()), tn.Name())
+}
+
+// checkErrorTypeSwitch applies rule 2 to a type switch over an error.
+func checkErrorTypeSwitch(pass *Pass, ts *ast.TypeSwitchStmt) {
+	var x ast.Expr
+	switch stmt := ts.Assign.(type) {
+	case *ast.ExprStmt:
+		if ta, ok := stmt.X.(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	case *ast.AssignStmt:
+		if ta, ok := stmt.Rhs[0].(*ast.TypeAssertExpr); ok {
+			x = ta.X
+		}
+	}
+	if x == nil {
+		return
+	}
+	xt, ok := pass.Info.Types[x]
+	if !ok || xt.Type == nil || !types.Identical(xt.Type, errorType) {
+		return
+	}
+	for _, stmt := range ts.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if tn := moduleErrorType(pass, e); tn != nil {
+				pass.Report(e.Pos(),
+					"type switch case %s.%s on an error: a wrapped error never matches — use errors.As",
+					pkgName(tn.Pkg()), tn.Name())
+			}
+		}
+	}
+}
+
+// errorTextCall reports whether e is a call of `Error() string` on an
+// error value.
+func errorTextCall(pass *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Name() != "Error" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	return types.AssignableTo(sig.Recv().Type(), errorType) ||
+		types.Identical(sig.Recv().Type(), errorType)
+}
+
+// checkErrorTextCompare applies rule 3 to == / != over err.Error().
+func checkErrorTextCompare(pass *Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if errorTextCall(pass, be.X) || errorTextCall(pass, be.Y) {
+		pass.Report(be.Pos(),
+			"comparing err.Error() text: message text is not API — match the typed error with errors.Is/errors.As")
+	}
+}
+
+// stringMatchHelpers are the strings-package entry points that turn an
+// error message into a control-flow decision.
+var stringMatchHelpers = map[string]bool{
+	"Contains": true, "HasPrefix": true, "HasSuffix": true,
+	"EqualFold": true, "Index": true, "Count": true,
+}
+
+// checkErrorTextHelper applies rule 3 to strings.Contains(err.Error(), ...)
+// and friends.
+func checkErrorTextHelper(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" || !stringMatchHelpers[fn.Name()] {
+		return
+	}
+	for _, arg := range call.Args {
+		if errorTextCall(pass, arg) {
+			pass.Report(call.Pos(),
+				"strings.%s over err.Error(): message text is not API — match the typed error with errors.Is/errors.As",
+				fn.Name())
+			return
+		}
+	}
+}
+
+// persistenceCallee resolves a call to a persistence-path function whose
+// last result is an error; it returns the callee or nil. Fixture
+// packages named store/outputs stand in for the real ones.
+func persistenceCallee(pass *Pass, call *ast.CallExpr) *types.Func {
+	fn := calleeFunc(pass.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	if !persistencePackages[path] &&
+		!(strings.HasPrefix(path, "fixture/") && (fn.Pkg().Name() == "store" || fn.Pkg().Name() == "outputs")) {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1)
+	if !types.Identical(last.Type(), errorType) {
+		return nil
+	}
+	return fn
+}
+
+// checkDiscardedPersistence applies rule 4 to a statement that drops
+// every result of its call.
+func checkDiscardedPersistence(pass *Pass, call *ast.CallExpr, how string) {
+	fn := persistenceCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	pass.Report(call.Pos(),
+		"%s discards the error from %s.%s: persistence-path errors carry the corruption/miss signal — handle or propagate them",
+		how, fn.Pkg().Name(), fn.Name())
+}
+
+// checkBlankedPersistence applies rule 4 to assignments that blank the
+// error position (`_ = store.Put(...)`, `v, _ := store.Get(...)`).
+func checkBlankedPersistence(pass *Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := persistenceCallee(pass, call)
+	if fn == nil {
+		return
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name != "_" {
+		return
+	}
+	pass.Report(call.Pos(),
+		"the error from %s.%s is assigned to _: persistence-path errors carry the corruption/miss signal — handle or propagate them",
+		fn.Pkg().Name(), fn.Name())
+}

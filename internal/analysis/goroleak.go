@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Goroleak enforces goroutine accountability in the serving path
+// (internal/server, internal/fleetd, internal/stream): every `go`
+// statement must be tied to something its spawner can observe at
+// teardown — a context, a WaitGroup, or a channel the spawner holds.
+// A fire-and-forget goroutine is invisible to Drain: under the
+// multi-tenant serving roadmap it outlives the job that spawned it,
+// keeps a worker-pool slot or a transport pinned, and turns "wrong
+// number" bugs into "work charged to the wrong tenant" bugs.
+//
+// A goroutine is accounted when any of these holds:
+//
+//   - its body (or an argument to it) mentions a context.Context — the
+//     goroutine can observe cancellation (`<-ctx.Done()`, a *Ctx callee);
+//   - its body (or an argument) mentions a sync.WaitGroup — the spawner
+//     joins it (`wg.Add(1)` / `defer wg.Done()` / `wg.Wait()`);
+//   - its body mentions a channel declared OUTSIDE the goroutine (or one
+//     is passed in as an argument) — closing or sending on it is the
+//     drain-hook shape (`defer close(done)`), and the spawner can block
+//     on the handle it kept.
+//
+// Channels declared inside the goroutine don't count: the spawner has no
+// handle, so nothing about the goroutine's lifetime is observable.
+//
+// The check is syntactic about reachability — mentioning a ctx does not
+// prove the select is wired right — but it makes the accounting idiom
+// mandatory, and the remaining gap is what the stream/fleet smoke tests'
+// drain assertions cover.
+
+// goroleakPackages is the serving surface: every package that spawns
+// goroutines on behalf of requests, streams, or fleet peers.
+var goroleakPackages = map[string]bool{
+	"smokescreen/internal/server": true,
+	"smokescreen/internal/fleetd": true,
+	"smokescreen/internal/stream": true,
+}
+
+// Goroleak is the fire-and-forget-goroutine analyzer.
+var Goroleak = &Analyzer{
+	Name: "goroleak",
+	Doc: "flag fire-and-forget goroutines in the serving path (server/fleetd/stream): " +
+		"every go statement must be tied to a context, a WaitGroup, or a channel the spawner holds",
+	Match: func(path string) bool {
+		return goroleakPackages[path] || strings.HasPrefix(path, "fixture/")
+	},
+	Run: runGoroleak,
+}
+
+func runGoroleak(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if goroutineAccounted(pass, g) {
+				return true
+			}
+			pass.Report(g.Pos(),
+				"fire-and-forget goroutine: tie it to a context, a WaitGroup, or a channel the spawner keeps, so Drain can observe it finish")
+			return true
+		})
+	}
+	return nil
+}
+
+// goroutineAccounted reports whether the go statement is observably tied
+// to its spawner.
+func goroutineAccounted(pass *Pass, g *ast.GoStmt) bool {
+	// Arguments are evaluated by the spawner: a ctx, WaitGroup, or
+	// channel handed in is a handle both sides share.
+	for _, arg := range g.Call.Args {
+		if isAccountingExpr(pass, arg, nil) {
+			return true
+		}
+	}
+	switch fn := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return bodyMentionsAccounting(pass, fn)
+	case *ast.SelectorExpr:
+		// A method spawn (`go s.loop()`): the receiver may be the handle
+		// (e.g. a struct holding the ctx), but that is invisible here —
+		// require the accounting to be at the spawn site.
+		return false
+	}
+	return false
+}
+
+// bodyMentionsAccounting reports whether the goroutine literal's body
+// mentions a context, a WaitGroup, or a channel declared outside the
+// literal.
+func bodyMentionsAccounting(pass *Pass, lit *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if isAccountingExpr(pass, e, lit) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isAccountingExpr reports whether e is a context.Context, a
+// sync.WaitGroup, or a channel. When lit is non-nil, channels only count
+// if their root object is declared outside the literal (the spawner's
+// handle, not a goroutine-private channel); contexts and WaitGroups
+// count regardless — a ctx threaded through any path still observes
+// cancellation.
+func isAccountingExpr(pass *Pass, e ast.Expr, lit *ast.FuncLit) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if isContextType(tv.Type) || isWaitGroupType(tv.Type) {
+		return true
+	}
+	if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+		return false
+	}
+	if lit == nil {
+		return true
+	}
+	obj := rootObject(pass.Info, e)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// isWaitGroupType reports whether t is sync.WaitGroup or *sync.WaitGroup.
+func isWaitGroupType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// rootObject resolves the leftmost identifier of a selector chain or
+// identifier to its object (`s.done` -> s's object, `done` -> done's).
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

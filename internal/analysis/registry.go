@@ -1,6 +1,11 @@
 package analysis
 
-// Analyzers returns the full smokevet suite in report order.
+// Analyzers returns the full smokevet suite in report order: the four
+// single-package v1 analyzers, then the v2 analyzers that lean on fact
+// propagation and the serving-path/persistence contracts.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, Poolhygiene, Ctxflow, Atomiccounter}
+	return []*Analyzer{
+		Determinism, Poolhygiene, Ctxflow, Atomiccounter,
+		Goroleak, Lockorder, Axisreg, Errcontract,
+	}
 }

@@ -18,6 +18,11 @@ import (
 // keeps the acceptance bar of "zero unexplained suppressions" mechanical.
 // Naming an analyzer scopes the suppression to it; otherwise it applies
 // to every analyzer.
+//
+// Suppressions are also audited: when the full suite runs, any ignore
+// that silenced nothing is reported as stale (RunOptions
+// .AuditSuppressions), so a suppression cannot outlive the finding it was
+// written for and quietly blanket a future one.
 
 const suppressPrefix = "smokevet:ignore"
 
@@ -25,11 +30,27 @@ type suppression struct {
 	analyzer string // "" = all analyzers
 	reason   string
 	pos      token.Pos
+	// used records whether the suppression silenced at least one
+	// diagnostic during the current run (the stale-ignore audit).
+	used bool
+}
+
+// describe renders the suppression's scope and reason for the stale
+// report.
+func (s *suppression) describe() string {
+	if s.analyzer != "" {
+		return s.analyzer + ": " + s.reason
+	}
+	return s.reason
 }
 
 // suppressionIndex maps file line -> suppressions effective on that line.
+// Both lines of one comment share a single *suppression, so a use on
+// either line marks the comment used.
 type suppressionIndex struct {
-	byLine map[int][]suppression
+	byLine map[int][]*suppression
+	// ordered lists each suppression once, in source order.
+	ordered []*suppression
 	// malformed are suppressions with no reason, reported by the runner.
 	malformed []token.Pos
 }
@@ -41,10 +62,34 @@ var knownAnalyzers = map[string]bool{
 	"poolhygiene":   true,
 	"ctxflow":       true,
 	"atomiccounter": true,
+	"goroleak":      true,
+	"lockorder":     true,
+	"axisreg":       true,
+	"errcontract":   true,
+}
+
+// parseSuppression interprets one line comment's text (with the leading
+// "//" already stripped). It returns the parsed suppression and whether
+// the comment is a suppression at all; a suppression with an empty
+// reason is malformed (reported by the runner, never effective). The
+// fuzz target FuzzSuppressParse pins this parser: arbitrary comment
+// bytes must parse without panicking, and every well-formed result must
+// carry a non-empty reason and a known (or empty) analyzer scope.
+func parseSuppression(text string) (s suppression, isSuppression bool) {
+	rest, ok := strings.CutPrefix(strings.TrimSpace(text), suppressPrefix)
+	if !ok {
+		return suppression{}, false
+	}
+	s.reason = strings.TrimSpace(rest)
+	if name, tail, found := strings.Cut(s.reason, ":"); found && knownAnalyzers[strings.TrimSpace(name)] {
+		s.analyzer = strings.TrimSpace(name)
+		s.reason = strings.TrimSpace(tail)
+	}
+	return s, true
 }
 
 func indexSuppressions(fset *token.FileSet, files []*ast.File) *suppressionIndex {
-	idx := &suppressionIndex{byLine: map[int][]suppression{}}
+	idx := &suppressionIndex{byLine: map[int][]*suppression{}}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -52,34 +97,46 @@ func indexSuppressions(fset *token.FileSet, files []*ast.File) *suppressionIndex
 				if !ok {
 					continue // block comments don't carry suppressions
 				}
-				text, ok = strings.CutPrefix(strings.TrimSpace(text), suppressPrefix)
+				s, ok := parseSuppression(text)
 				if !ok {
 					continue
 				}
-				s := suppression{reason: strings.TrimSpace(text), pos: c.Pos()}
-				if name, rest, found := strings.Cut(s.reason, ":"); found && knownAnalyzers[strings.TrimSpace(name)] {
-					s.analyzer = strings.TrimSpace(name)
-					s.reason = strings.TrimSpace(rest)
-				}
+				s.pos = c.Pos()
 				if s.reason == "" {
 					idx.malformed = append(idx.malformed, c.Pos())
 					continue
 				}
+				sp := &s
+				idx.ordered = append(idx.ordered, sp)
 				line := fset.Position(c.Pos()).Line
-				idx.byLine[line] = append(idx.byLine[line], s)
-				idx.byLine[line+1] = append(idx.byLine[line+1], s)
+				idx.byLine[line] = append(idx.byLine[line], sp)
+				idx.byLine[line+1] = append(idx.byLine[line+1], sp)
 			}
 		}
 	}
 	return idx
 }
 
-// suppressed reports whether a finding by analyzer on line is silenced.
+// suppressed reports whether a finding by analyzer on line is silenced,
+// marking the silencing suppression used for the stale audit.
 func (idx *suppressionIndex) suppressed(analyzer string, line int) bool {
+	hit := false
 	for _, s := range idx.byLine[line] {
 		if s.analyzer == "" || s.analyzer == analyzer {
-			return true
+			s.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
+}
+
+// stale returns the suppressions that silenced nothing, in source order.
+func (idx *suppressionIndex) stale() []*suppression {
+	var out []*suppression
+	for _, s := range idx.ordered {
+		if !s.used {
+			out = append(out, s)
+		}
+	}
+	return out
 }

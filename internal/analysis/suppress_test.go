@@ -70,6 +70,62 @@ func f() int {
 	}
 }
 
+// TestStaleSuppressionAudit pins the stale-ignore audit: a suppression
+// that silences a real finding stays quiet, while one that silences
+// nothing is itself reported when AuditSuppressions is on — so ignores
+// cannot outlive the findings they were written for.
+func TestStaleSuppressionAudit(t *testing.T) {
+	fset, f := parseForSuppress(t, `package p
+
+//smokevet:ignore determinism: silences the finding below
+var a = 1
+
+//smokevet:ignore determinism: silences nothing at all
+var b = 2
+`)
+	pkg := &Package{
+		Path:         "fixture/staleaudit",
+		Fset:         fset,
+		Files:        []*ast.File{f},
+		Suppressions: indexSuppressions(fset, []*ast.File{f}),
+	}
+	// A fake determinism analyzer reporting exactly one finding at the
+	// first var decl (line 4, under the first suppression).
+	fake := &Analyzer{
+		Name: "determinism",
+		Run: func(pass *Pass) error {
+			pass.Report(f.Decls[0].Pos(), "synthetic finding")
+			return nil
+		},
+	}
+	res, err := RunSuite([]*Package{pkg}, []*Analyzer{fake}, RunOptions{AuditSuppressions: true})
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	if len(res.Diagnostics) != 1 {
+		t.Fatalf("diags = %v, want exactly the stale-ignore report", res.Diagnostics)
+	}
+	d := res.Diagnostics[0]
+	if d.Analyzer != "smokevet" || !strings.Contains(d.Message, "stale smokevet:ignore") {
+		t.Errorf("unexpected diagnostic: %s", d)
+	}
+	if !strings.Contains(d.Message, "silences nothing at all") {
+		t.Errorf("stale report does not name the unused suppression: %s", d)
+	}
+	if d.Pos.Line != 6 {
+		t.Errorf("stale report at line %d, want 6", d.Pos.Line)
+	}
+
+	// The audit is opt-in: the same run without it reports nothing.
+	res, err = RunSuite([]*Package{pkg}, []*Analyzer{fake}, RunOptions{})
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	if len(res.Diagnostics) != 0 {
+		t.Fatalf("audit off: diags = %v, want none", res.Diagnostics)
+	}
+}
+
 // TestRunReportsMalformedSuppression pins that the runner surfaces bare
 // ignores as findings, so `make lint` fails on an unexplained suppression.
 func TestRunReportsMalformedSuppression(t *testing.T) {

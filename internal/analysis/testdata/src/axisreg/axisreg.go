@@ -1,0 +1,85 @@
+// Package fixture exercises the axisreg analyzer: no hand-rolled copies
+// of the degradation-axis registry — neither switches over axis names
+// nor functions dispatching on several Setting axis fields.
+package fixture
+
+// Setting mirrors degrade.Setting's axis fields; the analyzer keys on
+// the type name and field names, so the fixture stands in for the real
+// thing.
+type Setting struct {
+	SampleFraction float64
+	Resolution     int
+	Restricted     []string
+	NoiseSigma     float64
+	MotionBlur     int
+	Quantize       int
+	Occlusion      float64
+}
+
+// Dispatch hand-rolls the clause registry: two axis names in one switch
+// is a copy of the axis list that a new axis will not appear in.
+func Dispatch(keyword string, s *Setting) {
+	switch keyword { // want `switch enumerates degradation axes by name`
+	case "RESOLUTION":
+		s.Resolution = 160
+	case "NOISE":
+		s.NoiseSigma = 0.1
+	}
+}
+
+// Single special-cases one axis, which is using an axis, not enumerating
+// the registry.
+func Single(keyword string) bool {
+	switch keyword {
+	case "resolution":
+		return true
+	}
+	return false
+}
+
+// Unrelated switches over non-axis strings.
+func Unrelated(keyword string) bool {
+	switch keyword {
+	case "WHERE", "USING":
+		return true
+	}
+	return false
+}
+
+// Fanout reads three axis fields: it re-derives "which axes are active"
+// by hand instead of iterating the registry.
+func Fanout(s Setting) string { // want `dispatches on 3 Setting axis fields`
+	out := ""
+	if s.Resolution != 0 {
+		out += "r"
+	}
+	if s.NoiseSigma > 0 {
+		out += "n"
+	}
+	if s.MotionBlur > 0 {
+		out += "b"
+	}
+	return out
+}
+
+// Pair reads two fields — below the enumeration threshold.
+func Pair(s Setting) bool {
+	return s.Resolution != 0 && s.NoiseSigma > 0
+}
+
+// Build only writes fields: constructing a Setting is not dispatching on
+// one.
+func Build() Setting {
+	var s Setting
+	s.SampleFraction = 0.5
+	s.Resolution = 160
+	s.NoiseSigma = 0.1
+	s.MotionBlur = 3
+	s.Quantize = 16
+	return s
+}
+
+// Literal construction is exempt too.
+func BuildLiteral() Setting {
+	return Setting{SampleFraction: 0.5, Resolution: 160, NoiseSigma: 0.1}
+}

@@ -1,0 +1,27 @@
+// Package ctxdep provides the compat-wrapper pair the cross-package
+// ctxflow rule keys on: Sweep is the Background-rooted wrapper, SweepCtx
+// the context-aware variant. Visiting this package exports a
+// HasCtxVariantFact for Sweep, which the root fixture consumes.
+package ctxdep
+
+import "context"
+
+// SweepCtx is the context-aware sweep.
+func SweepCtx(ctx context.Context, n int) int { return n }
+
+// Sweep is the compatibility wrapper: a sanctioned Background mint,
+// because it holds no context of its own and forwards directly.
+func Sweep(n int) int { return SweepCtx(context.Background(), n) }
+
+// Lone has no Ctx sibling: calling it from a ctx-holder is fine.
+func Lone(n int) int { return n }
+
+// Counter has an Inc/IncCtx method pair, pinning the method half of the
+// fact exporter.
+type Counter struct{ n int }
+
+// IncCtx is the context-aware increment.
+func (c *Counter) IncCtx(ctx context.Context) { c.n++ }
+
+// Inc is the compat wrapper method.
+func (c *Counter) Inc() { c.IncCtx(context.Background()) }

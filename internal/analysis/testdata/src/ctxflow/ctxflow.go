@@ -8,6 +8,8 @@ package fixture
 import (
 	"context"
 	"time"
+
+	"fixture/ctxflow/ctxdep"
 )
 
 // DoCtx is the fixture's context-aware callee.
@@ -92,4 +94,33 @@ func Unflagged(t time.Time) string {
 // fleetd's realClock: the one place a clock-injected package touches time.
 func ProductionClock() time.Time {
 	return time.Now() //smokevet:ignore ctxflow: fixture's production Clock implementation — the sanctioned wall-clock read
+}
+
+// CrossDetach holds a context but calls another package's compat wrapper
+// — the fact-propagated rule: Sweep's HasCtxVariantFact was exported
+// when ctxdep was visited, so the detach is visible here.
+func CrossDetach(ctx context.Context, n int) int {
+	return ctxdep.Sweep(n) // want `call SweepCtx with the caller's ctx`
+}
+
+// CrossForwards calls the ctx variant: the sanctioned cross-package shape.
+func CrossForwards(ctx context.Context, n int) int {
+	return ctxdep.SweepCtx(ctx, n)
+}
+
+// CrossLone calls a fact-free function: nothing to redirect to.
+func CrossLone(ctx context.Context, n int) int {
+	return ctxdep.Lone(n)
+}
+
+// CrossMethod pins the method half of the fact: Inc has an IncCtx
+// sibling on the same receiver.
+func CrossMethod(ctx context.Context, c *ctxdep.Counter) {
+	c.Inc() // want `call IncCtx with the caller's ctx`
+}
+
+// CrossRoot holds no context, so calling the compat wrapper is exactly
+// what the wrapper exists for.
+func CrossRoot(n int) int {
+	return ctxdep.Sweep(n)
 }

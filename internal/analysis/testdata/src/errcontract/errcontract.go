@@ -1,0 +1,81 @@
+// Package fixture exercises the errcontract analyzer: module error
+// sentinels matched with errors.Is, typed errors with errors.As, no
+// matching on message text, no discarded persistence-path errors.
+package fixture
+
+import (
+	"errors"
+	"strings"
+
+	"fixture/errcontract/store"
+)
+
+// Lookup compares the sentinel both ways.
+func Lookup(key string) (string, bool) {
+	v, err := store.Get(key)
+	if err == store.ErrNotFound { // want `use errors\.Is`
+		return "", false
+	}
+	if store.ErrNotFound != err { // want `use errors\.Is`
+		return v, true
+	}
+	if errors.Is(err, store.ErrNotFound) { // ok: survives wrapping
+		return "", false
+	}
+	return v, true
+}
+
+// Classify matches the typed error three ways.
+func Classify(err error) string {
+	if ce, ok := err.(*store.CorruptError); ok { // want `use errors\.As`
+		return ce.Key
+	}
+	switch err.(type) {
+	case *store.CorruptError: // want `use errors\.As`
+		return "corrupt"
+	}
+	var ce *store.CorruptError
+	if errors.As(err, &ce) { // ok: survives wrapping
+		return ce.Key
+	}
+	return ""
+}
+
+// TextMatch turns message text into control flow.
+func TextMatch(err error) bool {
+	if err.Error() == "store: not found" { // want `message text is not API`
+		return true
+	}
+	return strings.Contains(err.Error(), "corrupt") // want `message text is not API`
+}
+
+// Discards drops persistence errors five ways.
+func Discards(key string) {
+	store.Put(key)     // want `discards the error`
+	_ = store.Put(key) // want `assigned to _`
+
+	v, _ := store.Get(key) // want `assigned to _`
+	_ = v
+
+	go store.Put(key) // want `discards the error`
+
+	defer store.Put(key) // want `discards the error`
+}
+
+// Handles is the sanctioned shape.
+func Handles(key string) error {
+	if err := store.Put(key); err != nil {
+		return err
+	}
+	v, err := store.Get(key)
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// NilChecks on plain errors are untouched.
+func NilChecks(err error) bool {
+	return err != nil && err == nil
+}

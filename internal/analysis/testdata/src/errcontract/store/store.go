@@ -1,0 +1,21 @@
+// Package store is the persistence-path stand-in for the errcontract
+// fixture: a sentinel, a typed error, and error-returning entry points.
+package store
+
+import "errors"
+
+// ErrNotFound is the miss sentinel.
+var ErrNotFound = errors.New("store: not found")
+
+// CorruptError is the typed corruption signal.
+type CorruptError struct {
+	Key string
+}
+
+func (e *CorruptError) Error() string { return "store: corrupt " + e.Key }
+
+// Put persists one entry.
+func Put(key string) error { return nil }
+
+// Get reads one entry.
+func Get(key string) (string, error) { return "", ErrNotFound }

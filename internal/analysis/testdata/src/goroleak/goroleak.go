@@ -1,0 +1,71 @@
+// Package fixture exercises the goroleak analyzer: every go statement
+// must be tied to a context, a WaitGroup, or a channel the spawner
+// keeps, so teardown can observe the goroutine finish.
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func work()                            {}
+func worker(ctx context.Context)      { <-ctx.Done() }
+func handle(done chan struct{})       { close(done) }
+func drain(wg *sync.WaitGroup, n int) { defer wg.Done(); _ = n }
+
+// Accounted shows the three sanctioned shapes.
+func Accounted(ctx context.Context) {
+	go func() { // ok: the body observes ctx cancellation
+		<-ctx.Done()
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // ok: the spawner joins via the WaitGroup
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+
+	done := make(chan struct{})
+	go func() { // ok: the spawner keeps the done channel
+		defer close(done)
+		work()
+	}()
+	<-done
+
+	go worker(ctx)  // ok: ctx handed in as an argument
+	go handle(done) // ok: channel handed in as an argument
+
+	wg.Add(1)
+	go drain(&wg, 1) // ok: WaitGroup handed in as an argument
+	wg.Wait()
+}
+
+// Leaks shows the fire-and-forget shapes.
+func Leaks() {
+	go work() // want `fire-and-forget goroutine`
+
+	go func() { // want `fire-and-forget goroutine`
+		work()
+	}()
+
+	go func() { // want `fire-and-forget goroutine`
+		// A channel minted inside the goroutine is not a handle the
+		// spawner holds; nothing outside can observe this finish.
+		inner := make(chan struct{})
+		close(inner)
+	}()
+}
+
+type pump struct {
+	done chan struct{}
+}
+
+func (p *pump) loop() { close(p.done) }
+
+// Start spawns a method: the receiver may well hold a ctx or channel,
+// but the accounting must be visible at the spawn site.
+func (p *pump) Start() {
+	go p.loop() // want `fire-and-forget goroutine`
+}

@@ -1,0 +1,27 @@
+// Package dep is the dependency side of the lockorder fixture tree: it
+// establishes the canonical acquisition order MuA -> MuB and exports the
+// lock sets of its functions as facts, which the root package consumes.
+package dep
+
+import "sync"
+
+var (
+	MuA sync.Mutex
+	MuB sync.Mutex
+)
+
+// LockBoth acquires in the canonical order: A, then B. This contributes
+// the edge MuA -> MuB to the package's lock graph — no cycle yet.
+func LockBoth() {
+	MuA.Lock()
+	defer MuA.Unlock()
+	MuB.Lock()
+	defer MuB.Unlock()
+}
+
+// LockA acquires only MuA; its exported LocksFact is what tells the root
+// package that calling LockA means acquiring MuA.
+func LockA() {
+	MuA.Lock()
+	defer MuA.Unlock()
+}

@@ -1,0 +1,74 @@
+// Package fixture exercises the lockorder analyzer: cross-package
+// acquisition cycles assembled from fact-propagated lock sets, and
+// atomic-under-lock mixing.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"fixture/lockorder/dep"
+)
+
+// Reversed holds MuB and then calls dep.LockA, whose imported LocksFact
+// says it acquires MuA. dep itself acquires A before B, so this edge
+// B -> A closes a cycle no single package can see.
+func Reversed() {
+	dep.MuB.Lock()
+	defer dep.MuB.Unlock()
+	dep.LockA() // want `lock-order cycle`
+}
+
+var (
+	muC sync.Mutex
+	muD sync.Mutex
+)
+
+// NestedOK nests muD under muC.
+func NestedOK() {
+	muC.Lock()
+	defer muC.Unlock()
+	muD.Lock()
+	muD.Unlock()
+}
+
+// NestedOKAgain repeats the same order: consistent nesting is fine.
+func NestedOKAgain() {
+	muC.Lock()
+	defer muC.Unlock()
+	muD.Lock()
+	muD.Unlock()
+}
+
+// counter is plain-accessed under muE below, so the atomic access in
+// Bypass mixes disciplines.
+var (
+	muE     sync.Mutex
+	counter int64
+)
+
+// UnderLock trusts muE to protect counter.
+func UnderLock() {
+	muE.Lock()
+	counter++
+	muE.Unlock()
+}
+
+// Bypass goes around muE with the atomic API.
+func Bypass() {
+	atomic.AddInt64(&counter, 1) // want `mixes with plain access under`
+}
+
+// clean is atomic everywhere — even under a lock — so there is no plain
+// access to race with.
+var clean int64
+
+func CleanAtomic() {
+	muC.Lock()
+	atomic.AddInt64(&clean, 1)
+	muC.Unlock()
+}
+
+func CleanAtomicElsewhere() {
+	atomic.AddInt64(&clean, 1)
+}

@@ -54,6 +54,25 @@ type Axis struct {
 	// this axis — the ladder monotonicity order (tier k+1 must be Tighter
 	// on every axis).
 	Tighter func(prev, next Setting, m *detect.Model) bool
+	// Clause is the axis's query-language clause, or nil for axes the
+	// query layer cannot set.
+	Clause *AxisClause
+}
+
+// AxisClause binds an axis to its query-language clause: the keyword,
+// the human name of its argument (used in parse errors), the setter for
+// the clause's single numeric argument, and the canonical rendering used
+// when a query is printed back ("" when the axis sits at identity). The
+// query parser and printer iterate these instead of hand-rolling a
+// keyword switch, so a new axis becomes parseable and printable by
+// registering it here. Axes whose clause takes a non-numeric argument
+// (removal's class list) leave Set nil and keep their parsing in the
+// query layer while still rendering through the registry.
+type AxisClause struct {
+	Keyword string
+	Arg     string
+	Set     func(v float64, s *Setting) error
+	Render  func(s Setting) string
 }
 
 // axes is the registry, in canonical order: the sampling axis first, then
@@ -72,6 +91,22 @@ var axes = []Axis{
 		Format:  func(s Setting) string { return fmt.Sprintf("f=%.4g", s.SampleFraction) },
 		Key:     func(s Setting) []KeyField { return nil },
 		Tighter: func(prev, next Setting, m *detect.Model) bool { return next.SampleFraction <= prev.SampleFraction },
+		Clause: &AxisClause{
+			Keyword: "SAMPLE", Arg: "sample fraction",
+			Set: func(v float64, s *Setting) error {
+				if v <= 0 || v > 1 {
+					return fmt.Errorf("degrade: sample fraction %v out of (0,1]", v)
+				}
+				s.SampleFraction = v
+				return nil
+			},
+			Render: func(s Setting) string {
+				if s.SampleFraction != 1 {
+					return fmt.Sprintf("%g", s.SampleFraction)
+				}
+				return ""
+			},
+		},
 	},
 	{
 		Name: "resolution",
@@ -96,6 +131,21 @@ var axes = []Axis{
 		},
 		Tighter: func(prev, next Setting, m *detect.Model) bool {
 			return next.ResolveResolution(m) <= prev.ResolveResolution(m)
+		},
+		Clause: &AxisClause{
+			Keyword: "RESOLUTION", Arg: "resolution",
+			// Model-dependent validity is checked by Validate at plan
+			// time; the clause only stores the requested pixels.
+			Set: func(v float64, s *Setting) error {
+				s.Resolution = int(v)
+				return nil
+			},
+			Render: func(s Setting) string {
+				if s.Resolution != 0 {
+					return fmt.Sprintf("%d", s.Resolution)
+				}
+				return ""
+			},
 		},
 	},
 	{
@@ -145,6 +195,21 @@ var axes = []Axis{
 			}
 			return true
 		},
+		Clause: &AxisClause{
+			Keyword: "REMOVE", Arg: "class list",
+			// The clause argument is a class list, not a number: parsing
+			// stays in the query layer (Set nil), rendering is canonical.
+			Render: func(s Setting) string {
+				if len(s.Restricted) == 0 {
+					return ""
+				}
+				names := make([]string, len(s.Restricted))
+				for i, c := range s.Restricted {
+					names[i] = c.String()
+				}
+				return strings.Join(names, ",")
+			},
+		},
 	},
 	{
 		Name:   "noise",
@@ -166,6 +231,22 @@ var axes = []Axis{
 			return []KeyField{{"noise", strconv.FormatFloat(s.NoiseSigma, 'g', -1, 64)}}
 		},
 		Tighter: func(prev, next Setting, m *detect.Model) bool { return next.NoiseSigma >= prev.NoiseSigma },
+		Clause: &AxisClause{
+			Keyword: "NOISE", Arg: "noise sigma",
+			Set: func(v float64, s *Setting) error {
+				if v < 0 || v > 0.5 {
+					return fmt.Errorf("degrade: noise sigma %v out of [0,0.5]", v)
+				}
+				s.NoiseSigma = v
+				return nil
+			},
+			Render: func(s Setting) string {
+				if s.NoiseSigma > 0 {
+					return fmt.Sprintf("%g", s.NoiseSigma)
+				}
+				return ""
+			},
+		},
 	},
 	{
 		Name:   "blur",
@@ -191,6 +272,23 @@ var axes = []Axis{
 		},
 		Tighter: func(prev, next Setting, m *detect.Model) bool {
 			return effectiveBlur(next) >= effectiveBlur(prev)
+		},
+		Clause: &AxisClause{
+			Keyword: "BLUR", Arg: "blur length",
+			Set: func(v float64, s *Setting) error {
+				n := int(v)
+				if v != float64(n) || n < 0 || n > scene.MaxBlurLen {
+					return fmt.Errorf("degrade: blur length %v not an integer in [0,%d]", v, scene.MaxBlurLen)
+				}
+				s.MotionBlur = n
+				return nil
+			},
+			Render: func(s Setting) string {
+				if s.MotionBlur > 1 {
+					return fmt.Sprintf("%d", s.MotionBlur)
+				}
+				return ""
+			},
 		},
 	},
 	{
@@ -218,6 +316,23 @@ var axes = []Axis{
 		Tighter: func(prev, next Setting, m *detect.Model) bool {
 			return effectiveLevels(next) <= effectiveLevels(prev)
 		},
+		Clause: &AxisClause{
+			Keyword: "QUANTIZE", Arg: "quantization levels",
+			Set: func(v float64, s *Setting) error {
+				n := int(v)
+				if v != float64(n) || n < 2 || n > 256 {
+					return fmt.Errorf("degrade: quantization levels %v not an integer in [2,256]", v)
+				}
+				s.Quantize = n
+				return nil
+			},
+			Render: func(s Setting) string {
+				if s.Quantize >= 2 {
+					return fmt.Sprintf("%d", s.Quantize)
+				}
+				return ""
+			},
+		},
 	},
 	{
 		Name:   "occlusion",
@@ -242,6 +357,22 @@ var axes = []Axis{
 			return []KeyField{{"occlusion", strconv.FormatFloat(s.Occlusion, 'g', -1, 64)}}
 		},
 		Tighter: func(prev, next Setting, m *detect.Model) bool { return next.Occlusion >= prev.Occlusion },
+		Clause: &AxisClause{
+			Keyword: "OCCLUDE", Arg: "occlusion density",
+			Set: func(v float64, s *Setting) error {
+				if v < 0 || v > 0.5 {
+					return fmt.Errorf("degrade: occlusion density %v out of [0,0.5]", v)
+				}
+				s.Occlusion = v
+				return nil
+			},
+			Render: func(s Setting) string {
+				if s.Occlusion > 0 {
+					return fmt.Sprintf("%g", s.Occlusion)
+				}
+				return ""
+			},
+		},
 	},
 }
 
@@ -266,6 +397,29 @@ func effectiveLevels(s Setting) int {
 // Axes returns the registered intervention axes in canonical order. The
 // slice is shared: callers must not mutate it.
 func Axes() []Axis { return axes }
+
+// ClauseFor returns the axis clause registered for a query-language
+// keyword (already upper-cased by the tokenizer).
+func ClauseFor(keyword string) (AxisClause, bool) {
+	for _, ax := range axes {
+		if ax.Clause != nil && ax.Clause.Keyword == keyword {
+			return *ax.Clause, true
+		}
+	}
+	return AxisClause{}, false
+}
+
+// Clauses returns every registered axis clause in canonical axis order —
+// the order queries render their clauses in.
+func Clauses() []AxisClause {
+	out := make([]AxisClause, 0, len(axes))
+	for _, ax := range axes {
+		if ax.Clause != nil {
+			out = append(out, *ax.Clause)
+		}
+	}
+	return out
+}
 
 // View folds the setting's pixel-transforming axes into the canonical
 // scene view the corpus is observed through (the zero View when only

@@ -88,7 +88,6 @@ func fillViewStats(s *detect.CacheStats) {
 	defer viewMu.Unlock()
 	s.ViewVideos = len(viewCache)
 	for _, nv := range viewCache {
-		//smokevet:ignore determinism: summation over map entries is order-independent
 		s.ViewBytes += detect.PerEntryOverhead + nv.CachedRasterBytes()
 	}
 }

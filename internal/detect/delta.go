@@ -115,8 +115,6 @@ func evictDeltaAccounts(v *scene.Video) int64 {
 	deltaAccMu.Lock()
 	defer deltaAccMu.Unlock()
 	var freed int64
-	//smokevet:ignore determinism: deletion order over the account map does
-	// not affect outputs; every matching key is removed regardless.
 	for k := range deltaAccounts {
 		if v == nil || k.video == v {
 			delete(deltaAccounts, k)
@@ -360,8 +358,6 @@ func (r *DeltaRun) Close() {
 }
 
 func (r *DeltaRun) dropEntries() {
-	//smokevet:ignore determinism: map iteration order is irrelevant; every
-	// entry is released and the map is cleared.
 	for id, e := range r.entries {
 		e.kept.release()
 		delete(r.entries, id)

@@ -1,12 +1,10 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 
 	"smokescreen/internal/dataset"
 	"smokescreen/internal/detect"
-	"smokescreen/internal/outputs"
 	"smokescreen/internal/scene"
 	"smokescreen/internal/stats"
 )
@@ -80,8 +78,8 @@ func presenceFractions(v *scene.Video, cfg Config) (person, face float64) {
 	}
 	yolo := detect.YOLOv4Sim()
 	mtcnn := detect.MTCNNSim()
-	persons, _ := outputs.At(context.Background(), v, yolo, scene.Person, yolo.NativeInput, frames)
-	faces, _ := outputs.At(context.Background(), v, mtcnn, scene.Face, mtcnn.NativeInput, frames)
+	persons := seriesAt(v, yolo, scene.Person, yolo.NativeInput, frames)
+	faces := seriesAt(v, mtcnn, scene.Face, mtcnn.NativeInput, frames)
 	var pc, fc int
 	for i := range frames {
 		if persons[i] > 0 {

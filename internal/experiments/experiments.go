@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -17,10 +18,33 @@ import (
 	"smokescreen/internal/dataset"
 	"smokescreen/internal/detect"
 	"smokescreen/internal/estimate"
+	"smokescreen/internal/outputs"
 	"smokescreen/internal/profile"
 	"smokescreen/internal/scene"
 	"smokescreen/internal/stats"
 )
+
+// seriesAt reads the per-frame counts for explicit frames over a
+// Background context. The only error outputs.At can return is context
+// cancellation, which a Background root cannot produce — so instead of
+// threading an impossible error through every figure driver (or worse,
+// silently plotting a nil series as zeros), a failure stops the run.
+func seriesAt(v *scene.Video, m *detect.Model, class scene.Class, p int, frames []int) []float64 {
+	series, err := outputs.At(context.Background(), v, m, class, p, frames)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: outputs.At over a Background context failed: %v", err))
+	}
+	return series
+}
+
+// seriesFull is seriesAt over the whole corpus.
+func seriesFull(v *scene.Video, m *detect.Model, class scene.Class, p int) []float64 {
+	series, err := outputs.Full(context.Background(), v, m, class, p)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: outputs.Full over a Background context failed: %v", err))
+	}
+	return series
+}
 
 // Config scales an experiment run.
 type Config struct {

@@ -1,12 +1,10 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 	"math"
 
 	"smokescreen/internal/estimate"
-	"smokescreen/internal/outputs"
 	"smokescreen/internal/profile"
 	"smokescreen/internal/stats"
 )
@@ -181,6 +179,5 @@ func Figure10(cfg Config) (*Report, error) {
 // outputsAt evaluates the spec's per-frame outputs for explicit frames at
 // resolution p (AVG uses raw counts, so no transform applies here).
 func outputsAt(spec *profile.Spec, p int, frames []int) []float64 {
-	series, _ := outputs.At(context.Background(), spec.Video, spec.Model, spec.Class, p, frames)
-	return series
+	return seriesAt(spec.Video, spec.Model, spec.Class, p, frames)
 }

@@ -1,11 +1,9 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 
 	"smokescreen/internal/estimate"
-	"smokescreen/internal/outputs"
 	"smokescreen/internal/profile"
 	"smokescreen/internal/stats"
 )
@@ -61,13 +59,11 @@ func Figure3(cfg Config) (*Report, error) {
 // comparable.
 func resolutionMean(spec *profile.Spec, p int, cfg Config) float64 {
 	if !cfg.Quick {
-		series, _ := outputs.Full(context.Background(), spec.Video, spec.Model, spec.Class, p)
-		return stats.Mean(series)
+		return stats.Mean(seriesFull(spec.Video, spec.Model, spec.Class, p))
 	}
 	n := spec.Video.NumFrames()
 	sub := n / 10
 	stream := stats.NewStream(cfg.Seed).Child(0xf13)
 	frames := stream.SampleWithoutReplacement(n, sub)
-	series, _ := outputs.At(context.Background(), spec.Video, spec.Model, spec.Class, p, frames)
-	return stats.Mean(series)
+	return stats.Mean(seriesAt(spec.Video, spec.Model, spec.Class, p, frames))
 }

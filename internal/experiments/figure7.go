@@ -1,12 +1,10 @@
 package experiments
 
 import (
-	"context"
 	"fmt"
 
 	"smokescreen/internal/degrade"
 	"smokescreen/internal/estimate"
-	"smokescreen/internal/outputs"
 	"smokescreen/internal/stats"
 )
 
@@ -98,7 +96,7 @@ func Figure8(cfg Config) (*Report, error) {
 	maxCount := 0
 	for ri, p := range resolutions {
 		hists[ri] = map[int]int{}
-		series, _ := outputs.At(context.Background(), spec.Video, spec.Model, spec.Class, p, frames)
+		series := seriesAt(spec.Video, spec.Model, spec.Class, p, frames)
 		for _, v := range series {
 			c := int(v)
 			hists[ri][c]++

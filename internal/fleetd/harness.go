@@ -191,9 +191,13 @@ type HarnessNode struct {
 	Node  *Node
 	Store *store.Store
 
-	srv   *http.Server
-	ln    net.Listener
-	alive bool
+	srv *http.Server
+	ln  net.Listener
+	// serveDone closes when the node's Serve loop returns, so teardown
+	// can observe the serving goroutine actually finish instead of
+	// leaving it to die after the test.
+	serveDone chan struct{}
+	alive     bool
 }
 
 // Harness is a running in-process fleet.
@@ -282,15 +286,19 @@ func StartHarness(cfg HarnessConfig) (*Harness, error) {
 			return fail(err)
 		}
 		hn := &HarnessNode{
-			Name:  name,
-			URL:   "http://" + name,
-			Node:  node,
-			Store: st,
-			srv:   &http.Server{Handler: node.Handler()},
-			ln:    listeners[i],
-			alive: true,
+			Name:      name,
+			URL:       "http://" + name,
+			Node:      node,
+			Store:     st,
+			srv:       &http.Server{Handler: node.Handler()},
+			ln:        listeners[i],
+			serveDone: make(chan struct{}),
+			alive:     true,
 		}
-		go func() { _ = hn.srv.Serve(hn.ln) }()
+		go func() {
+			defer close(hn.serveDone)
+			_ = hn.srv.Serve(hn.ln)
+		}()
 		h.nodes = append(h.nodes, hn)
 	}
 	return h, nil
@@ -343,6 +351,7 @@ func (h *Harness) Kill(name string) bool {
 			hn.alive = false
 			hn.Node.Kill()
 			_ = hn.srv.Close()
+			<-hn.serveDone
 			return true
 		}
 	}
@@ -361,6 +370,7 @@ func (h *Harness) Close() {
 		hn.alive = false
 		_ = hn.Node.Close()
 		_ = hn.srv.Close()
+		<-hn.serveDone
 	}
 	if h.client != nil {
 		h.client.CloseIdleConnections()

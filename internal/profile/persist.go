@@ -244,6 +244,8 @@ type persistedPoint struct {
 }
 
 // SaveProfile writes a profile as indented JSON.
+//
+//smokevet:ignore axisreg: persistedPoint is the versioned JSON wire format — its named fields ARE the format, not an axis dispatch
 func SaveProfile(w io.Writer, p *Profile) error {
 	out := persistedProfile{
 		Version:   persistVersion,

@@ -66,8 +66,13 @@ func (s *Spec) transform(x float64) float64 {
 // non-degraded video: the X_1..X_N series whose aggregate is the paper's
 // ground truth.
 func (s *Spec) TruePopulation() []float64 {
-	// A full-column read over a background context cannot fail.
-	raw, _ := outputs.Full(context.Background(), s.Video, s.Model, s.Class, s.Model.NativeInput)
+	// The only error Full can return is context cancellation, which a
+	// Background root cannot produce; a failure here is a bug, not a
+	// condition to degrade through.
+	raw, err := outputs.Full(context.Background(), s.Video, s.Model, s.Class, s.Model.NativeInput)
+	if err != nil {
+		panic(fmt.Sprintf("profile: outputs.Full over a Background context failed: %v", err))
+	}
 	out := make([]float64, len(raw))
 	for i, x := range raw {
 		out[i] = s.transform(x)

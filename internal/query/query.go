@@ -82,30 +82,12 @@ func (q *Query) String() string {
 	if q.Model != "" {
 		fmt.Fprintf(&b, " USING %s", q.Model)
 	}
-	if q.Setting.SampleFraction != 1 {
-		fmt.Fprintf(&b, " SAMPLE %g", q.Setting.SampleFraction)
-	}
-	if q.Setting.Resolution != 0 {
-		fmt.Fprintf(&b, " RESOLUTION %d", q.Setting.Resolution)
-	}
-	if len(q.Setting.Restricted) > 0 {
-		names := make([]string, len(q.Setting.Restricted))
-		for i, c := range q.Setting.Restricted {
-			names[i] = c.String()
+	// The axis clauses come from the registry, in canonical axis order:
+	// a new axis renders here the moment it registers a Clause.
+	for _, clause := range degrade.Clauses() {
+		if v := clause.Render(q.Setting); v != "" {
+			fmt.Fprintf(&b, " %s %s", clause.Keyword, v)
 		}
-		fmt.Fprintf(&b, " REMOVE %s", strings.Join(names, ","))
-	}
-	if q.Setting.NoiseSigma > 0 {
-		fmt.Fprintf(&b, " NOISE %g", q.Setting.NoiseSigma)
-	}
-	if q.Setting.MotionBlur > 1 {
-		fmt.Fprintf(&b, " BLUR %d", q.Setting.MotionBlur)
-	}
-	if q.Setting.Quantize >= 2 {
-		fmt.Fprintf(&b, " QUANTIZE %d", q.Setting.Quantize)
-	}
-	if q.Setting.Occlusion > 0 {
-		fmt.Fprintf(&b, " OCCLUDE %g", q.Setting.Occlusion)
 	}
 	return b.String()
 }
@@ -145,41 +127,8 @@ func Parse(input string) (*Query, error) {
 			err = p.parseWhere(q)
 		case "USING":
 			q.Model, err = p.next("model name")
-		case "SAMPLE":
-			q.Setting.SampleFraction, err = p.nextFloat("sample fraction")
-			if err == nil && (q.Setting.SampleFraction <= 0 || q.Setting.SampleFraction > 1) {
-				err = fmt.Errorf("query: sample fraction %v out of (0,1]", q.Setting.SampleFraction)
-			}
-		case "RESOLUTION":
-			var res float64
-			res, err = p.nextFloat("resolution")
-			q.Setting.Resolution = int(res)
 		case "REMOVE":
 			err = p.parseRemove(q)
-		case "NOISE":
-			q.Setting.NoiseSigma, err = p.nextFloat("noise sigma")
-			if err == nil && (q.Setting.NoiseSigma < 0 || q.Setting.NoiseSigma > 0.5) {
-				err = fmt.Errorf("query: noise sigma %v out of [0,0.5]", q.Setting.NoiseSigma)
-			}
-		case "BLUR":
-			var length float64
-			length, err = p.nextFloat("blur length")
-			q.Setting.MotionBlur = int(length)
-			if err == nil && (length != float64(q.Setting.MotionBlur) || q.Setting.MotionBlur < 0 || q.Setting.MotionBlur > scene.MaxBlurLen) {
-				err = fmt.Errorf("query: blur length %v not an integer in [0,%d]", length, scene.MaxBlurLen)
-			}
-		case "QUANTIZE":
-			var levels float64
-			levels, err = p.nextFloat("quantization levels")
-			q.Setting.Quantize = int(levels)
-			if err == nil && (levels != float64(q.Setting.Quantize) || q.Setting.Quantize < 2 || q.Setting.Quantize > 256) {
-				err = fmt.Errorf("query: quantization levels %v not an integer in [2,256]", levels)
-			}
-		case "OCCLUDE":
-			q.Setting.Occlusion, err = p.nextFloat("occlusion density")
-			if err == nil && (q.Setting.Occlusion < 0 || q.Setting.Occlusion > 0.5) {
-				err = fmt.Errorf("query: occlusion density %v out of [0,0.5]", q.Setting.Occlusion)
-			}
 		case "CONFIDENCE":
 			var pct float64
 			pct, err = p.nextFloat("confidence percent")
@@ -196,7 +145,18 @@ func Parse(input string) (*Query, error) {
 				err = fmt.Errorf("query: quantile %v out of (0,1)", q.R)
 			}
 		default:
-			return nil, fmt.Errorf("query: unexpected token %q", keyword)
+			// Numeric axis clauses (SAMPLE, RESOLUTION, NOISE, ...) come
+			// from the degrade registry: registering an axis with a
+			// Clause makes it parseable here with no parser change.
+			clause, ok := degrade.ClauseFor(keyword)
+			if !ok || clause.Set == nil {
+				return nil, fmt.Errorf("query: unexpected token %q", keyword)
+			}
+			var v float64
+			v, err = p.nextFloat(clause.Arg)
+			if err == nil {
+				err = clause.Set(v, &q.Setting)
+			}
 		}
 		if err != nil {
 			return nil, err

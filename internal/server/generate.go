@@ -39,8 +39,9 @@ func DecodeGenRequest(r io.Reader) (GenRequest, error) {
 	dec.DisallowUnknownFields()
 	var req GenRequest
 	if err := dec.Decode(&req); err != nil {
-		// encoding/json has no typed unknown-field error; the message
-		// prefix is its documented rendering.
+		// encoding/json has no typed unknown-field error; matching its
+		// documented message rendering is the only detection available.
+		//smokevet:ignore errcontract: stdlib json exposes unknown-field failures only through message text
 		if strings.Contains(err.Error(), "unknown field") {
 			return GenRequest{}, &UnknownFieldError{Err: fmt.Errorf("server: decoding request: %w", err)}
 		}

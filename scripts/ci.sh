@@ -22,6 +22,12 @@ run_stage() {
 
 run_stage build      make build
 run_stage lint       make lint
+# The ratchet: smokevet against the committed lint-baseline.json, failing
+# only on findings not grandfathered there. Runs right after lint so a
+# regression names the new finding while the full-lint log is still on
+# screen; its stage timing also isolates the analyzer suite's own cost
+# from go vet and staticcheck in the lint stage above.
+run_stage lint-ratchet make lint-ratchet
 run_stage test       make test
 run_stage test-race  make test-race
 run_stage fuzz-smoke make fuzz-smoke
